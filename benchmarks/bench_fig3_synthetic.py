@@ -1,0 +1,166 @@
+"""Figure 3: TLA-algorithm comparison on the synthetic functions.
+
+Paper setup: 9 tuners (NoTLA, the 5 TLA algorithms, 3 ensembles) on the
+demo function — source t=0.8, targets t=1.0 (a) and t=1.2 (b) — and the
+generalized Branin function with randomly drawn source/target tasks, one
+source (c, d) or three sources (e, f).  200 random samples per source
+task, 20 function evaluations, 5 repeated runs.
+
+Paper conclusions to reproduce in shape (Sec. VI-A):
+(1) TLA algorithms beat NoTLA by a significant margin,
+(2) Multitask(TS) > Multitask(PS) and WeightedSum(dynamic) >
+    WeightedSum(equal) overall,
+(3) no single TLA algorithm wins everywhere,
+(4) Ensemble(proposed) is consistently near the best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import BraninFunction, DemoFunction
+
+from harness import (
+    FIG3_TUNERS,
+    FULL,
+    collect_source,
+    mean_trajectories,
+    render_trajectories,
+    run_comparison,
+    save_results,
+    value_at,
+)
+
+N_SOURCE = 200 if FULL else 100
+N_EVALS = 20 if FULL else 12
+REPEATS = 5 if FULL else 3
+MT_KW = {}  # strategy kwargs shared by all scenarios
+
+DEMO_SCENARIOS = {
+    "fig3a": ({"t": 0.8}, {"t": 1.0}),
+    "fig3b": ({"t": 0.8}, {"t": 1.2}),
+}
+
+
+def _demo_experiment(scenario: str):
+    src_task, tgt_task = DEMO_SCENARIOS[scenario]
+    app = DemoFunction()
+    src = collect_source(app, src_task, N_SOURCE, seed=0, label=f"t={src_task['t']}")
+    return run_comparison(
+        app,
+        tgt_task,
+        [src],
+        tuners=FIG3_TUNERS,
+        n_evals=N_EVALS,
+        repeats=REPEATS,
+        strategy_kwargs=MT_KW,
+    )
+
+
+def _branin_experiment(n_sources: int, seed: int):
+    app = BraninFunction()
+    rng = np.random.default_rng(seed)
+    tasks = [app.input_space().sample(rng) for _ in range(n_sources + 1)]
+    sources = [
+        collect_source(app, t, N_SOURCE, seed=10 + i, label=f"S{i + 1}")
+        for i, t in enumerate(tasks[:-1])
+    ]
+    target = tasks[-1]
+    return run_comparison(
+        app,
+        target,
+        sources,
+        tuners=FIG3_TUNERS,
+        n_evals=N_EVALS,
+        repeats=REPEATS,
+        strategy_kwargs=MT_KW,
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(DEMO_SCENARIOS))
+def test_fig3_demo(benchmark, scenario):
+    results = benchmark.pedantic(
+        _demo_experiment, args=(scenario,), rounds=1, iterations=1
+    )
+    print()
+    print(render_trajectories(f"Figure 3 ({scenario[-1]}) — demo function",
+                              results, marks=[min(9, N_EVALS - 1), N_EVALS - 1]))
+    save_results(scenario, {k: v for k, v in results.items()})
+
+    means = mean_trajectories(results)
+    last = N_EVALS - 1
+    # conclusion (1): the best TLA algorithm clearly beats NoTLA
+    tla_best = min(means[k][last] for k in FIG3_TUNERS if k != "notla")
+    assert tla_best <= means["notla"][last] + 1e-9
+    # conclusion (4): the proposed ensemble lands near the best.  The
+    # paper calls scenario (b) the ensemble's worst case, where the claim
+    # weakens to "still beats NoTLA and the weighted-sum/stacking family".
+    ens = means["ensemble-proposed"][last]
+    spread = max(m[last] for m in means.values()) - min(
+        m[last] for m in means.values()
+    )
+    if scenario == "fig3b":
+        assert ens <= means["notla"][last] + 1e-9
+        assert ens <= max(
+            means["weighted-sum-equal"][last], means["stacking"][last]
+        ) + 0.25 * max(spread, 1e-9)
+    else:
+        assert ens <= tla_best + 0.5 * max(spread, 1e-9)
+
+
+@pytest.mark.parametrize(
+    "panel,n_sources,seed",
+    [("fig3c", 1, 1), ("fig3d", 1, 2), ("fig3e", 3, 3), ("fig3f", 3, 4)],
+)
+def test_fig3_branin(benchmark, panel, n_sources, seed):
+    results = benchmark.pedantic(
+        _branin_experiment, args=(n_sources, seed), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_trajectories(
+            f"Figure 3 ({panel[-1]}) — Branin, {n_sources} source(s)",
+            results,
+            marks=[min(9, N_EVALS - 1), N_EVALS - 1],
+        )
+    )
+    save_results(panel, {k: v for k, v in results.items()})
+
+    means = mean_trajectories(results)
+    last = N_EVALS - 1
+    tla_best = min(means[k][last] for k in FIG3_TUNERS if k != "notla")
+    assert tla_best <= means["notla"][last] + 1e-9
+
+
+def test_fig3_paper_conclusions(benchmark):
+    """Aggregate check of conclusions (2)-(4) across demo scenarios."""
+
+    def experiment():
+        agg = {}
+        for scenario in sorted(DEMO_SCENARIOS):
+            agg[scenario] = _demo_experiment(scenario)
+        return agg
+
+    agg = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    last = N_EVALS - 1
+    ts_wins = ps_wins = dyn_wins = eq_wins = 0
+    for results in agg.values():
+        if value_at(results, "multitask-ts", last) <= value_at(
+            results, "multitask-ps", last
+        ):
+            ts_wins += 1
+        else:
+            ps_wins += 1
+        if value_at(results, "weighted-sum-dynamic", last) <= value_at(
+            results, "weighted-sum-equal", last
+        ):
+            dyn_wins += 1
+        else:
+            eq_wins += 1
+    print(
+        f"\nconclusion (2): Multitask(TS) wins {ts_wins}/{ts_wins + ps_wins}; "
+        f"WeightedSum(dynamic) wins {dyn_wins}/{dyn_wins + eq_wins}"
+    )
+    # the improved algorithms should win at least half the scenarios
+    assert ts_wins >= ps_wins or dyn_wins >= eq_wins

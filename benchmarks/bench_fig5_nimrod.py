@@ -1,0 +1,142 @@
+"""Figure 5: transfer learning on the NIMROD fusion-MHD code.
+
+Paper setup: one source task {mx:5, my:7, lphi:1} with 500 random samples
+collected on 32 Cori Haswell nodes.  Three transfer scenarios:
+
+(a) different node count — target = same task on 64 Haswell nodes.
+    Paper @10: Multitask(TS) best, 1.20x over NoTLA; ensemble 1.16x.
+(b) different architecture + problem size — target = {mx:5, my:4,
+    lphi:1} on 32 KNL nodes.  Paper @10: TLA ~ NoTLA, ensemble 1.1x.
+(c) different problem size + node count — target = {mx:6, my:8, lphi:1}
+    on 64 Haswell nodes, with out-of-memory failures.  Paper @10:
+    ensemble 2.97x, Multitask(TS) 2.78x over NoTLA.
+
+10 function evaluations, 3 repeats; trajectories may start late when a
+run's first evaluations all fail (the paper's Fig. 5(c) note).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.apps import NIMROD
+from repro.hpc import cori_haswell, cori_knl
+
+from harness import (
+    FULL,
+    PAPER_TUNERS,
+    collect_source,
+    mean_trajectories,
+    render_trajectories,
+    run_comparison,
+    save_results,
+    speedup_over_notla,
+)
+
+N_SOURCE = 500 if FULL else 120
+N_EVALS = 10
+REPEATS = 3
+SRC_TASK = {"mx": 5, "my": 7, "lphi": 1}
+
+SCENARIOS = {
+    "fig5a": (cori_haswell(64), {"mx": 5, "my": 7, "lphi": 1}, 1.20),
+    "fig5b": (cori_knl(32), {"mx": 5, "my": 4, "lphi": 1}, 1.10),
+    "fig5c": (cori_haswell(64), {"mx": 6, "my": 8, "lphi": 1}, 2.97),
+}
+
+_source_cache: dict[str, object] = {}
+
+
+def _source():
+    if "src" not in _source_cache:
+        src_app = NIMROD(cori_haswell(32))
+        _source_cache["src"] = collect_source(
+            src_app, SRC_TASK, N_SOURCE, seed=7, label="32-haswell"
+        )
+    return _source_cache["src"]
+
+
+def _experiment(scenario: str):
+    machine, target, _ = SCENARIOS[scenario]
+    app = NIMROD(machine)
+    return run_comparison(
+        app,
+        target,
+        [_source()],
+        tuners=PAPER_TUNERS,
+        n_evals=N_EVALS,
+        repeats=REPEATS,
+    )
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_fig5_nimrod(benchmark, scenario):
+    machine, target, paper_speedup = SCENARIOS[scenario]
+    results = benchmark.pedantic(_experiment, args=(scenario,), rounds=1, iterations=1)
+    print()
+    print(
+        render_trajectories(
+            f"Figure 5 ({scenario[-1]}) — NIMROD on {machine.nodes} "
+            f"{machine.partition} nodes, target {target}",
+            results,
+            marks=[N_EVALS - 1],
+        )
+    )
+    best_key = min(
+        (k for k in PAPER_TUNERS if k != "notla"),
+        key=lambda k: mean_trajectories(results)[k][N_EVALS - 1],
+    )
+    speedup = speedup_over_notla(results, best_key, N_EVALS - 1)
+    print(
+        f"best TLA ({best_key}) speedup over NoTLA @10: {speedup:.2f}x "
+        f"(paper's best: {paper_speedup}x)"
+    )
+    save_results(scenario, {"trajectories": dict(results), "best_speedup": speedup})
+
+    means = mean_trajectories(results)
+    last = N_EVALS - 1
+    notla = means["notla"][last]
+    notla = notla if math.isfinite(notla) else float("inf")
+    tla_best = min(means[k][last] for k in PAPER_TUNERS if k != "notla")
+    if scenario == "fig5b":
+        # paper: on a foreign architecture TLA behaves ~ like NoTLA
+        assert tla_best <= notla * 1.15
+    else:
+        assert tla_best <= notla * 1.02
+
+    if scenario == "fig5c":
+        # failures must actually occur for random/NoTLA exploration here
+        failures = int(sum((~_finite_rows(results["notla"])).sum()
+                           for _ in range(1)))
+        assert failures >= 0  # informational; OOM region exercised below
+
+
+def _finite_rows(mat):
+    import numpy as np
+
+    return np.isfinite(mat)
+
+
+def test_fig5c_failures_hit_notla(benchmark):
+    """Fig. 5(c)'s mechanism: the OOM region consumes NoTLA's budget."""
+    import numpy as np
+
+    machine, target, _ = SCENARIOS["fig5c"]
+    app = NIMROD(machine)
+
+    def experiment():
+        rng = np.random.default_rng(0)
+        space = app.parameter_space()
+        fails = sum(
+            1
+            for _ in range(200)
+            if app.raw_objective(target, space.sample(rng)) is None
+        )
+        return fails
+
+    fails = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rate = fails / 200
+    print(f"\nfig5c random-sampling OOM rate: {rate:.0%}")
+    assert 0.15 <= rate <= 0.7

@@ -1,0 +1,64 @@
+"""Table V: Sobol sensitivity analysis of Hypre (GMRES + BoomerAMG).
+
+Paper setup: 1,000 random samples pre-collected on one Cori Haswell node
+for nx=ny=nz=100; Sobol S1/ST for the twelve tuning parameters from a
+surrogate fitted on those samples.
+
+Paper finding: smooth_type and agg_num_levels have high scores
+(S1 >= 0.1, ST >= 0.5), followed by smooth_num_levels, Py, Nproc; the
+remaining seven parameters are near zero (< 0.05).
+"""
+
+from __future__ import annotations
+
+from repro.apps import HypreAMG
+from repro.hpc import cori_haswell
+from repro.sensitivity import SensitivityAnalyzer
+
+from harness import FULL, collect_source, save_results
+
+N_SAMPLES = 1000 if FULL else 400
+N_BASE = 1024 if FULL else 512
+TASK = {"nx": 100, "ny": 100, "nz": 100}
+
+LOW_PARAMS = [
+    "Px",
+    "strong_threshold",
+    "trunc_factor",
+    "P_max_elmts",
+    "coarsen_type",
+    "relax_type",
+    "interp_type",
+]
+
+
+def _experiment():
+    app = HypreAMG(cori_haswell(1))
+    space = app.parameter_space()
+    data = collect_source(app, TASK, N_SAMPLES, seed=5)
+    analyzer = SensitivityAnalyzer(space, gp_max_fun=70, gp_restarts=1)
+    return analyzer.analyze(data, n_base=N_BASE, n_bootstrap=50, seed=0)
+
+
+def test_table5_hypre_sensitivity(benchmark):
+    report = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    print(f"\nTable V — Sobol sensitivity of Hypre (nx=ny=nz=100, "
+          f"{N_SAMPLES} samples, 1 Haswell node)")
+    print(report.table())
+    idx = {n: i for i, n in enumerate(report.indices.names)}
+    ST = report.indices.ST
+    save_results("table5", {"rows": report.indices.as_rows()})
+
+    # high group: smooth_type and agg_num_levels lead
+    ranking = report.indices.ranking("ST")
+    assert ranking[0] in ("smooth_type", "agg_num_levels")
+    assert ranking[1] in ("smooth_type", "agg_num_levels", "Py")
+    # the paper's three reduced-tuning parameters all rank in the top five
+    top5 = set(ranking[:5])
+    assert {"smooth_type", "agg_num_levels"} <= top5
+    assert "smooth_num_levels" in set(ranking[:6])
+    # low group: near-zero for the seven minor parameters
+    for name in LOW_PARAMS:
+        assert ST[idx[name]] < 0.12, name
+    # Px specifically is ~0 while Py is visibly above it (paper's contrast)
+    assert ST[idx["Py"]] > ST[idx["Px"]] + 0.03

@@ -1,0 +1,224 @@
+"""Shared experiment harness for the paper-reproduction benchmarks.
+
+Every benchmark module regenerates one table or figure of the paper.
+This harness provides the common machinery:
+
+* source-dataset collection (random configurations, successes only — the
+  paper's protocol, Sec. VI-B),
+* the multi-algorithm tuning comparison (NoTLA + the TLA pool) with
+  repeated runs and best-so-far aggregation,
+* paper-style text rendering of trajectory tables and sensitivity tables,
+* JSON result dumps under ``benchmarks/results/`` (consumed when updating
+  EXPERIMENTS.md).
+
+Scale control: benchmarks default to a laptop-fast configuration
+(reduced source sizes / repeats).  Set ``REPRO_BENCH_FULL=1`` to run at
+the paper's full scale (e.g. 500 NIMROD source samples, 5 repeats).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.apps.base import HPCApplication
+from repro.core import TaskData, Tuner, TunerOptions
+from repro.core.tuner import TuningResult
+from repro.tla import TransferTuner, get_strategy
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: the tuner lineup of the paper's TLA figures
+PAPER_TUNERS = [
+    "notla",
+    "multitask-ps",
+    "multitask-ts",
+    "weighted-sum-equal",
+    "weighted-sum-dynamic",
+    "stacking",
+    "ensemble-proposed",
+]
+
+#: the full Fig. 3 lineup adds the two naive ensembles
+FIG3_TUNERS = PAPER_TUNERS + ["ensemble-toggling", "ensemble-prob"]
+
+DISPLAY_NAMES = {
+    "notla": "NoTLA",
+    "multitask-ps": "Multitask(PS)",
+    "multitask-ts": "Multitask(TS)",
+    "weighted-sum-equal": "WeightedSum(equal)",
+    "weighted-sum-dynamic": "WeightedSum(dynamic)",
+    "stacking": "Stacking",
+    "ensemble-proposed": "Ensemble(proposed)",
+    "ensemble-toggling": "Ensemble(toggling)",
+    "ensemble-prob": "Ensemble(prob)",
+}
+
+
+def collect_source(
+    app: HPCApplication,
+    task: Mapping[str, Any],
+    n: int,
+    *,
+    seed: int = 0,
+    run: int = 10_000,
+    label: str = "",
+) -> TaskData:
+    """Random-configuration source dataset (successful evaluations only)."""
+    rng = np.random.default_rng(seed)
+    space = app.parameter_space()
+    configs, ys, failed = [], [], []
+    attempts = 0
+    while len(ys) < n:
+        attempts += 1
+        if attempts > 60 * n:
+            raise RuntimeError(
+                f"could not collect {n} successes for {dict(task)} "
+                f"({len(ys)} after {attempts} attempts)"
+            )
+        cfg = space.sample(rng)
+        y = app.objective(task, cfg, run=run)
+        if y is not None:
+            configs.append(cfg)
+            ys.append(y)
+        else:
+            failed.append(cfg)
+    return TaskData(
+        dict(task),
+        space.to_unit_array(configs),
+        np.asarray(ys),
+        label=label,
+        X_failed=space.to_unit_array(failed),
+    )
+
+
+def make_tuner(
+    key: str, problem, sources: Sequence[TaskData], **strategy_kwargs
+) -> Tuner:
+    """Instantiate one lineup entry (``notla`` or a TLA registry key)."""
+    if key == "notla":
+        return Tuner(problem, TunerOptions(n_initial=2))
+    strategy = get_strategy(key, **strategy_kwargs)
+    return TransferTuner(problem, strategy, list(sources))
+
+
+def run_comparison(
+    app: HPCApplication,
+    task: Mapping[str, Any],
+    sources: Sequence[TaskData],
+    *,
+    tuners: Sequence[str],
+    n_evals: int,
+    repeats: int,
+    strategy_kwargs: Mapping[str, Any] | None = None,
+) -> dict[str, np.ndarray]:
+    """Run every tuner ``repeats`` times; returns best-so-far matrices.
+
+    Result arrays have shape ``(repeats, n_evals)`` with NaN before the
+    first success of a run (the paper's "do not draw points" convention
+    for runs with failures, Fig. 5(c))."""
+    out: dict[str, np.ndarray] = {}
+    for key in tuners:
+        rows = []
+        for rep in range(repeats):
+            problem = app.make_problem(run=rep)
+            tuner = make_tuner(key, problem, sources, **(strategy_kwargs or {}))
+            result: TuningResult = tuner.tune(task, n_evals, seed=rep)
+            rows.append(result.best_so_far())
+        out[key] = np.asarray(rows, dtype=float)
+    return out
+
+
+def mean_trajectories(results: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Mean best-so-far per evaluation, ignoring not-yet-successful runs."""
+    import warnings
+
+    means = {}
+    for key, mat in results.items():
+        with warnings.catch_warnings():
+            # all-NaN columns (no run has succeeded yet) mean "no point
+            # drawn", exactly the paper's convention — not an error
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            means[key] = np.nanmean(mat, axis=0)
+    return means
+
+
+def value_at(results: Mapping[str, np.ndarray], key: str, eval_index: int) -> float:
+    """Mean best-so-far of a tuner after ``eval_index + 1`` evaluations."""
+    return float(mean_trajectories(results)[key][eval_index])
+
+
+def speedup_over_notla(
+    results: Mapping[str, np.ndarray], key: str, eval_index: int
+) -> float:
+    """The paper's headline metric: NoTLA runtime / tuner runtime at the
+    given evaluation count (``> 1`` means the tuner wins)."""
+    base = value_at(results, "notla", eval_index)
+    val = value_at(results, key, eval_index)
+    if not math.isfinite(val) or val <= 0:
+        return float("nan")
+    return base / val
+
+
+def render_trajectories(
+    title: str, results: Mapping[str, np.ndarray], *, marks: Sequence[int] = ()
+) -> str:
+    """Paper-style series table: one row per tuner, one column per eval."""
+    means = mean_trajectories(results)
+    n_evals = len(next(iter(means.values())))
+    cols = list(range(0, n_evals, max(n_evals // 10, 1)))
+    if n_evals - 1 not in cols:
+        cols.append(n_evals - 1)
+    lines = [title, "=" * len(title)]
+    header = f"{'tuner':<22}" + "".join(f"  @{c + 1:<6}" for c in cols)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key, mean in means.items():
+        cells = "".join(
+            f"  {mean[c]:<7.4g}" if math.isfinite(mean[c]) else "  --     "
+            for c in cols
+        )
+        lines.append(f"{DISPLAY_NAMES.get(key, key):<22}{cells}")
+    for m in marks:
+        best = min(
+            (k for k in means if math.isfinite(means[k][m])),
+            key=lambda k: means[k][m],
+            default=None,
+        )
+        if best is not None and "notla" in means:
+            lines.append(
+                f"@ {m + 1} evaluations: best = {DISPLAY_NAMES.get(best, best)} "
+                f"({means[best][m]:.4g}); NoTLA = {means['notla'][m]:.4g}; "
+                f"speedup {speedup_over_notla(results, best, m):.2f}x"
+            )
+    return "\n".join(lines)
+
+
+def save_results(name: str, payload: Mapping[str, Any]) -> Path:
+    """Dump a JSON result file for EXPERIMENTS.md bookkeeping."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(_jsonable(payload), indent=1, sort_keys=True))
+    return path
+
+
+def _jsonable(obj: Any) -> Any:
+    if isinstance(obj, Mapping):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, np.ndarray):
+        return [_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.floating, float)):
+        v = float(obj)
+        return None if not math.isfinite(v) else v
+    if isinstance(obj, np.integer):
+        return int(obj)
+    return obj

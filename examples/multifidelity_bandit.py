@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Multi-fidelity tuning with GPTuneBand (Zhu et al. [13]).
+
+NIMROD's runtime is dominated by its time-marching loop, so a run with
+a fraction of the time steps is a cheap, noisy, slightly biased preview
+of the full run — a natural fidelity knob.  GPTuneBand exploits it:
+
+1. a successive-halving bracket evaluates many configurations at 1/9
+   fidelity, promotes the best third to 1/3, and only the survivors to
+   full fidelity;
+2. the LCM models the fidelity rungs as correlated tasks, so later
+   brackets propose low-rung candidates informed by everything seen;
+3. at equal cost (in full-evaluation equivalents), far more
+   configurations get screened than plain BO could afford.
+
+Run:  python examples/multifidelity_bandit.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import NIMROD
+from repro.core import Tuner, TunerOptions
+from repro.hpc import cori_haswell
+from repro.tla import GPTuneBand, MultiFidelityObjective, halving_schedule
+
+TASK = {"mx": 5, "my": 7, "lphi": 1}
+BUDGET = 8.0  # full-evaluation equivalents
+
+
+def main() -> None:
+    app = NIMROD(cori_haswell(32))
+
+    print("successive-halving ladder (9 configs, 3 rungs, eta=3):")
+    for rung, (survivors, fraction) in enumerate(halving_schedule(9, 3)):
+        steps = max(int(app.N_TIMESTEPS * fraction), 1)
+        print(f"  rung {rung}: {survivors} configs at fidelity {fraction:.3f} "
+              f"(~{steps} of {app.N_TIMESTEPS} time steps)")
+
+    objective = MultiFidelityObjective(
+        fn=lambda t, c, f: app.fidelity_objective(t, c, f, run=0),
+        space=app.parameter_space(),
+        task=TASK,
+    )
+    band = GPTuneBand(objective, bracket_size=9, n_rungs=3).tune(BUDGET, seed=0)
+    screened = len({tuple(sorted(c.items())) for c, _, _ in band.evaluations})
+    cheap = sum(1 for _, f, _ in band.evaluations if f < 1.0)
+    print(f"\nGPTuneBand spent {band.cost_spent:.2f} full-eval equivalents:")
+    print(f"  {band.n_evaluations} evaluations ({cheap} at reduced fidelity)")
+    print(f"  {screened} distinct configurations screened")
+    print(f"  best: {band.best_output:.1f} s with {band.best_config}")
+
+    # the single-fidelity comparison at the same cost
+    problem = app.make_problem(run=0)
+    bo = Tuner(problem, TunerOptions(n_initial=2)).tune(TASK, int(BUDGET), seed=0)
+    traj = bo.best_so_far()
+    bo_best = traj[-1] if np.isfinite(traj[-1]) else float("nan")
+    print(f"\nplain BO with the same budget ({int(BUDGET)} full evaluations):")
+    print(f"  best: {bo_best:.1f} s")
+    if band.best_output < bo_best:
+        print(f"\nbandit advantage: {bo_best / band.best_output:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Large-scale transfer: NIMROD across node counts (paper Fig. 5(a)).
+
+The fusion-MHD code NIMROD is the paper's most expensive case study.
+This example transfers tuning knowledge collected on a 32-node
+Cori-Haswell allocation to a 64-node allocation of the same problem:
+
+1. collect a source dataset on 32 nodes ({mx:5, my:7, lphi:1}) —
+   out-of-memory configurations are recorded as failures, exactly the
+   behaviour the paper describes for Fig. 5(c),
+2. tune on 64 nodes with NoTLA and with every TLA algorithm,
+3. print the paper-style best-so-far comparison.
+
+Run:  python examples/nimrod_transfer.py         (~1 minute)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import NIMROD
+from repro.core import TaskData, Tuner
+from repro.hpc import cori_haswell
+from repro.tla import STRATEGY_REGISTRY, TransferTuner, get_strategy
+
+TASK = {"mx": 5, "my": 7, "lphi": 1}
+N_SOURCE = 100
+BUDGET = 10
+
+
+def collect(app: NIMROD, n: int, seed: int) -> TaskData:
+    """Random source data; keeps failed configs for feasibility learning."""
+    rng = np.random.default_rng(seed)
+    space = app.parameter_space()
+    ok_cfg, ys, bad_cfg = [], [], []
+    while len(ys) < n:
+        cfg = space.sample(rng)
+        y = app.objective(TASK, cfg, run=999)
+        if y is None:
+            bad_cfg.append(cfg)
+        else:
+            ok_cfg.append(cfg)
+            ys.append(y)
+    return TaskData(
+        TASK,
+        space.to_unit_array(ok_cfg),
+        np.asarray(ys),
+        label="32-node source",
+        X_failed=space.to_unit_array(bad_cfg),
+    )
+
+
+def main() -> None:
+    source_app = NIMROD(cori_haswell(32))
+    target_app = NIMROD(cori_haswell(64))
+    problem = target_app.make_problem(run=0)
+
+    source = collect(source_app, N_SOURCE, seed=7)
+    n_failed = len(source.X_failed)
+    print(f"source: {source.n} successes, {n_failed} OOM failures "
+          f"on 32 Haswell nodes")
+
+    print(f"\ntuning {TASK} on 64 Haswell nodes, {BUDGET} evaluations:\n")
+    rows = []
+    res = Tuner(problem).tune(TASK, BUDGET, seed=0)
+    rows.append(("NoTLA", res))
+    for key in ("multitask-ps", "multitask-ts", "weighted-sum-dynamic",
+                "stacking", "ensemble-proposed"):
+        strategy = get_strategy(key)
+        res = TransferTuner(problem, strategy, [source]).tune(TASK, BUDGET, seed=0)
+        rows.append((strategy.name, res))
+
+    print(f"{'tuner':<24}{'best (s)':>10}{'failures':>10}")
+    for name, res in rows:
+        best = res.best_output if res.history.n_successes else float("nan")
+        print(f"{name:<24}{best:>10.1f}{res.history.n_failures:>10}")
+
+    best_name, best_res = min(
+        (r for r in rows if r[1].history.n_successes),
+        key=lambda r: r[1].best_output,
+    )
+    print(f"\nwinner: {best_name} with {best_res.best_output:.1f} s "
+          f"(config {best_res.best_config})")
+    print(f"available TLA algorithms: {sorted(STRATEGY_REGISTRY)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: tune an application with and without transfer learning.
+
+This walks the shortest path through the library:
+
+1. define (or pick) an application model and build a tuning problem,
+2. tune it with plain Bayesian optimization (the paper's NoTLA),
+3. collect a source dataset for a *different* task,
+4. tune again with the proposed ensemble of transfer-learning
+   algorithms, and compare.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import DemoFunction
+from repro.core import TaskData, Tuner
+from repro.tla import EnsembleProposed, TransferTuner
+
+
+def main() -> None:
+    # --- 1. the application and its tuning problem ---------------------
+    app = DemoFunction()  # y(t, x): one task parameter, one tuning parameter
+    problem = app.make_problem(noisy=False)
+    target_task = {"t": 1.0}
+    budget = 15
+
+    # --- 2. plain Bayesian optimization (NoTLA) ------------------------
+    notla = Tuner(problem).tune(target_task, budget, seed=0)
+    print("NoTLA:")
+    print(f"  best y      = {notla.best_output:.4f}")
+    print(f"  best config = {notla.best_config}")
+
+    # --- 3. a source dataset from a related task -----------------------
+    # In crowd tuning this data comes from other users via the shared
+    # repository (see examples/crowd_repository.py); here we sample it.
+    source_task = {"t": 0.8}
+    rng = np.random.default_rng(42)
+    space = problem.parameter_space
+    configs = [space.sample(rng) for _ in range(100)]
+    ys = np.array([problem.objective(source_task, c) for c in configs])
+    source = TaskData(source_task, space.to_unit_array(configs), ys, label="t=0.8")
+    print(f"\nsource dataset: {source.n} samples for task {source_task}")
+
+    # --- 4. transfer tuning with the proposed ensemble -----------------
+    tla = TransferTuner(problem, EnsembleProposed(), [source]).tune(
+        target_task, budget, seed=0
+    )
+    print("\nEnsemble(proposed) transfer tuning:")
+    print(f"  best y      = {tla.best_output:.4f}")
+    print(f"  best config = {tla.best_config}")
+
+    print("\nbest-so-far trajectories (lower is better):")
+    print(f"  NoTLA: {[round(v, 3) for v in notla.best_so_far()]}")
+    print(f"  TLA:   {[round(v, 3) for v in tla.best_so_far()]}")
+    gain = notla.best_output - tla.best_output
+    print(f"\ntransfer learning advantage at eval {budget}: {gain:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Sensitivity-driven search-space reduction (paper Sec. VI-D/E).
+
+Hypre's GMRES+BoomerAMG has twelve tuning parameters — far too many for
+a 10-20 evaluation budget.  This example mirrors the paper's workflow:
+
+1. collect random performance samples for the Poisson task
+   nx=ny=nz=100 on one Cori-Haswell node,
+2. run the Sobol sensitivity analysis on a fitted surrogate and print
+   the Table V-style report,
+3. reduce the space to the three most sensitive parameters, pinning
+   known defaults and randomizing the rest (the Fig. 7 recipe),
+4. tune original vs reduced with the same budget and compare.
+
+Run:  python examples/sensitivity_reduction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import HypreAMG
+from repro.apps.hypre import HYPRE_DEFAULTS
+from repro.core import TaskData, Tuner
+from repro.hpc import cori_haswell
+from repro.sensitivity import SensitivityAnalyzer, reduce_space
+
+TASK = {"nx": 100, "ny": 100, "nz": 100}
+N_SAMPLES = 300
+BUDGET = 20
+
+
+def main() -> None:
+    app = HypreAMG(cori_haswell(1))
+    space = app.parameter_space()
+    problem = app.make_problem(run=0)
+
+    # --- 1. random samples (in crowd tuning these come from the repo) --
+    rng = np.random.default_rng(0)
+    configs = [space.sample(rng) for _ in range(N_SAMPLES)]
+    ys = np.array([app.objective(TASK, c, run=99) for c in configs])
+    data = TaskData(TASK, space.to_unit_array(configs), ys)
+    print(f"collected {data.n} samples for {TASK}")
+
+    # --- 2. Sobol analysis ----------------------------------------------
+    report = SensitivityAnalyzer(space).analyze(data, n_base=512, seed=0)
+    print("\nSobol sensitivity (cf. paper Table V):")
+    print(report.table())
+
+    keep = report.top_k(3, by="ST")
+    print(f"\nthree most sensitive parameters: {keep}")
+    # interacting parameters must be kept together: a smoother type is
+    # inert unless smooth_num_levels > 0 (high ST, low S1 signals this),
+    # so pinning the levels to a random value would neutralize the type.
+    # The paper's reduced set keeps the pair plus agg_num_levels.
+    if "smooth_type" in keep and "smooth_num_levels" not in keep:
+        keep[-1] = "smooth_num_levels"
+        print(f"adjusted for the smoother interaction: {keep}")
+
+    # --- 3. reduce: defaults where known, random otherwise (Fig. 7) ----
+    known_defaults = {
+        k: v for k, v in HYPRE_DEFAULTS.items() if k not in keep
+    }
+    reduced = reduce_space(
+        space, keep=keep, defaults=known_defaults, rng=np.random.default_rng(1)
+    )
+    print(f"reduced space: tune {reduced.names}, pin {sorted(reduced.fixed)}")
+
+    # --- 4. same budget, both spaces ------------------------------------
+    res_full = Tuner(problem).tune(TASK, BUDGET, seed=3)
+    res_red = Tuner(problem.with_parameter_space(reduced)).tune(
+        TASK, BUDGET, seed=3
+    )
+    full_traj = res_full.best_so_far()
+    red_traj = res_red.best_so_far()
+    print(f"\noriginal 12-parameter space: best {res_full.best_output:.4f} s")
+    print(f"reduced  {reduced.dim}-parameter space: best "
+          f"{res_red.best_output:.4f} s")
+    # the paper reports the 10th evaluation, where the small budget makes
+    # the reduced space's head start largest (Fig. 7: 1.35x); by 20
+    # evaluations the full space partially catches up
+    print(f"reduced-space advantage @10: {full_traj[9] / red_traj[9]:.2f}x "
+          f"(paper: 1.35x)")
+    print(f"reduced-space advantage @20: {full_traj[-1] / red_traj[-1]:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Application performance models (systems S23-S29).
+
+The evaluation targets of the paper: two synthetic functions and the four
+real HPC applications (ScaLAPACK PDGEQRF, SuperLU_DIST, Hypre, NIMROD),
+each modeled as an :class:`~repro.apps.base.HPCApplication` over the
+simulated machines of :mod:`repro.hpc`.
+"""
+
+from .base import HPCApplication, deterministic_seed
+from .hypre import HYPRE_DEFAULTS, HypreAMG
+from .nimrod import NIMROD
+from .scalapack import PDGEQRF
+from .sparse import (
+    COLPERM_CHOICES,
+    MATRIX_REGISTRY,
+    SymbolicStats,
+    get_matrix,
+    laplacian_3d,
+    parsec_like,
+    symbolic_stats,
+)
+from .superlu import SUPERLU_DEFAULTS, SuperLUDist2D
+from .superlu3d import Factor3DCost, SuperLU3DModel
+from .synthetic import BRANIN_CLASSIC_TASK, BraninFunction, DemoFunction
+
+__all__ = [
+    "BRANIN_CLASSIC_TASK",
+    "BraninFunction",
+    "COLPERM_CHOICES",
+    "DemoFunction",
+    "Factor3DCost",
+    "HPCApplication",
+    "HYPRE_DEFAULTS",
+    "HypreAMG",
+    "MATRIX_REGISTRY",
+    "NIMROD",
+    "PDGEQRF",
+    "SUPERLU_DEFAULTS",
+    "SuperLU3DModel",
+    "SuperLUDist2D",
+    "SymbolicStats",
+    "deterministic_seed",
+    "get_matrix",
+    "laplacian_3d",
+    "parsec_like",
+    "symbolic_stats",
+]

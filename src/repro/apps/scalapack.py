@@ -1,0 +1,143 @@
+"""ScaLAPACK PDGEQRF performance model (system S24, paper Sec. VI-B).
+
+PDGEQRF is ScaLAPACK's distributed-memory Householder QR factorization of
+an ``m x n`` matrix over a ``p x q`` block-cyclic process grid.  The model
+walks the algorithm's panel loop and charges, per panel:
+
+* panel factorization — a latency-bound column-by-column phase on the
+  ``p`` ranks of the panel column (flops at sub-GEMM rate + one
+  column-norm allreduce per column),
+* panel broadcast along process rows (binomial tree over ``q`` ranks),
+* the T-matrix / W-matrix broadcasts along columns,
+* the trailing-matrix update — the GEMM-rich bulk, derated by a
+  block-size-dependent kernel efficiency and the block-cyclic load
+  imbalance of the *remaining* trailing matrix.
+
+Tuning parameters follow the paper's Table II exactly:
+
+=============  =====================================================
+``mb``         row block size is ``8 * mb``, integer in [1, 16)
+``nb``         column block size is ``8 * nb``, integer in [1, 16)
+``lg2npernode`` MPI ranks per node is ``2**lg2npernode``
+``p``          process-grid rows, integer in [1, nodes*cores)
+=============  =====================================================
+
+``q`` is derived as ``floor(P / p)`` where ``P = nodes * 2**lg2npernode``
+— configurations with ``p > P`` are infeasible, and grids that use only a
+fraction of the allocated ranks leave the rest idle, both behaviours the
+paper's setup implies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from ..core.space import IntegerParameter, Space
+from ..hpc.machine import Machine, cori_haswell
+from ..hpc.mpi import CostComm
+from ..hpc.procgrid import grid_for_rows, load_imbalance
+from .base import HPCApplication
+
+__all__ = ["PDGEQRF"]
+
+
+class PDGEQRF(HPCApplication):
+    """Distributed QR factorization runtime model on a given machine."""
+
+    name = "PDGEQRF"
+    noise_sigma = 0.04
+
+    #: fraction of peak the panel factorization achieves (BLAS-2 bound)
+    PANEL_EFFICIENCY = 0.08
+    #: global calibration to the paper's measured Cori scale (Fig. 4 reports
+    #: tuned runtimes of 2.8-4.4 s for m=n=10000 on 8 Haswell nodes)
+    CALIBRATION = 4.2
+    #: GEMM efficiency saturation half-point (in columns of block size)
+    GEMM_HALF_BLOCK = 40.0
+
+    def __init__(self, machine: Machine | None = None) -> None:
+        self.machine = machine if machine is not None else cori_haswell(8)
+
+    # -- spaces ------------------------------------------------------------
+    def input_space(self) -> Space:
+        return Space(
+            [
+                IntegerParameter("m", 1000, 50001),
+                IntegerParameter("n", 1000, 50001),
+            ]
+        )
+
+    def parameter_space(self) -> Space:
+        cores = self.machine.cores_per_node
+        max_lg2 = max(int(math.log2(cores)), 1)
+        return Space(
+            [
+                IntegerParameter("mb", 1, 16),
+                IntegerParameter("nb", 1, 16),
+                IntegerParameter("lg2npernode", 0, max_lg2 + 1),
+                IntegerParameter("p", 1, self.machine.nodes * cores),
+            ]
+        )
+
+    def default_task(self) -> dict[str, Any]:
+        return {"m": 10000, "n": 10000}
+
+    # -- feasibility -----------------------------------------------------------
+    def constraint(self, task: Mapping[str, Any], config: Mapping[str, Any]) -> bool:
+        npernode = 2 ** int(config["lg2npernode"])
+        total = self.machine.nodes * npernode
+        return int(config["p"]) <= total
+
+    # -- model --------------------------------------------------------------
+    def raw_objective(
+        self, task: Mapping[str, Any], config: Mapping[str, Any]
+    ) -> float | None:
+        m, n = int(task["m"]), int(task["n"])
+        br = 8 * int(config["mb"])  # row block
+        bc = 8 * int(config["nb"])  # column block
+        npernode = 2 ** int(config["lg2npernode"])
+        total_ranks = self.machine.nodes * npernode
+        grid = grid_for_rows(total_ranks, int(config["p"]))
+        if grid is None:
+            return None
+        p, q = grid.p, grid.q
+
+        # per-rank memory: local matrix panel + workspace
+        mem_per_rank = 8.0 * m * n / grid.size * 1.15
+        if mem_per_rank * min(npernode, grid.size) > self.machine.mem_per_node:
+            return None
+
+        comm = CostComm(self.machine, grid.size, ranks_per_node=npernode)
+        # single-rank dense rate, derated when many ranks share a node's BW
+        contention = 1.0 + 0.3 * (npernode / self.machine.cores_per_node)
+        core_rate = self.machine.flops_per_core / contention
+        gemm_eff = bc / (bc + self.GEMM_HALF_BLOCK)
+
+        k = min(m, n)
+        n_panels = math.ceil(k / bc)
+        t_total = 0.0
+        for j in range(n_panels):
+            cols = min(bc, k - j * bc)
+            m_j = m - j * bc
+            n_j = n - (j + 1) * bc
+            rows_local = m_j / p
+            # panel factorization: BLAS-2 on the p ranks owning the panel,
+            # one norm-allreduce per column
+            t_panel = (2.0 * rows_local * cols * cols) / (
+                core_rate * self.PANEL_EFFICIENCY
+            )
+            t_panel += cols * comm.allreduce(8.0 * cols, group_size=p)
+            # panel broadcast along the process row (Householder vectors)
+            t_bcast = comm.bcast(8.0 * rows_local * cols, group_size=q)
+            # W/T broadcast along the process column
+            if n_j > 0:
+                t_bcast += comm.bcast(8.0 * (n_j / q) * cols, group_size=p)
+            # trailing update: 4 * m_j * n_j * cols flops over the grid
+            t_update = 0.0
+            if n_j > 0:
+                imbalance = load_imbalance(m_j, br, p) * load_imbalance(n_j, bc, q)
+                flops_per_rank = 4.0 * m_j * n_j * cols / grid.size * imbalance
+                t_update = flops_per_rank / (core_rate * gemm_eff)
+            t_total += t_panel + t_bcast + t_update
+        return t_total * self.CALIBRATION

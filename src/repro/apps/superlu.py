@@ -1,0 +1,137 @@
+"""SuperLU_DIST 2D performance model (system S26, paper Sec. VI-D).
+
+Models the distributed supernodal LU factorization of the 2D (non-3D)
+SuperLU_DIST over a ``nprows x npcols`` block-cyclic grid, with the
+paper's five tuning parameters:
+
+=============  ========================================================
+``COLPERM``    column ordering — drives fill-in; evaluated with a *real*
+               SuperLU factorization via :mod:`repro.apps.sparse`
+``LOOKAHEAD``  pipeline depth overlapping panel comm with updates
+``nprows``     process-grid rows (``npcols = P // nprows``)
+``NSUP``       maximum supernode size (BLAS-3 block size)
+``NREL``       supernode relaxation (amalgamation bound)
+=============  ========================================================
+
+Cost structure: factorization flops (from the measured fill of the
+chosen ordering, scaled to full-size PARSEC matrices) at a rate set by
+the supernodal GEMM efficiency (NSUP/NREL), plus per-step panel
+broadcasts whose exposure shrinks with LOOKAHEAD and whose volume grows
+with grid-aspect imbalance (nprows) — the structure published for
+SuperLU_DIST's 2D algorithm [2].
+
+The resulting Sobol profile matches the paper's Table IV: COLPERM
+dominant, nprows second, NSUP moderate, LOOKAHEAD/NREL minor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from ..core.space import CategoricalParameter, IntegerParameter, Space
+from ..hpc.machine import Machine, cori_haswell
+from ..hpc.mpi import CostComm
+from ..hpc.procgrid import grid_for_rows
+from .base import HPCApplication
+from .sparse import (
+    COLPERM_CHOICES,
+    MATRIX_REGISTRY,
+    supernode_gemm_efficiency,
+    symbolic_stats,
+)
+
+__all__ = ["SuperLUDist2D", "SUPERLU_DEFAULTS"]
+
+#: SuperLU_DIST compiled-in defaults — the values the paper's reduced
+#: tuning pins LOOKAHEAD and NREL to ("we use the default parameter
+#: values", Fig. 6 caption)
+SUPERLU_DEFAULTS: dict[str, Any] = {
+    "COLPERM": "MMD_AT_PLUS_A",
+    "LOOKAHEAD": 10,
+    "NSUP": 128,
+    "NREL": 20,
+}
+
+
+class SuperLUDist2D(HPCApplication):
+    """Runtime model of 2D SuperLU_DIST on a machine allocation."""
+
+    name = "SuperLU_DIST"
+    noise_sigma = 0.05
+
+    #: flop multiplier mapping the scaled-down analogue matrices to the
+    #: full-size PARSEC matrices' work (documented substitution: the
+    #: analogues keep ordering behaviour; this restores the paper's scale)
+    SCALE_FLOPS = 3000.0
+    #: fraction of a core's sparse rate the triangular-solve/scatter
+    #: phases achieve (latency bound)
+    SCATTER_EFFICIENCY = 0.35
+
+    def __init__(self, machine: Machine | None = None) -> None:
+        self.machine = machine if machine is not None else cori_haswell(4)
+
+    # -- spaces -------------------------------------------------------------
+    def input_space(self) -> Space:
+        return Space([CategoricalParameter("matrix", sorted(MATRIX_REGISTRY))])
+
+    def parameter_space(self) -> Space:
+        total = self.machine.total_cores
+        return Space(
+            [
+                CategoricalParameter("COLPERM", list(COLPERM_CHOICES)),
+                IntegerParameter("LOOKAHEAD", 5, 20),
+                IntegerParameter("nprows", 1, total + 1),
+                IntegerParameter("NSUP", 30, 300),
+                IntegerParameter("NREL", 10, 40),
+            ]
+        )
+
+    def default_task(self) -> dict[str, Any]:
+        return {"matrix": "Si5H12"}
+
+    # -- model ---------------------------------------------------------------
+    def raw_objective(
+        self, task: Mapping[str, Any], config: Mapping[str, Any]
+    ) -> float | None:
+        total = self.machine.total_cores
+        grid = grid_for_rows(total, int(config["nprows"]))
+        if grid is None:
+            return None
+        stats = symbolic_stats(str(task["matrix"]), str(config["COLPERM"]))
+        nsup, nrel = int(config["NSUP"]), int(config["NREL"])
+        lookahead = int(config["LOOKAHEAD"])
+
+        # ordering effect, mildly compressed: at scale, partial pivoting
+        # and off-critical-path elimination damp the serial flop spread
+        best = symbolic_stats(str(task["matrix"]), "MMD_AT_PLUS_A")
+        flops = best.flops * (stats.flops / best.flops) ** 0.6 * self.SCALE_FLOPS
+        gemm_eff = supernode_gemm_efficiency(nsup, nrel, n=stats.n, half_point=96.0)
+        # matrix-size-dependent supernode sweet spot (same physics as the
+        # 3D model's): the optimum NSUP shifts with the front sizes
+        nsup_opt = 120.0 + 50.0 * math.log2(stats.n / 2048.0)
+        gemm_eff *= 0.55 + 0.45 * math.exp(-0.5 * ((nsup - nsup_opt) / 80.0) ** 2)
+        # numeric factorization: GEMM-rich updates + latency-bound scatter
+        rate = self.machine.sparse_flops_per_core * grid.size
+        t_gemm = 0.8 * flops / (rate * gemm_eff / 0.5)
+        t_scatter = 0.2 * flops / (rate * self.SCATTER_EFFICIENCY / 0.5)
+
+        # panel broadcasts: ~n/mean_supernode steps; message volume is the
+        # panel's share of fill, split along grid rows/columns
+        comm = CostComm(self.machine, grid.size)
+        mean_sn = max(min(nsup, 12.0 + 0.15 * nsup), 1.0)
+        n_steps = max(int(stats.n / mean_sn), 1)
+        bytes_total = 8.0 * stats.nnz_LU * math.sqrt(self.SCALE_FLOPS)
+        per_step = bytes_total / n_steps
+        t_comm = 0.0
+        for _ in range(2):  # row-wise L panels and column-wise U panels
+            t_comm += n_steps * comm.bcast(per_step / grid.q, group_size=grid.q)
+            t_comm += n_steps * comm.bcast(per_step / grid.p, group_size=grid.p)
+        # grid aspect imbalance concentrates panel traffic
+        t_comm *= 0.5 * (grid.aspect**1.1 + 1.0)
+        # lookahead pipelining hides part of the exposed communication,
+        # with a small scheduling overhead at large depths
+        overlap = 0.35 + 0.65 / (1.0 + 0.35 * lookahead)
+        t_comm = t_comm * overlap * (1.0 + 0.004 * lookahead)
+
+        return t_gemm + t_scatter + t_comm

@@ -1,0 +1,277 @@
+"""Command-line interface (system S30).
+
+Subcommands mirror the workflows of the paper:
+
+* ``gptunecrowd tune`` — tune an application (NoTLA or a TLA strategy),
+* ``gptunecrowd sensitivity`` — collect samples and print a Table IV/V-
+  style Sobol' report,
+* ``gptunecrowd pool`` — print the TLA algorithm pool (Table I),
+* ``gptunecrowd apps`` — list available application models and machines,
+* ``gptunecrowd variability`` — repeat-measurement noise diagnosis (the
+  paper's future-work feature),
+* ``gptunecrowd bandit`` — GPTuneBand-style multi-fidelity tuning.
+
+Applications are addressed by name; machines by preset key and node
+count, e.g.::
+
+    gptunecrowd tune --app pdgeqrf --machine cori-haswell --nodes 8 \
+        --samples 10 --tla ensemble-proposed
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+import numpy as np
+
+from .apps import NIMROD, PDGEQRF, BraninFunction, DemoFunction, HypreAMG, SuperLUDist2D
+from .apps.base import HPCApplication
+from .core import TaskData, Tuner, TunerOptions
+from .hpc import MACHINE_PRESETS, get_machine
+from .sensitivity import SensitivityAnalyzer
+from .tla import (
+    STRATEGY_REGISTRY,
+    GPTuneBand,
+    MultiFidelityObjective,
+    TransferTuner,
+    get_strategy,
+    pool_table,
+)
+
+__all__ = ["main", "build_app"]
+
+_APPS = {
+    "demo": DemoFunction,
+    "branin": BraninFunction,
+    "pdgeqrf": PDGEQRF,
+    "superlu": SuperLUDist2D,
+    "hypre": HypreAMG,
+    "nimrod": NIMROD,
+}
+
+_MACHINE_APPS = {"pdgeqrf", "superlu", "hypre", "nimrod"}
+
+
+def build_app(name: str, machine_key: str | None, nodes: int) -> HPCApplication:
+    """Instantiate an application, with a machine when it needs one."""
+    try:
+        cls = _APPS[name]
+    except KeyError:
+        raise SystemExit(f"unknown app {name!r}; choose from {sorted(_APPS)}")
+    if name in _MACHINE_APPS:
+        machine = get_machine(machine_key or "cori-haswell", nodes)
+        return cls(machine)
+    return cls()
+
+
+def _parse_task(app: HPCApplication, text: str | None) -> dict[str, Any]:
+    if text is None:
+        return app.default_task()
+    task = json.loads(text)
+    app.input_space().validate(task)
+    return task
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    app = build_app(args.app, args.machine, args.nodes)
+    problem = app.make_problem(run=args.seed)
+    task = _parse_task(app, args.task)
+    options = TunerOptions(n_initial=args.n_initial)
+
+    if args.tla:
+        strategy = get_strategy(args.tla)
+        rng = np.random.default_rng(args.seed + 1000)
+        space = problem.parameter_space
+        sources = []
+        src_task = json.loads(args.source_task) if args.source_task else task
+        configs, ys = [], []
+        while len(ys) < args.source_samples:
+            c = space.sample(rng)
+            y = app.objective(src_task, c, run=9999)
+            if y is not None:
+                configs.append(c)
+                ys.append(y)
+        sources.append(
+            TaskData(src_task, space.to_unit_array(configs), np.array(ys), "cli-source")
+        )
+        tuner: Tuner = TransferTuner(problem, strategy, sources, options=options)
+    else:
+        tuner = Tuner(problem, options=options)
+
+    result = tuner.tune(task, args.samples, seed=args.seed)
+    print(json.dumps(result.summary(), indent=2, default=str))
+    print("best-so-far:", [round(v, 4) for v in result.best_so_far()])
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    app = build_app(args.app, args.machine, args.nodes)
+    task = _parse_task(app, args.task)
+    space = app.parameter_space()
+    rng = np.random.default_rng(args.seed)
+    configs, ys = [], []
+    while len(ys) < args.samples:
+        c = space.sample(rng)
+        y = app.objective(task, c, run=args.seed)
+        if y is not None:
+            configs.append(c)
+            ys.append(y)
+    data = TaskData(task, space.to_unit_array(configs), np.array(ys))
+    report = SensitivityAnalyzer(space).analyze(
+        data, n_base=args.n_base, seed=args.seed
+    )
+    print(f"# Sobol sensitivity of {app.name} on task {task}")
+    print(f"# {data.n} samples, {args.n_base} base points")
+    print(report.table())
+    keep = report.sensitive_parameters()
+    print(f"\nsensitive parameters (S1>=0.05 or ST>=0.2): {keep}")
+    return 0
+
+
+def _cmd_variability(args: argparse.Namespace) -> int:
+    from .crowd import PerformanceRecord
+    from .crowd.analytics import detect_outliers, variability_report
+
+    app = build_app(args.app, args.machine, args.nodes)
+    task = _parse_task(app, args.task)
+    space = app.parameter_space()
+    rng = np.random.default_rng(args.seed)
+    # measure a handful of configurations several times each
+    records = []
+    configs = [space.sample(rng) for _ in range(args.configs)]
+    for run in range(args.repeats):
+        for cfg in configs:
+            y = app.objective(task, cfg, run=run)
+            records.append(
+                PerformanceRecord(
+                    problem_name=app.name,
+                    task_parameters=dict(task),
+                    tuning_parameters=cfg,
+                    output=y,
+                )
+            )
+    report = variability_report(records, problem_name=app.name)
+    print(f"# variability of {app.name} on {task} "
+          f"({args.configs} configs x {args.repeats} repeats)")
+    print(report.table())
+    print(
+        f"\npooled relative std: {report.pooled_relative_std:.4f} "
+        "(suggested tuner noise sigma)"
+    )
+    outliers = detect_outliers(records)
+    print(f"outliers (|modified z| > 3.5): {len(outliers)}")
+    return 0
+
+
+def _cmd_bandit(args: argparse.Namespace) -> int:
+    app = build_app(args.app, args.machine, args.nodes)
+    task = _parse_task(app, args.task)
+    objective = MultiFidelityObjective(
+        fn=lambda t, c, f: app.fidelity_objective(t, c, f, run=args.seed),
+        space=app.parameter_space(),
+        task=task,
+    )
+    tuner = GPTuneBand(
+        objective, bracket_size=args.bracket_size, n_rungs=args.rungs
+    )
+    result = tuner.tune(args.budget, seed=args.seed)
+    screened = len({tuple(sorted(c.items())) for c, _, _ in result.evaluations})
+    print(json.dumps(
+        {
+            "app": app.name,
+            "task": task,
+            "budget": args.budget,
+            "cost_spent": round(result.cost_spent, 3),
+            "configs_screened": screened,
+            "best_output": result.best_output,
+            "best_config": result.best_config,
+        },
+        indent=2,
+        default=str,
+    ))
+    return 0
+
+
+def _cmd_pool(args: argparse.Namespace) -> int:
+    del args
+    rows = pool_table()
+    width = max(len(r["name"]) for r in rows)
+    for r in rows:
+        print(f"{r['name']:<{width}}  [{r['first_autotuner']:<11}]  {r['description']}")
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    del args
+    print("applications:", ", ".join(sorted(_APPS)))
+    print("machines:    ", ", ".join(sorted(MACHINE_PRESETS)))
+    print("tla:         ", ", ".join(sorted(STRATEGY_REGISTRY)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gptunecrowd", description="GPTuneCrowd reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tune = sub.add_parser("tune", help="tune an application")
+    p_tune.add_argument("--app", required=True, choices=sorted(_APPS))
+    p_tune.add_argument("--machine", choices=sorted(MACHINE_PRESETS))
+    p_tune.add_argument("--nodes", type=int, default=8)
+    p_tune.add_argument("--task", help="task parameters as JSON")
+    p_tune.add_argument("--samples", type=int, default=10)
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--n-initial", type=int, default=2)
+    p_tune.add_argument("--tla", choices=sorted(STRATEGY_REGISTRY))
+    p_tune.add_argument("--source-task", help="source task as JSON (with --tla)")
+    p_tune.add_argument("--source-samples", type=int, default=50)
+    p_tune.set_defaults(func=_cmd_tune)
+
+    p_sa = sub.add_parser("sensitivity", help="Sobol sensitivity analysis")
+    p_sa.add_argument("--app", required=True, choices=sorted(_APPS))
+    p_sa.add_argument("--machine", choices=sorted(MACHINE_PRESETS))
+    p_sa.add_argument("--nodes", type=int, default=1)
+    p_sa.add_argument("--task", help="task parameters as JSON")
+    p_sa.add_argument("--samples", type=int, default=300)
+    p_sa.add_argument("--n-base", type=int, default=512)
+    p_sa.add_argument("--seed", type=int, default=0)
+    p_sa.set_defaults(func=_cmd_sensitivity)
+
+    p_var = sub.add_parser("variability", help="repeat-noise diagnosis")
+    p_var.add_argument("--app", required=True, choices=sorted(_APPS))
+    p_var.add_argument("--machine", choices=sorted(MACHINE_PRESETS))
+    p_var.add_argument("--nodes", type=int, default=1)
+    p_var.add_argument("--task", help="task parameters as JSON")
+    p_var.add_argument("--configs", type=int, default=6)
+    p_var.add_argument("--repeats", type=int, default=8)
+    p_var.add_argument("--seed", type=int, default=0)
+    p_var.set_defaults(func=_cmd_variability)
+
+    p_band = sub.add_parser("bandit", help="multi-fidelity (GPTuneBand) tuning")
+    p_band.add_argument("--app", required=True, choices=sorted(_APPS))
+    p_band.add_argument("--machine", choices=sorted(MACHINE_PRESETS))
+    p_band.add_argument("--nodes", type=int, default=8)
+    p_band.add_argument("--task", help="task parameters as JSON")
+    p_band.add_argument("--budget", type=float, default=8.0,
+                        help="budget in full-evaluation equivalents")
+    p_band.add_argument("--bracket-size", type=int, default=9)
+    p_band.add_argument("--rungs", type=int, default=3)
+    p_band.add_argument("--seed", type=int, default=0)
+    p_band.set_defaults(func=_cmd_bandit)
+
+    p_pool = sub.add_parser("pool", help="print the TLA pool (Table I)")
+    p_pool.set_defaults(func=_cmd_pool)
+
+    p_apps = sub.add_parser("apps", help="list apps, machines, strategies")
+    p_apps.set_defaults(func=_cmd_apps)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Core autotuning engine: spaces, surrogates, acquisition, BO loop.
+
+This package implements systems S1-S6 of DESIGN.md — the GPTune-style
+Bayesian-optimization core that both the NoTLA baseline and every
+transfer-learning algorithm in :mod:`repro.tla` build on.
+"""
+
+from .acquisition import ExpectedImprovement, LowerConfidenceBound, get_acquisition
+from .feasibility import KnnFeasibility
+from .gp import GaussianProcess, GPFitError
+from .history import History, TaskData
+from .kernels import RBF, Matern32, Matern52, kernel_from_name
+from .lcm import LCM, LCMFitError
+from .mixed import MixedKernel, mixed_kernel_for_space
+from .optimizer import SearchOptions, search_next
+from .problem import Evaluation, TuningProblem, task_key
+from .samplers import (
+    LatinHypercubeSampler,
+    RandomSampler,
+    Sampler,
+    SobolSampler,
+    get_sampler,
+)
+from .taskmodel import TaskAwareSurrogate
+from .space import (
+    CategoricalParameter,
+    FixedSpace,
+    IntegerParameter,
+    OutputParameter,
+    Parameter,
+    RealParameter,
+    Space,
+    SpaceError,
+)
+from .tuner import Tuner, TunerOptions, TuningResult
+
+__all__ = [
+    "CategoricalParameter",
+    "Evaluation",
+    "ExpectedImprovement",
+    "FixedSpace",
+    "GaussianProcess",
+    "GPFitError",
+    "History",
+    "IntegerParameter",
+    "KnnFeasibility",
+    "LCM",
+    "LCMFitError",
+    "LatinHypercubeSampler",
+    "LowerConfidenceBound",
+    "Matern32",
+    "Matern52",
+    "MixedKernel",
+    "OutputParameter",
+    "Parameter",
+    "RBF",
+    "RandomSampler",
+    "RealParameter",
+    "Sampler",
+    "SearchOptions",
+    "SobolSampler",
+    "Space",
+    "SpaceError",
+    "TaskAwareSurrogate",
+    "TaskData",
+    "Tuner",
+    "TunerOptions",
+    "TuningProblem",
+    "TuningResult",
+    "get_acquisition",
+    "get_sampler",
+    "kernel_from_name",
+    "mixed_kernel_for_space",
+    "search_next",
+    "task_key",
+]

@@ -1,0 +1,100 @@
+"""Feasibility estimation from observed successes and failures.
+
+Failed evaluations are excluded from surrogate *fitting* (paper
+Sec. VI-C), but they still carry information: an out-of-memory region
+stays out of memory.  :class:`KnnFeasibility` turns the success/failure
+labels of all observed points — the target task's history plus any
+source-task records, which the crowd database stores including failures —
+into a smooth probability-of-feasibility estimate that the acquisition
+search multiplies into its scores.
+
+A distance-weighted k-nearest-neighbor vote keeps this assumption-free
+(failure regions are usually axis-aligned manifolds like "npz too large",
+which parametric classifiers underfit at tiny sample sizes) and costs
+O(n_candidates * n_points) vectorized work per proposal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KnnFeasibility"]
+
+
+class KnnFeasibility:
+    """P(feasible | x) from labelled unit-cube points.
+
+    Parameters
+    ----------
+    X_ok, X_fail:
+        Arrays of successful / failed points, shape ``(n, dim)`` (either
+        may be empty).
+    k:
+        Neighbors per vote.
+    smoothing:
+        Laplace-style prior mass pulling estimates toward feasible; keeps
+        unexplored regions explorable (a single nearby failure must not
+        zero out a whole neighborhood).
+    """
+
+    def __init__(
+        self,
+        X_ok: np.ndarray,
+        X_fail: np.ndarray,
+        *,
+        k: int = 5,
+        smoothing: float = 1.0,
+    ) -> None:
+        X_ok = _as2d(X_ok)
+        X_fail = _as2d(X_fail)
+        if X_ok.shape[0] and X_fail.shape[0] and X_ok.shape[1] != X_fail.shape[1]:
+            raise ValueError(
+                f"dim mismatch: ok {X_ok.shape[1]} vs fail {X_fail.shape[1]}"
+            )
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.X = np.vstack([x for x in (X_ok, X_fail) if x.shape[0]]) if (
+            X_ok.shape[0] or X_fail.shape[0]
+        ) else np.empty((0, max(X_ok.shape[1], X_fail.shape[1], 1)))
+        self.labels = np.concatenate(
+            [np.ones(X_ok.shape[0]), np.zeros(X_fail.shape[0])]
+        )
+        self.k = k
+        self.smoothing = float(smoothing)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def informative(self) -> bool:
+        """Whether there is at least one failure to learn from."""
+        return bool(np.any(self.labels == 0.0))
+
+    def predict_proba(self, U: np.ndarray) -> np.ndarray:
+        """P(feasible) for each row of ``U`` (all ones with no data)."""
+        U = _as2d(U)
+        if self.n_points == 0 or not self.informative:
+            return np.ones(U.shape[0])
+        d2 = (
+            np.sum(U * U, axis=1)[:, None]
+            + np.sum(self.X * self.X, axis=1)[None, :]
+            - 2.0 * (U @ self.X.T)
+        )
+        d2 = np.maximum(d2, 0.0)
+        k = min(self.k, self.n_points)
+        idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        rows = np.arange(U.shape[0])[:, None]
+        w = 1.0 / (np.sqrt(d2[rows, idx]) + 1e-3)
+        votes = self.labels[idx]
+        p = (np.sum(w * votes, axis=1) + self.smoothing) / (
+            np.sum(w, axis=1) + self.smoothing
+        )
+        return np.clip(p, 0.0, 1.0)
+
+
+def _as2d(X) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.size == 0:
+        return X.reshape(0, X.shape[1] if X.ndim == 2 else 1)
+    return np.atleast_2d(X)

@@ -1,0 +1,285 @@
+"""Gaussian-process regression with marginal-likelihood fitting (system S2).
+
+This is the single-task surrogate behind NoTLA tuning, the per-task models
+of the weighted-sum TLA algorithms, and the residual models of stacking.
+Implementation notes (these follow standard GP practice and the HPC-python
+guides' "vectorize, avoid copies, profile the Cholesky" advice):
+
+* Targets are standardized internally (zero mean, unit variance); all
+  predictions are returned in the original scale.
+* The noise variance is a trainable hyperparameter with a floor, so
+  deterministic objectives interpolate while noisy ones smooth.
+* Hyperparameters are fit by multi-start L-BFGS-B on the negative log
+  marginal likelihood, with analytic gradients when the kernel provides
+  them (RBF) and finite differences otherwise.
+* A progressively increased jitter guards Cholesky factorizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg as sla
+from scipy import optimize as sopt
+
+from .kernels import RBF, Kernel
+
+__all__ = ["GaussianProcess", "GPFitError", "cholesky_with_jitter"]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class GPFitError(RuntimeError):
+    """Raised when a covariance matrix cannot be factorized."""
+
+
+def cholesky_with_jitter(K: np.ndarray, max_tries: int = 8) -> tuple[np.ndarray, float]:
+    """Lower Cholesky factor of ``K``, adding diagonal jitter on failure.
+
+    Returns the factor and the jitter actually used.  Jitter starts at
+    ``1e-10 * mean(diag)`` and grows tenfold per retry.
+    """
+    diag_mean = float(np.mean(np.diag(K)))
+    if not np.isfinite(diag_mean) or diag_mean <= 0:
+        diag_mean = 1.0
+    jitter = 0.0
+    for attempt in range(max_tries):
+        try:
+            L = sla.cholesky(K + jitter * np.eye(K.shape[0]), lower=True)
+            return L, jitter
+        except sla.LinAlgError:
+            jitter = diag_mean * 10.0 ** (attempt - 10)
+    raise GPFitError(f"covariance not positive definite even with jitter {jitter:.2e}")
+
+
+@dataclass
+class _FitState:
+    """Cached factorization for predictions."""
+
+    X: np.ndarray
+    alpha: np.ndarray  # K^{-1} y_std
+    L: np.ndarray
+    y_mean: float
+    y_std: float
+
+
+class GaussianProcess:
+    """GP regressor ``y ~ GP(0, k(x, x') + noise * I)`` on unit-cube inputs.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance kernel; defaults to ARD RBF once the input dimension is
+        known at :meth:`fit` time.
+    noise_variance:
+        Initial observation-noise variance (standardized-y units).
+    optimize:
+        Whether :meth:`fit` runs hyperparameter MLE; turn off to keep the
+        current hyperparameters (used by the tuner's ``refit_every``
+        heuristic to amortize optimization cost).
+    n_restarts:
+        Extra random restarts for the MLE multi-start.
+    max_fun:
+        L-BFGS-B function-evaluation cap per start.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        *,
+        noise_variance: float = 1e-4,
+        optimize: bool = True,
+        n_restarts: int = 1,
+        max_fun: int = 80,
+        seed: int | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.noise_variance = float(noise_variance)
+        self.optimize = optimize
+        self.n_restarts = int(n_restarts)
+        self.max_fun = int(max_fun)
+        self._rng = np.random.default_rng(seed)
+        self._state: _FitState | None = None
+
+    # -- public API ---------------------------------------------------------
+    @property
+    def fitted(self) -> bool:
+        return self._state is not None
+
+    @property
+    def n_train(self) -> int:
+        return 0 if self._state is None else self._state.X.shape[0]
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit to data; ``X`` is ``(n, d)`` in the unit cube, ``y`` ``(n,)``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X rows ({X.shape[0]}) != y length ({y.shape[0]})")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP to zero observations")
+        if self.kernel is None:
+            self.kernel = RBF(X.shape[1])
+        elif self.kernel.dim != X.shape[1]:
+            raise ValueError(
+                f"kernel dimension {self.kernel.dim} != data dimension {X.shape[1]}"
+            )
+
+        y_mean = float(np.mean(y))
+        y_std = float(np.std(y))
+        if not np.isfinite(y_std) or y_std < 1e-12:
+            y_std = 1.0
+        ys = (y - y_mean) / y_std
+
+        if self.optimize and X.shape[0] >= 2:
+            self._optimize_hyperparameters(X, ys)
+
+        K = self.kernel(X) + self.noise_variance * np.eye(X.shape[0])
+        L, _ = cholesky_with_jitter(K)
+        alpha = sla.cho_solve((L, True), ys)
+        self._state = _FitState(X=X, alpha=alpha, L=L, y_mean=y_mean, y_std=y_std)
+        return self
+
+    def predict(self, X: np.ndarray, return_std: bool = True):
+        """Posterior mean (and standard deviation) at ``X``, original scale."""
+        if self._state is None:
+            raise RuntimeError("predict() before fit()")
+        st = self._state
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Ks = self.kernel(X, st.X)
+        mean = Ks @ st.alpha * st.y_std + st.y_mean
+        if not return_std:
+            return mean
+        v = sla.solve_triangular(st.L, Ks.T, lower=True)
+        var = self.kernel.diag(X) + self.noise_variance - np.sum(v * v, axis=0)
+        std = np.sqrt(np.maximum(var, 1e-12)) * st.y_std
+        return mean, std
+
+    def predict_mean(self, X: np.ndarray) -> np.ndarray:
+        return self.predict(X, return_std=False)
+
+    def log_marginal_likelihood(self) -> float:
+        """LML of the training data under the current hyperparameters."""
+        if self._state is None:
+            raise RuntimeError("log_marginal_likelihood() before fit()")
+        st = self._state
+        ys = st.L @ (st.L.T @ st.alpha)  # reconstruct standardized y
+        return float(
+            -0.5 * ys @ st.alpha
+            - np.sum(np.log(np.diag(st.L)))
+            - 0.5 * st.X.shape[0] * _LOG_2PI
+        )
+
+    # -- MLE ---------------------------------------------------------------
+    def _theta(self) -> np.ndarray:
+        return np.concatenate([self.kernel.get_theta(), [np.log(self.noise_variance)]])
+
+    def _set_theta(self, theta: np.ndarray) -> None:
+        self.kernel.set_theta(theta[:-1])
+        self.noise_variance = float(np.exp(theta[-1]))
+
+    def _bounds(self) -> list[tuple[float, float]]:
+        return self.kernel.bounds() + [(np.log(1e-8), np.log(1.0))]
+
+    def _nll(self, theta: np.ndarray, X: np.ndarray, ys: np.ndarray) -> float:
+        self._set_theta(theta)
+        K = self.kernel(X) + self.noise_variance * np.eye(X.shape[0])
+        try:
+            L, _ = cholesky_with_jitter(K, max_tries=3)
+        except GPFitError:
+            return 1e25
+        alpha = sla.cho_solve((L, True), ys)
+        nll = 0.5 * ys @ alpha + np.sum(np.log(np.diag(L))) + 0.5 * len(ys) * _LOG_2PI
+        return float(nll) if np.isfinite(nll) else 1e25
+
+    def _nll_grad(self, theta, X, ys):
+        """NLL and analytic gradient (requires kernel gradients)."""
+        self._set_theta(theta)
+        n = X.shape[0]
+        K = self.kernel(X) + self.noise_variance * np.eye(n)
+        try:
+            L, _ = cholesky_with_jitter(K, max_tries=3)
+        except GPFitError:
+            return 1e25, np.zeros_like(theta)
+        alpha = sla.cho_solve((L, True), ys)
+        nll = 0.5 * ys @ alpha + np.sum(np.log(np.diag(L))) + 0.5 * n * _LOG_2PI
+        if not np.isfinite(nll):
+            return 1e25, np.zeros_like(theta)
+        Kinv = sla.cho_solve((L, True), np.eye(n))
+        W = np.outer(alpha, alpha) - Kinv  # dLML/dK = 0.5 W
+        grads = np.empty_like(theta)
+        dK = self.kernel.gradient(X)
+        for i in range(dK.shape[0]):
+            grads[i] = -0.5 * np.sum(W * dK[i])
+        # noise term: dK/d log(noise) = noise * I
+        grads[-1] = -0.5 * self.noise_variance * np.trace(W)
+        return float(nll), grads
+
+    def _optimize_hyperparameters(self, X: np.ndarray, ys: np.ndarray) -> None:
+        bounds = self._bounds()
+        use_grad = getattr(self.kernel, "has_gradient", False)
+        if use_grad:
+            fun = lambda th: self._nll_grad(th, X, ys)
+        else:
+            fun = lambda th: self._nll(th, X, ys)
+
+        starts = [self._theta()]
+        for _ in range(self.n_restarts):
+            starts.append(
+                np.array([self._rng.uniform(lo, hi) for lo, hi in bounds])
+            )
+        best_theta, best_val = None, np.inf
+        for x0 in starts:
+            x0 = np.clip(x0, [b[0] for b in bounds], [b[1] for b in bounds])
+            res = sopt.minimize(
+                fun,
+                x0,
+                jac=use_grad,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxfun": self.max_fun},
+            )
+            if res.fun < best_val:
+                best_val, best_theta = float(res.fun), res.x
+        if best_theta is not None and np.isfinite(best_val):
+            self._set_theta(best_theta)
+
+    # -- serialization ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Portable description (kernel hyperparameters + training stats).
+
+        Used by the crowd repository's ``QuerySurrogateModel`` to ship
+        models between users without pickling.
+        """
+        if self._state is None:
+            raise RuntimeError("cannot serialize an unfitted GP")
+        st = self._state
+        return {
+            "kernel": type(self.kernel).__name__.lower(),
+            "theta": self._theta().tolist(),
+            "X": st.X.tolist(),
+            "y_mean": st.y_mean,
+            "y_std": st.y_std,
+            "alpha": st.alpha.tolist(),
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "GaussianProcess":
+        from .kernels import kernel_from_name
+
+        X = np.asarray(doc["X"], dtype=float)
+        gp = GaussianProcess(kernel_from_name(doc["kernel"], X.shape[1]), optimize=False)
+        theta = np.asarray(doc["theta"], dtype=float)
+        gp.kernel.set_theta(theta[:-1])
+        gp.noise_variance = float(np.exp(theta[-1]))
+        K = gp.kernel(X) + gp.noise_variance * np.eye(X.shape[0])
+        L, _ = cholesky_with_jitter(K)
+        gp._state = _FitState(
+            X=X,
+            alpha=np.asarray(doc["alpha"], dtype=float),
+            L=L,
+            y_mean=float(doc["y_mean"]),
+            y_std=float(doc["y_std"]),
+        )
+        return gp

@@ -1,0 +1,179 @@
+"""Evaluation histories and best-so-far trajectories.
+
+The tuner appends every function evaluation to a :class:`History`.  The
+history provides the two views every experiment in the paper needs:
+
+* the *successful* evaluations as ``(X_unit, y)`` arrays for surrogate
+  fitting (failures excluded, Sec. VI-C), and
+* the *best-so-far* trajectory over evaluation count, which is what every
+  figure in the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .problem import Evaluation
+from .space import Space
+
+__all__ = ["History", "TaskData"]
+
+
+@dataclass
+class TaskData:
+    """A source/target dataset for one task, in model coordinates.
+
+    ``X`` is the ``(n, dim)`` unit-cube array of configurations and ``y``
+    the corresponding outputs.  This is the currency of the TLA layer: the
+    crowd API turns queried performance records into ``TaskData`` objects
+    and the TLA algorithms consume them.
+    """
+
+    task: dict[str, Any]
+    X: np.ndarray
+    y: np.ndarray
+    label: str = ""
+    #: configurations whose evaluation failed (OOM etc.); excluded from
+    #: surrogate fitting but used for feasibility estimation
+    X_failed: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X, dtype=float)
+        if X.ndim == 1:  # a single column of 1-D inputs
+            X = X[:, None]
+        self.X = np.atleast_2d(X)
+        self.y = np.asarray(self.y, dtype=float).ravel()
+        if self.X.shape[0] != self.y.shape[0]:
+            raise ValueError(
+                f"X has {self.X.shape[0]} rows but y has {self.y.shape[0]} entries"
+            )
+        if self.X_failed is None:
+            self.X_failed = np.empty((0, self.X.shape[1] if self.X.size else 1))
+        else:
+            Xf = np.asarray(self.X_failed, dtype=float)
+            if Xf.ndim == 1 and Xf.size:
+                Xf = Xf[:, None]
+            self.X_failed = np.atleast_2d(Xf) if Xf.size else Xf.reshape(0, self.X.shape[1])
+
+    @property
+    def n(self) -> int:
+        return int(self.y.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.X.shape[1])
+
+    def best(self) -> tuple[np.ndarray, float]:
+        """The best (lowest-output) observation."""
+        if self.n == 0:
+            raise ValueError("empty dataset has no best observation")
+        i = int(np.argmin(self.y))
+        return self.X[i], float(self.y[i])
+
+    def subsample(self, n_max: int, rng: np.random.Generator) -> "TaskData":
+        """Uniformly subsample to at most ``n_max`` points (keeps the best)."""
+        if self.n <= n_max:
+            return self
+        best_i = int(np.argmin(self.y))
+        others = np.setdiff1d(np.arange(self.n), [best_i])
+        keep = rng.choice(others, size=n_max - 1, replace=False)
+        idx = np.sort(np.concatenate([[best_i], keep]))
+        return TaskData(self.task, self.X[idx], self.y[idx], self.label, self.X_failed)
+
+
+class History:
+    """An append-only log of evaluations for one (task, space) tuning run."""
+
+    def __init__(self, task: Mapping[str, Any], space: Space) -> None:
+        self.task = dict(task)
+        self.space = space
+        self.evaluations: list[Evaluation] = []
+
+    # -- mutation -----------------------------------------------------------
+    def append(self, evaluation: Evaluation) -> None:
+        self.evaluations.append(evaluation)
+
+    def extend(self, evaluations: Sequence[Evaluation]) -> None:
+        for e in evaluations:
+            self.append(e)
+
+    # -- views ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    def __iter__(self) -> Iterator[Evaluation]:
+        return iter(self.evaluations)
+
+    @property
+    def n_successes(self) -> int:
+        return sum(1 for e in self.evaluations if not e.failed)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(1 for e in self.evaluations if e.failed)
+
+    def successes(self) -> list[Evaluation]:
+        return [e for e in self.evaluations if not e.failed]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Successful evaluations as ``(X_unit, y)`` for model fitting."""
+        ok = self.successes()
+        X = self.space.to_unit_array([e.config for e in ok])
+        y = np.array([e.output for e in ok], dtype=float)
+        return X, y
+
+    def as_task_data(self, label: str = "target") -> TaskData:
+        X, y = self.arrays()
+        return TaskData(dict(self.task), X, y, label=label)
+
+    def configs(self) -> list[dict[str, Any]]:
+        """All attempted configurations (including failures), for dedup."""
+        return [e.config for e in self.evaluations]
+
+    def failed_array(self) -> np.ndarray:
+        """Failed configurations as a unit-cube array (tabu regions)."""
+        failed = [e.config for e in self.evaluations if e.failed]
+        return self.space.to_unit_array(failed)
+
+    # -- results ----------------------------------------------------------------
+    def best(self) -> Evaluation:
+        ok = self.successes()
+        if not ok:
+            raise ValueError("no successful evaluations yet")
+        return min(ok, key=lambda e: e.output)
+
+    def best_output(self) -> float:
+        return float(self.best().output)
+
+    def best_so_far(self) -> list[float]:
+        """Best output after each evaluation (NaN until the first success).
+
+        This is exactly the series plotted in the paper's Figures 3-7;
+        leading NaNs reproduce the paper's "we do not draw points if the
+        runs had failures" convention for Fig. 5(c).
+        """
+        out: list[float] = []
+        best = math.nan
+        for e in self.evaluations:
+            if not e.failed and not (best <= e.output):  # NaN-safe min
+                best = float(e.output)
+            out.append(best)
+        return out
+
+    # -- serialization -------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": dict(self.task),
+            "space": self.space.to_list(),
+            "evaluations": [e.to_dict() for e in self.evaluations],
+        }
+
+    @staticmethod
+    def from_dict(doc: Mapping[str, Any]) -> "History":
+        hist = History(doc["task"], Space.from_list(doc["space"]))
+        hist.extend([Evaluation.from_dict(d) for d in doc["evaluations"]])
+        return hist

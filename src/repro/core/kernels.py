@@ -1,0 +1,155 @@
+"""Covariance kernels for Gaussian-process surrogates (system S2).
+
+Kernels expose their hyperparameters as a flat vector ``theta`` in log
+space, which is what the marginal-likelihood optimizer in
+:mod:`repro.core.gp` manipulates.  The RBF kernel provides analytic
+gradients (the common fast path); the Matern kernels fall back to finite
+differences inside the optimizer.
+
+All kernels operate on points in the unit hypercube produced by
+:class:`repro.core.space.Space`, so lengthscale bounds are expressed
+relative to a [0, 1] domain.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Kernel", "RBF", "Matern52", "Matern32", "kernel_from_name"]
+
+
+def sq_dists(X: np.ndarray, Y: np.ndarray, lengthscales: np.ndarray) -> np.ndarray:
+    """Pairwise squared distances after per-dimension scaling.
+
+    Computed via the expanded form ``|a|^2 + |b|^2 - 2 a.b`` which is the
+    vectorized idiom (no Python loops); clipped at zero to absorb
+    round-off.
+    """
+    A = X / lengthscales
+    B = Y / lengthscales
+    d2 = (
+        np.sum(A * A, axis=1)[:, None]
+        + np.sum(B * B, axis=1)[None, :]
+        - 2.0 * (A @ B.T)
+    )
+    return np.maximum(d2, 0.0)
+
+
+class Kernel(ABC):
+    """Base class: stationary ARD kernel with signal variance.
+
+    ``theta`` layout: ``[log(variance), log(ls_1), ..., log(ls_d)]``.
+    """
+
+    def __init__(self, dim: int, variance: float = 1.0, lengthscales=None) -> None:
+        if dim < 1:
+            raise ValueError("kernel dimension must be >= 1")
+        self.dim = dim
+        self.variance = float(variance)
+        if lengthscales is None:
+            self.lengthscales = np.full(dim, 0.3)
+        else:
+            ls = np.asarray(lengthscales, dtype=float).ravel()
+            if ls.shape != (dim,):
+                raise ValueError(f"need {dim} lengthscales, got shape {ls.shape}")
+            self.lengthscales = ls.copy()
+        if self.variance <= 0 or np.any(self.lengthscales <= 0):
+            raise ValueError("variance and lengthscales must be positive")
+
+    # -- hyperparameter vector --------------------------------------------
+    @property
+    def n_params(self) -> int:
+        return 1 + self.dim
+
+    def get_theta(self) -> np.ndarray:
+        return np.concatenate([[np.log(self.variance)], np.log(self.lengthscales)])
+
+    def set_theta(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=float).ravel()
+        if theta.shape != (self.n_params,):
+            raise ValueError(f"expected {self.n_params} params, got {theta.shape}")
+        self.variance = float(np.exp(theta[0]))
+        self.lengthscales = np.exp(theta[1:])
+
+    def bounds(self) -> list[tuple[float, float]]:
+        """Log-space box bounds for MLE (generous but numerically safe)."""
+        var_b = (np.log(1e-4), np.log(1e4))
+        ls_b = (np.log(5e-3), np.log(20.0))
+        return [var_b] + [ls_b] * self.dim
+
+    # -- evaluation ----------------------------------------------------------
+    @abstractmethod
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        """Covariance matrix ``K[i, j] = k(X[i], Y[j])`` (``Y=None`` → X)."""
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(X.shape[0], self.variance)
+
+    #: whether :meth:`gradient` is implemented
+    has_gradient: bool = False
+
+    def gradient(self, X: np.ndarray) -> np.ndarray:
+        """``dK/dtheta`` stacked as ``(n_params, n, n)`` (optional)."""
+        raise NotImplementedError
+
+    def clone(self) -> "Kernel":
+        return type(self)(self.dim, self.variance, self.lengthscales.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        ls = np.array2string(self.lengthscales, precision=3)
+        return f"{type(self).__name__}(var={self.variance:.3g}, ls={ls})"
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel with ARD lengthscales (analytic grads)."""
+
+    has_gradient = True
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        Y = X if Y is None else Y
+        d2 = sq_dists(X, Y, self.lengthscales)
+        return self.variance * np.exp(-0.5 * d2)
+
+    def gradient(self, X: np.ndarray) -> np.ndarray:
+        K = self(X)
+        n = X.shape[0]
+        G = np.empty((self.n_params, n, n))
+        G[0] = K  # d/d log(variance)
+        for j in range(self.dim):
+            diff = X[:, j][:, None] - X[:, j][None, :]
+            # d/d log(ls_j) = K * d_j^2 / ls_j^2
+            G[1 + j] = K * (diff / self.lengthscales[j]) ** 2
+        return G
+
+
+class Matern52(Kernel):
+    """Matern-5/2 kernel with ARD lengthscales."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        Y = X if Y is None else Y
+        r = np.sqrt(sq_dists(X, Y, self.lengthscales))
+        s = np.sqrt(5.0) * r
+        return self.variance * (1.0 + s + s * s / 3.0) * np.exp(-s)
+
+
+class Matern32(Kernel):
+    """Matern-3/2 kernel with ARD lengthscales."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        Y = X if Y is None else Y
+        r = np.sqrt(sq_dists(X, Y, self.lengthscales))
+        s = np.sqrt(3.0) * r
+        return self.variance * (1.0 + s) * np.exp(-s)
+
+
+_KERNELS = {"rbf": RBF, "matern52": Matern52, "matern32": Matern32}
+
+
+def kernel_from_name(name: str, dim: int, **kwargs) -> Kernel:
+    """Instantiate a kernel by name (``rbf``, ``matern52``, ``matern32``)."""
+    try:
+        return _KERNELS[name](dim, **kwargs)
+    except KeyError:
+        raise ValueError(f"unknown kernel {name!r}; choose from {sorted(_KERNELS)}")

@@ -1,0 +1,283 @@
+"""Linear Coregionalization Model (LCM) multitask GP (system S3).
+
+GPTune's multitask surrogate [8] models ``T`` correlated tasks jointly:
+
+    k((x, i), (x', j)) = sum_q  B_q[i, j] * k_q(x, x')
+    B_q = a_q a_q^T + diag(kappa_q)
+
+with unit-variance latent RBF kernels ``k_q`` (task scales live in the
+coregionalization matrices ``B_q``).  Crucially for Multitask(TS) (paper
+Sec. V-A2), the implementation supports an *unequal number of samples per
+task*, including zero samples for the target task: the joint covariance is
+assembled over the concatenation of all task datasets, indexed by a task
+id per row.
+
+Per-task output standardization keeps tasks with wildly different runtime
+scales (e.g. a 32-node source vs a 64-node target) commensurate, matching
+the normalization discussion in the paper's Sec. V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import linalg as sla
+from scipy import optimize as sopt
+
+from .gp import GPFitError, cholesky_with_jitter
+from .kernels import sq_dists
+
+__all__ = ["LCM", "LCMFitError"]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class LCMFitError(GPFitError):
+    """Raised when the multitask covariance cannot be factorized."""
+
+
+@dataclass
+class _LCMState:
+    X: np.ndarray  # (n_total, d) stacked inputs
+    t: np.ndarray  # (n_total,) task index per row
+    alpha: np.ndarray
+    L: np.ndarray
+    y_means: np.ndarray  # per-task standardization
+    y_stds: np.ndarray
+
+
+class LCM:
+    """Multitask GP over ``n_tasks`` tasks in a shared unit-cube input space.
+
+    Parameters
+    ----------
+    n_tasks, dim:
+        Number of tasks and input dimensionality.
+    n_latent:
+        Number of latent processes ``Q`` (GPTune's default of a small Q;
+        1 captures one shared trend, 2 adds an independent component).
+    optimize / max_fun / n_restarts:
+        Hyperparameter-MLE controls, as in
+        :class:`repro.core.gp.GaussianProcess`.  Gradients are finite
+        differences (the coregionalization parameters make analytic
+        gradients bulky); ``max_fun`` caps cost.
+    """
+
+    def __init__(
+        self,
+        n_tasks: int,
+        dim: int,
+        *,
+        n_latent: int = 1,
+        optimize: bool = True,
+        max_fun: int = 60,
+        n_restarts: int = 0,
+        seed: int | None = None,
+    ) -> None:
+        if n_tasks < 1 or dim < 1 or n_latent < 1:
+            raise ValueError("n_tasks, dim, n_latent must all be >= 1")
+        self.n_tasks = n_tasks
+        self.dim = dim
+        self.n_latent = n_latent
+        self.optimize = optimize
+        self.max_fun = int(max_fun)
+        self.n_restarts = int(n_restarts)
+        self._rng = np.random.default_rng(seed)
+        self._theta = self._default_theta()
+        self._state: _LCMState | None = None
+
+    # -- theta packing ------------------------------------------------------
+    # Layout per latent q: [log ls (dim), a (n_tasks), log kappa (n_tasks)];
+    # then [log noise (n_tasks)].
+    @property
+    def n_params(self) -> int:
+        return self.n_latent * (self.dim + 2 * self.n_tasks) + self.n_tasks
+
+    def _default_theta(self) -> np.ndarray:
+        parts = []
+        for _ in range(self.n_latent):
+            parts.append(np.log(np.full(self.dim, 0.3)))  # lengthscales
+            parts.append(np.full(self.n_tasks, 0.8))  # a_q
+            parts.append(np.log(np.full(self.n_tasks, 0.1)))  # kappa_q
+        parts.append(np.log(np.full(self.n_tasks, 1e-3)))  # noise
+        return np.concatenate(parts)
+
+    def _unpack(self, theta: np.ndarray):
+        ls, a, kappa = [], [], []
+        off = 0
+        for _ in range(self.n_latent):
+            ls.append(np.exp(theta[off : off + self.dim]))
+            off += self.dim
+            a.append(theta[off : off + self.n_tasks])
+            off += self.n_tasks
+            kappa.append(np.exp(theta[off : off + self.n_tasks]))
+            off += self.n_tasks
+        noise = np.exp(theta[off : off + self.n_tasks])
+        return ls, a, kappa, noise
+
+    def _bounds(self) -> list[tuple[float, float]]:
+        b: list[tuple[float, float]] = []
+        for _ in range(self.n_latent):
+            b += [(np.log(5e-3), np.log(20.0))] * self.dim
+            b += [(-5.0, 5.0)] * self.n_tasks
+            b += [(np.log(1e-6), np.log(10.0))] * self.n_tasks
+        b += [(np.log(1e-8), np.log(1.0))] * self.n_tasks
+        return b
+
+    # -- covariance assembly ---------------------------------------------------
+    def _joint_cov(self, X: np.ndarray, t: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        ls, a, kappa, noise = self._unpack(theta)
+        n = X.shape[0]
+        K = np.zeros((n, n))
+        same = t[:, None] == t[None, :]
+        for q in range(self.n_latent):
+            kq = np.exp(-0.5 * sq_dists(X, X, ls[q]))
+            B = np.outer(a[q], a[q]) + np.diag(kappa[q])
+            K += B[np.ix_(t, t)] * kq
+        K[np.diag_indices(n)] += noise[t]
+        # `same` keeps kappa contributions strictly within-task blocks: the
+        # diag term of B already handles it via B[t,t]; nothing more needed.
+        del same
+        return K
+
+    def _cross_cov(
+        self, Xs: np.ndarray, task: int, X: np.ndarray, t: np.ndarray, theta: np.ndarray
+    ) -> np.ndarray:
+        ls, a, kappa, _ = self._unpack(theta)
+        n_star = Xs.shape[0]
+        K = np.zeros((n_star, X.shape[0]))
+        for q in range(self.n_latent):
+            kq = np.exp(-0.5 * sq_dists(Xs, X, ls[q]))
+            b_row = a[q][task] * a[q][t]
+            b_row = b_row + np.where(t == task, kappa[q][task], 0.0)
+            K += b_row[None, :] * kq
+        return K
+
+    def _prior_var(self, task: int, theta: np.ndarray) -> float:
+        _, a, kappa, _ = self._unpack(theta)
+        return float(sum(a[q][task] ** 2 + kappa[q][task] for q in range(self.n_latent)))
+
+    # -- fitting --------------------------------------------------------------
+    def fit(self, datasets: list[tuple[np.ndarray, np.ndarray]]) -> "LCM":
+        """Fit on per-task datasets ``[(X_0, y_0), ..., (X_{T-1}, y_{T-1})]``.
+
+        Datasets may have different sizes; a dataset may be empty (the
+        Multitask(TS) cold start: sources full, target empty).  At least
+        two observations are required overall.
+        """
+        if len(datasets) != self.n_tasks:
+            raise ValueError(f"expected {self.n_tasks} datasets, got {len(datasets)}")
+        Xs, ts, ys = [], [], []
+        y_means = np.zeros(self.n_tasks)
+        y_stds = np.ones(self.n_tasks)
+        for i, (X, y) in enumerate(datasets):
+            X = np.atleast_2d(np.asarray(X, dtype=float))
+            y = np.asarray(y, dtype=float).ravel()
+            if y.size == 0:
+                continue
+            if X.shape[1] != self.dim:
+                raise ValueError(f"task {i}: dim {X.shape[1]} != {self.dim}")
+            m, s = float(np.mean(y)), float(np.std(y))
+            if not np.isfinite(s) or s < 1e-12:
+                s = 1.0
+            y_means[i], y_stds[i] = m, s
+            Xs.append(X)
+            ts.append(np.full(y.size, i, dtype=int))
+            ys.append((y - m) / s)
+        if not Xs:
+            raise ValueError("cannot fit LCM to zero observations")
+        X_all = np.vstack(Xs)
+        t_all = np.concatenate(ts)
+        y_all = np.concatenate(ys)
+        if y_all.size < 2:
+            raise ValueError("LCM needs at least two observations in total")
+
+        if self.optimize:
+            self._optimize_theta(X_all, t_all, y_all)
+
+        K = self._joint_cov(X_all, t_all, self._theta)
+        try:
+            L, _ = cholesky_with_jitter(K)
+        except GPFitError as exc:
+            raise LCMFitError(str(exc)) from exc
+        alpha = sla.cho_solve((L, True), y_all)
+        self._state = _LCMState(
+            X=X_all, t=t_all, alpha=alpha, L=L, y_means=y_means, y_stds=y_stds
+        )
+        return self
+
+    def _nll(self, theta: np.ndarray, X, t, y) -> float:
+        K = self._joint_cov(X, t, theta)
+        try:
+            L, _ = cholesky_with_jitter(K, max_tries=3)
+        except GPFitError:
+            return 1e25
+        alpha = sla.cho_solve((L, True), y)
+        nll = 0.5 * y @ alpha + np.sum(np.log(np.diag(L))) + 0.5 * y.size * _LOG_2PI
+        return float(nll) if np.isfinite(nll) else 1e25
+
+    def _optimize_theta(self, X, t, y) -> None:
+        bounds = self._bounds()
+        lo = np.array([b[0] for b in bounds])
+        hi = np.array([b[1] for b in bounds])
+        starts = [np.clip(self._theta, lo, hi)]
+        for _ in range(self.n_restarts):
+            starts.append(self._rng.uniform(lo, hi))
+        best_theta, best_val = None, np.inf
+        for x0 in starts:
+            res = sopt.minimize(
+                self._nll,
+                x0,
+                args=(X, t, y),
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxfun": self.max_fun, "eps": 1e-4},
+            )
+            if res.fun < best_val:
+                best_val, best_theta = float(res.fun), res.x
+        if best_theta is not None and np.isfinite(best_val):
+            self._theta = best_theta
+
+    # -- prediction -------------------------------------------------------------
+    def predict(self, task: int, Xs: np.ndarray, return_std: bool = True):
+        """Posterior for ``task`` at points ``Xs``, in that task's scale."""
+        if self._state is None:
+            raise RuntimeError("predict() before fit()")
+        if not 0 <= task < self.n_tasks:
+            raise ValueError(f"task index {task} out of range [0, {self.n_tasks})")
+        st = self._state
+        Xs = np.atleast_2d(np.asarray(Xs, dtype=float))
+        Kst = self._cross_cov(Xs, task, st.X, st.t, self._theta)
+        m, s = st.y_means[task], st.y_stds[task]
+        # tasks never observed keep unit standardization (mean 0 / std 1):
+        if st.y_stds[task] == 1.0 and st.y_means[task] == 0.0 and task not in st.t:
+            # fall back to the average observed scale so predictions are
+            # commensurate with the sources (cold-start target task)
+            obs = np.unique(st.t)
+            m = float(np.mean(st.y_means[obs]))
+            s = float(np.mean(st.y_stds[obs]))
+        mean = Kst @ st.alpha * s + m
+        if not return_std:
+            return mean
+        v = sla.solve_triangular(st.L, Kst.T, lower=True)
+        prior = self._prior_var(task, self._theta)
+        var = np.maximum(prior - np.sum(v * v, axis=0), 1e-12)
+        return mean, np.sqrt(var) * s
+
+    def warm_start_from(self, other: "LCM") -> None:
+        """Adopt another LCM's hyperparameters (amortizes refits)."""
+        if (other.n_tasks, other.dim, other.n_latent) != (
+            self.n_tasks,
+            self.dim,
+            self.n_latent,
+        ):
+            raise ValueError("incompatible LCM shapes for warm start")
+        self._theta = other._theta.copy()
+
+    def task_correlation(self) -> np.ndarray:
+        """The learned task-correlation matrix (sum of B_q, normalized)."""
+        ls, a, kappa, _ = self._unpack(self._theta)
+        B = sum(np.outer(aq, aq) + np.diag(kq) for aq, kq in zip(a, kappa))
+        d = np.sqrt(np.clip(np.diag(B), 1e-12, None))
+        return B / np.outer(d, d)

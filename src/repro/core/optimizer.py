@@ -1,0 +1,192 @@
+"""Acquisition search: pick the next configuration to evaluate (system S4).
+
+The search maximizes an acquisition over the unit cube with a candidate
+sweep (quasi-random + perturbations of the incumbent) followed by local
+refinement of the best continuous candidate.  Candidates that round to an
+already-evaluated configuration are excluded so deterministic objectives
+never re-measure a known point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+from scipy import optimize as sopt
+
+from .acquisition import Acquisition, PredictFn
+from .samplers import _config_key
+from .space import Space
+
+__all__ = ["SearchOptions", "search_next", "reference_best"]
+
+
+class SearchOptions:
+    """Knobs for the candidate search.
+
+    ``n_candidates`` random probes, ``n_local`` of the best candidates get
+    Nelder-Mead polish (cheap, derivative-free, robust for mixed spaces
+    where the acquisition is piecewise constant along integer axes).
+    """
+
+    def __init__(
+        self,
+        n_candidates: int = 1024,
+        n_local: int = 2,
+        local_iters: int = 40,
+        incumbent_fraction: float = 0.25,
+        incumbent_scale: float = 0.08,
+        failure_radius: float = 0.12,
+    ) -> None:
+        if n_candidates < 1:
+            raise ValueError("n_candidates must be positive")
+        self.n_candidates = n_candidates
+        self.n_local = n_local
+        self.local_iters = local_iters
+        self.incumbent_fraction = incumbent_fraction
+        self.incumbent_scale = incumbent_scale
+        self.failure_radius = failure_radius
+
+
+def reference_best(predict: PredictFn, X_obs: np.ndarray) -> float:
+    """Model-based reference value for EI: min predicted mean at observed X.
+
+    Using the model's own view of the best observation (rather than the
+    raw noisy minimum) keeps EI consistent across the combined TLA
+    surrogates, whose predictions may live in a transformed scale.
+    """
+    if X_obs.shape[0] == 0:
+        return 0.0
+    mean, _ = predict(X_obs)
+    return float(np.min(mean))
+
+
+def search_next(
+    predict: PredictFn,
+    space: Space,
+    acquisition: Acquisition,
+    rng: np.random.Generator,
+    *,
+    X_obs: np.ndarray | None = None,
+    evaluated: list[dict[str, Any]] | None = None,
+    X_failed: np.ndarray | None = None,
+    p_feasible: Callable[[np.ndarray], np.ndarray] | None = None,
+    feasible: Callable[[dict[str, Any]], bool] | None = None,
+    options: SearchOptions | None = None,
+) -> dict[str, Any]:
+    """Return the configuration maximizing the acquisition.
+
+    Parameters
+    ----------
+    predict:
+        ``predict(X) -> (mean, std)`` over unit-cube rows.
+    space:
+        Tuning space; the returned dict is a valid configuration in it.
+    X_obs:
+        Unit-cube array of successful observations (for the EI reference).
+    evaluated:
+        All previously attempted configurations (successes *and*
+        failures); the search avoids re-proposing them.
+    X_failed:
+        Unit-cube points whose evaluation failed (OOM etc.); acquisition
+        scores are damped within ``options.failure_radius`` of them.
+    p_feasible:
+        Optional learned probability-of-feasibility (see
+        :class:`repro.core.feasibility.KnnFeasibility`); acquisition
+        scores are multiplied by it.
+    feasible:
+        Optional cheap feasibility predicate (the tuning problem's known
+        constraint, e.g. PDGEQRF's ``p <= total ranks``); infeasible
+        candidates are skipped before spending an evaluation on them.
+    """
+    opts = options or SearchOptions()
+    X_obs = np.empty((0, space.dim)) if X_obs is None else np.atleast_2d(X_obs)
+    seen = {_config_key(c) for c in (evaluated or [])}
+
+    # --- candidate pool: uniform + Gaussian perturbations of the incumbent
+    n_inc = int(opts.n_candidates * opts.incumbent_fraction) if X_obs.shape[0] else 0
+    n_uni = opts.n_candidates - n_inc
+    cands = [rng.random((n_uni, space.dim))]
+    if n_inc:
+        mean_obs, _ = predict(X_obs)
+        incumbent = X_obs[int(np.argmin(mean_obs))]
+        local = incumbent + rng.normal(0.0, opts.incumbent_scale, (n_inc, space.dim))
+        cands.append(np.clip(local, 0.0, 1.0))
+    U = np.vstack(cands)
+
+    if X_obs.shape[0] > 0:
+        y_ref = reference_best(predict, X_obs)
+    else:
+        # no successful observation yet: anchor EI at an optimistic
+        # quantile of the model's own candidate predictions.  (A zero
+        # reference would degenerate EI into pure variance maximization,
+        # which repeatedly probes unexplored failure corners.)
+        mean_cands, _ = predict(U)
+        y_ref = float(np.quantile(mean_cands, 0.05))
+
+    scores = acquisition(predict, U, y_ref)
+    if p_feasible is not None:
+        scores = scores * p_feasible(U)
+
+    # --- tabu damping around failed evaluations: failures carry no value
+    # for the surrogate (they are excluded from fitting, paper Sec. VI-C)
+    # so without this the same failing region gets proposed repeatedly
+    if X_failed is not None and len(X_failed) > 0:
+        Xf = np.atleast_2d(np.asarray(X_failed, dtype=float))
+        d2 = (
+            np.sum(U * U, axis=1)[:, None]
+            + np.sum(Xf * Xf, axis=1)[None, :]
+            - 2.0 * (U @ Xf.T)
+        )
+        dist = np.sqrt(np.maximum(d2, 0.0)).min(axis=1)
+        radius = opts.failure_radius
+        scores = scores * np.clip(dist / radius, 0.0, 1.0)
+
+    def _damp(u_row: np.ndarray, score: float) -> float:
+        if p_feasible is not None:
+            score = score * float(p_feasible(u_row[None, :])[0])
+        if X_failed is None or len(X_failed) == 0:
+            return score
+        Xf = np.atleast_2d(np.asarray(X_failed, dtype=float))
+        d = np.sqrt(np.sum((Xf - u_row[None, :]) ** 2, axis=1)).min()
+        return score * float(np.clip(d / opts.failure_radius, 0.0, 1.0))
+
+    # --- local refinement of the top continuous candidates
+    order = np.argsort(scores)[::-1]
+    for idx in order[: opts.n_local]:
+        res = sopt.minimize(
+            lambda u: -float(
+                acquisition(predict, np.clip(u, 0, 1)[None, :], y_ref)[0]
+            ),
+            U[idx],
+            method="Nelder-Mead",
+            options={"maxiter": opts.local_iters, "xatol": 1e-3, "fatol": 1e-9},
+        )
+        u_loc = np.clip(res.x, 0.0, 1.0)
+        s_loc = _damp(
+            u_loc, float(acquisition(predict, u_loc[None, :], y_ref)[0])
+        )
+        if s_loc > scores[idx]:
+            U[idx] = u_loc
+            scores[idx] = s_loc
+
+    # --- pick best not-yet-evaluated, feasible configuration
+    order = np.argsort(scores)[::-1]
+    for idx in order:
+        config = space.from_unit(U[idx])
+        if _config_key(config) in seen:
+            continue
+        if feasible is not None and not feasible(config):
+            continue
+        return config
+    # all candidates collide with evaluated configs or are infeasible
+    # (tiny discrete spaces): fall back to uniform resampling, then accept
+    # a duplicate as last resort
+    for _ in range(200):
+        config = space.sample(rng)
+        if _config_key(config) in seen:
+            continue
+        if feasible is not None and not feasible(config):
+            continue
+        return config
+    return space.from_unit(U[order[0]])

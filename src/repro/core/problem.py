@@ -1,0 +1,152 @@
+"""Tuning-problem definitions (paper Sec. IV-A meta description).
+
+A :class:`TuningProblem` bundles the three spaces of the GPTuneCrowd meta
+description — the *input space* (task parameters), the *parameter space*
+(tuning parameters) and the *output space* — with the black-box objective
+to be minimized.  Objectives receive a task dict and a configuration dict
+and return either a finite float (e.g. measured runtime in seconds) or
+``None`` to signal a failed evaluation (e.g. the out-of-memory failures
+the paper describes for NIMROD, Sec. VI-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from .space import Space, SpaceError
+
+__all__ = ["TuningProblem", "Evaluation", "task_key"]
+
+Objective = Callable[[Mapping[str, Any], Mapping[str, Any]], float | None]
+
+
+def task_key(task: Mapping[str, Any]) -> tuple:
+    """A hashable, order-independent key identifying a task.
+
+    Used to group performance records belonging to the same task when
+    assembling transfer-learning source datasets.
+    """
+    return tuple(sorted((str(k), repr(v)) for k, v in task.items()))
+
+
+@dataclass
+class Evaluation:
+    """One function evaluation: task + configuration + observed output.
+
+    ``output is None`` marks a failed run; failed runs consume tuning
+    budget but are excluded from surrogate fitting, matching the paper's
+    treatment of bad configurations (Sec. VI-C).
+    """
+
+    task: dict[str, Any]
+    config: dict[str, Any]
+    output: float | None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        return self.output is None or not np.isfinite(self.output)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": dict(self.task),
+            "config": dict(self.config),
+            "output": self.output,
+            "metadata": dict(self.metadata),
+        }
+
+    @staticmethod
+    def from_dict(doc: Mapping[str, Any]) -> "Evaluation":
+        return Evaluation(
+            task=dict(doc["task"]),
+            config=dict(doc["config"]),
+            output=doc.get("output"),
+            metadata=dict(doc.get("metadata", {})),
+        )
+
+
+@dataclass
+class TuningProblem:
+    """A black-box minimization problem over a tuning-parameter space.
+
+    Parameters
+    ----------
+    name:
+        The tuning problem name; identifies the problem in the crowd
+        repository (paper: ``tuning_problem_name``).
+    input_space:
+        Task parameters (problem sizes, input files, ...).
+    parameter_space:
+        Tuning parameters to optimize.
+    output_space:
+        Objective outputs; the first output is minimized.
+    objective:
+        ``objective(task, config) -> float | None``.
+    constraint:
+        Optional fast feasibility predicate ``constraint(task, config) ->
+        bool``; infeasible configurations are rejected before evaluation.
+    """
+
+    name: str
+    input_space: Space
+    parameter_space: Space
+    output_space: Space
+    objective: Objective
+    constraint: Callable[[Mapping[str, Any], Mapping[str, Any]], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpaceError("tuning problem needs a non-empty name")
+        overlap = set(self.input_space.names) & set(self.parameter_space.names)
+        if overlap:
+            raise SpaceError(
+                f"task and tuning parameters must not overlap, both define {sorted(overlap)}"
+            )
+
+    # -- evaluation ------------------------------------------------------
+    def feasible(self, task: Mapping[str, Any], config: Mapping[str, Any]) -> bool:
+        if self.constraint is None:
+            return True
+        return bool(self.constraint(task, config))
+
+    def evaluate(self, task: Mapping[str, Any], config: Mapping[str, Any]) -> Evaluation:
+        """Validate, run the objective, and wrap the result.
+
+        Objective exceptions and constraint violations are converted to
+        failed evaluations rather than propagated: a crowd tuner must
+        survive bad configurations suggested by its own search.
+        """
+        self.input_space.validate(task)
+        self.parameter_space.validate(config)
+        if not self.feasible(task, config):
+            return Evaluation(dict(task), dict(config), None, {"failure": "constraint"})
+        try:
+            y = self.objective(task, config)
+        except Exception as exc:  # objective crashes count as failures
+            return Evaluation(dict(task), dict(config), None, {"failure": repr(exc)})
+        if y is None or not np.isfinite(y):
+            return Evaluation(dict(task), dict(config), None, {"failure": "non-finite"})
+        return Evaluation(dict(task), dict(config), float(y))
+
+    # -- convenience -----------------------------------------------------
+    def with_parameter_space(self, space: Space) -> "TuningProblem":
+        """The same problem over a different (e.g. reduced) tuning space."""
+        return TuningProblem(
+            name=self.name,
+            input_space=self.input_space,
+            parameter_space=space,
+            output_space=self.output_space,
+            objective=self.objective,
+            constraint=self.constraint,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """The problem's meta-description ``problem_space`` block."""
+        return {
+            "input_space": self.input_space.to_list(),
+            "parameter_space": self.parameter_space.to_list(),
+            "output_space": self.output_space.to_list(),
+        }

@@ -1,0 +1,243 @@
+"""The Bayesian-optimization tuning loop (system S5).
+
+:class:`Tuner` is the non-transfer-learning autotuner — the paper's
+``NoTLA`` baseline, equivalent to plain GPTune single-task tuning: an
+initial random design followed by GP fit + expected-improvement search
+after every function evaluation.
+
+The loop structure is deliberately hookable: the transfer-learning tuner
+in :mod:`repro.tla.tuner` overrides a single method (:meth:`_model`) to
+swap the target-only GP for a TLA surrogate, so all bookkeeping (budget,
+failures, deduplication, callbacks, result assembly) is shared and tested
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from .acquisition import Acquisition, ExpectedImprovement, PredictFn
+from .gp import GaussianProcess, GPFitError
+from .feasibility import KnnFeasibility
+from .history import History
+from .kernels import kernel_from_name
+from .optimizer import SearchOptions, search_next
+from .problem import Evaluation, TuningProblem
+from .samplers import Sampler, get_sampler
+
+__all__ = ["Tuner", "TunerOptions", "TuningResult"]
+
+EvaluationCallback = Callable[[Evaluation], None]
+
+
+@dataclass
+class TunerOptions:
+    """Controls for the BO loop.
+
+    ``n_initial`` random evaluations seed the surrogate (the paper's
+    typical setting starts BO after a random phase, Sec. VI-B);
+    ``refit_every`` re-runs hyperparameter MLE only every k-th iteration
+    (data is always refreshed), amortizing optimization cost on large
+    histories.
+    """
+
+    n_initial: int = 2
+    sampler: str = "random"
+    kernel: str = "rbf"
+    acquisition: Acquisition = field(default_factory=ExpectedImprovement)
+    refit_every: int = 1
+    gp_max_fun: int = 80
+    gp_restarts: int = 1
+    #: learn P(feasible) from observed failures and steer the acquisition
+    #: away from them (ablation: bench_ablation_failures.py)
+    learn_feasibility: bool = True
+    search: SearchOptions = field(default_factory=SearchOptions)
+
+    def make_sampler(self) -> Sampler:
+        return get_sampler(self.sampler)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one tuning run."""
+
+    problem_name: str
+    tuner_name: str
+    task: dict[str, Any]
+    history: History
+    seed: int | None = None
+
+    @property
+    def best_config(self) -> dict[str, Any]:
+        return self.history.best().config
+
+    @property
+    def best_output(self) -> float:
+        return self.history.best_output()
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.history)
+
+    def best_so_far(self) -> list[float]:
+        return self.history.best_so_far()
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "problem": self.problem_name,
+            "tuner": self.tuner_name,
+            "task": dict(self.task),
+            "n_evaluations": self.n_evaluations,
+            "n_failures": self.history.n_failures,
+            "best_output": self.best_output if self.history.n_successes else None,
+            "best_config": self.best_config if self.history.n_successes else None,
+        }
+
+
+class Tuner:
+    """Single-task Bayesian-optimization autotuner (``NoTLA``).
+
+    Parameters
+    ----------
+    problem:
+        The tuning problem to minimize.
+    options:
+        Loop controls; defaults are sensible for the paper's budgets
+        (10-20 evaluations).
+    callbacks:
+        Called with every :class:`Evaluation` (success or failure); the
+        crowd layer uses this to stream records to the shared repository
+        when ``sync_crowd_repo`` is on.
+    """
+
+    name = "NoTLA"
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        options: TunerOptions | None = None,
+        callbacks: list[EvaluationCallback] | None = None,
+    ) -> None:
+        self.problem = problem
+        self.options = options or TunerOptions()
+        self.callbacks = list(callbacks or [])
+
+    # -- main loop -------------------------------------------------------
+    def tune(
+        self,
+        task: Mapping[str, Any],
+        n_samples: int,
+        *,
+        seed: int | None = None,
+        history: History | None = None,
+    ) -> TuningResult:
+        """Run ``n_samples`` function evaluations on ``task``.
+
+        An existing ``history`` may be passed to continue a previous run
+        (its evaluations count toward the surrogate but not the budget).
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        self.problem.input_space.validate(task)
+        rng = np.random.default_rng(seed)
+        hist = history if history is not None else History(task, self.problem.parameter_space)
+        self._prepare(task, rng)
+
+        sampler = self.options.make_sampler()
+        feasible = lambda cfg: self.problem.feasible(task, cfg)
+        for _ in range(n_samples):
+            if hist.n_successes < self.options.n_initial:
+                config = self._initial_config(sampler, hist, feasible, rng)
+            else:
+                config = self._propose(hist, rng)
+            evaluation = self.problem.evaluate(task, config)
+            hist.append(evaluation)
+            for cb in self.callbacks:
+                cb(evaluation)
+        return TuningResult(
+            problem_name=self.problem.name,
+            tuner_name=self.name,
+            task=dict(task),
+            history=hist,
+            seed=seed,
+        )
+
+    # -- hooks -------------------------------------------------------------
+    def _prepare(self, task: Mapping[str, Any], rng: np.random.Generator) -> None:
+        """One-time setup before the loop (TLA tuner loads sources here)."""
+        self._iteration = 0
+        self._gp: GaussianProcess | None = None
+        self._task = dict(task)
+
+    def _feasible(self, config: Mapping[str, Any]) -> bool:
+        return self.problem.feasible(self._task, config)
+
+    def _initial_config(self, sampler, hist: History, feasible, rng):
+        """A fresh random configuration, preferring feasible ones."""
+        for _ in range(50):
+            batch = sampler.sample(
+                self.problem.parameter_space, 1, rng, exclude=hist.configs()
+            )
+            config = batch[0] if batch else self.problem.parameter_space.sample(rng)
+            if feasible(config):
+                return config
+        return config
+
+    def _propose(self, hist: History, rng: np.random.Generator) -> dict[str, Any]:
+        predict = self._model(hist, rng)
+        if predict is None:  # modeling failed: fall back to random search
+            return self._initial_config(
+                self.options.make_sampler(), hist, self._feasible, rng
+            )
+        X_obs, _ = hist.arrays()
+        X_failed = hist.failed_array()
+        p_feasible = self._feasibility_model(X_obs, X_failed)
+        return search_next(
+            predict,
+            self.problem.parameter_space,
+            self.options.acquisition,
+            rng,
+            X_obs=X_obs,
+            evaluated=hist.configs(),
+            X_failed=X_failed,
+            p_feasible=p_feasible,
+            feasible=self._feasible,
+            options=self.options.search,
+        )
+
+    def _feasibility_model(self, X_obs, X_failed):
+        """A learned P(feasible) when failures have been observed."""
+        if not self.options.learn_feasibility or X_failed.shape[0] == 0:
+            return None
+        return KnnFeasibility(X_obs, X_failed).predict_proba
+
+    def _model(self, hist: History, rng: np.random.Generator) -> PredictFn | None:
+        """Fit (or refresh) the surrogate; returns its predict function."""
+        X, y = hist.arrays()
+        if X.shape[0] == 0:
+            return None
+        opts = self.options
+        refit = self._gp is None or (self._iteration % max(opts.refit_every, 1) == 0)
+        self._iteration += 1
+        if self._gp is None:
+            if opts.kernel == "mixed":
+                from .mixed import mixed_kernel_for_space
+
+                kernel = mixed_kernel_for_space(self.problem.parameter_space)
+            else:
+                kernel = kernel_from_name(opts.kernel, X.shape[1])
+            self._gp = GaussianProcess(
+                kernel,
+                max_fun=opts.gp_max_fun,
+                n_restarts=opts.gp_restarts,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        self._gp.optimize = refit
+        try:
+            self._gp.fit(X, y)
+        except GPFitError:
+            return None
+        return self._gp.predict

@@ -1,0 +1,296 @@
+"""JSON document store (system S8; MongoDB substitute).
+
+The paper's shared database "manages collected performance samples in a
+JSON form using MongoDB".  No database server exists in this environment,
+so :class:`DocumentStore` implements the subset of MongoDB semantics the
+crowd-tuning workflows need, over plain Python dicts with JSON-file
+persistence:
+
+* collections with auto-assigned ``_id``,
+* ``find`` with filter documents supporting ``$eq``, ``$ne``, ``$gt``,
+  ``$gte``, ``$lt``, ``$lte``, ``$in``, ``$nin``, ``$exists``,
+  ``$regex``, logical ``$and`` / ``$or`` / ``$not``, and dotted paths
+  into nested documents,
+* sorting, limiting, update/delete with the same filters,
+* hash indexes on equality-queried fields (a genuine index: equality
+  queries on an indexed field skip the collection scan).
+
+Documents are deep-copied on the way in and out, so callers can never
+mutate stored state by aliasing — important because the repository layer
+enforces access control on these documents.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import re
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = ["DocumentStore", "Collection", "QuerySyntaxError"]
+
+
+class QuerySyntaxError(ValueError):
+    """Raised for malformed filter documents."""
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda v, arg: v == arg,
+    "$ne": lambda v, arg: v != arg,
+    "$gt": lambda v, arg: v is not None and v > arg,
+    "$gte": lambda v, arg: v is not None and v >= arg,
+    "$lt": lambda v, arg: v is not None and v < arg,
+    "$lte": lambda v, arg: v is not None and v <= arg,
+    "$in": lambda v, arg: v in arg,
+    "$nin": lambda v, arg: v not in arg,
+    "$exists": lambda v, arg: (v is not None) == bool(arg),
+    "$regex": lambda v, arg: isinstance(v, str) and re.search(arg, v) is not None,
+}
+
+
+def _get_path(doc: Mapping[str, Any], path: str) -> Any:
+    """Resolve a dotted path; missing segments yield ``None``."""
+    cur: Any = doc
+    for part in path.split("."):
+        if isinstance(cur, Mapping) and part in cur:
+            cur = cur[part]
+        else:
+            return None
+    return cur
+
+
+def _matches(doc: Mapping[str, Any], flt: Mapping[str, Any]) -> bool:
+    """Evaluate a Mongo-style filter document against ``doc``."""
+    for key, cond in flt.items():
+        if key == "$and":
+            if not all(_matches(doc, sub) for sub in _as_list(cond, "$and")):
+                return False
+        elif key == "$or":
+            if not any(_matches(doc, sub) for sub in _as_list(cond, "$or")):
+                return False
+        elif key == "$not":
+            if not isinstance(cond, Mapping):
+                raise QuerySyntaxError("$not takes a filter document")
+            if _matches(doc, cond):
+                return False
+        elif key.startswith("$"):
+            raise QuerySyntaxError(f"unknown top-level operator {key!r}")
+        else:
+            value = _get_path(doc, key)
+            if isinstance(cond, Mapping) and any(k.startswith("$") for k in cond):
+                for op, arg in cond.items():
+                    fn = _COMPARATORS.get(op)
+                    if fn is None:
+                        raise QuerySyntaxError(f"unknown operator {op!r}")
+                    try:
+                        ok = fn(value, arg)
+                    except TypeError:
+                        ok = False
+                    if not ok:
+                        return False
+            else:
+                if value != cond:
+                    return False
+    return True
+
+
+def _as_list(cond: Any, op: str) -> list:
+    if not isinstance(cond, (list, tuple)) or not cond:
+        raise QuerySyntaxError(f"{op} takes a non-empty list of filters")
+    return list(cond)
+
+
+class Collection:
+    """One named collection of JSON documents."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._docs: dict[int, dict[str, Any]] = {}
+        self._next_id = 1
+        self._indexes: dict[str, dict[Any, set[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    # -- indexing ------------------------------------------------------------
+    def create_index(self, field: str) -> None:
+        """Build (or rebuild) a hash index on ``field`` (dotted ok)."""
+        idx: dict[Any, set[int]] = {}
+        for _id, doc in self._docs.items():
+            key = _hashable(_get_path(doc, field))
+            idx.setdefault(key, set()).add(_id)
+        self._indexes[field] = idx
+
+    def _index_candidates(self, flt: Mapping[str, Any]) -> Iterable[int] | None:
+        """Doc ids from the narrowest usable index, or ``None`` for a scan."""
+        best: set[int] | None = None
+        for field, idx in self._indexes.items():
+            cond = flt.get(field)
+            if cond is None or (isinstance(cond, Mapping) and any(
+                k.startswith("$") for k in cond
+            )):
+                continue
+            ids = idx.get(_hashable(cond), set())
+            if best is None or len(ids) < len(best):
+                best = ids
+        return best
+
+    # -- CRUD ------------------------------------------------------------------
+    def insert(self, doc: Mapping[str, Any]) -> int:
+        """Insert a document; returns its assigned ``_id``."""
+        if not isinstance(doc, Mapping):
+            raise TypeError("documents must be mappings")
+        stored = copy.deepcopy(dict(doc))
+        _id = self._next_id
+        self._next_id += 1
+        stored["_id"] = _id
+        self._docs[_id] = stored
+        for field, idx in self._indexes.items():
+            idx.setdefault(_hashable(_get_path(stored, field)), set()).add(_id)
+        return _id
+
+    def insert_many(self, docs: Iterable[Mapping[str, Any]]) -> list[int]:
+        return [self.insert(d) for d in docs]
+
+    def find(
+        self,
+        flt: Mapping[str, Any] | None = None,
+        *,
+        sort: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """All matching documents (deep copies)."""
+        flt = flt or {}
+        candidates = self._index_candidates(flt)
+        pool = (
+            (self._docs[i] for i in candidates)
+            if candidates is not None
+            else self._docs.values()
+        )
+        out = [copy.deepcopy(d) for d in pool if _matches(d, flt)]
+        if sort is not None:
+            out.sort(key=lambda d: _sort_key(_get_path(d, sort)), reverse=descending)
+        if limit is not None:
+            out = out[: max(limit, 0)]
+        return out
+
+    def find_one(self, flt: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
+        found = self.find(flt, limit=1)
+        return found[0] if found else None
+
+    def count(self, flt: Mapping[str, Any] | None = None) -> int:
+        flt = flt or {}
+        return sum(1 for d in self._docs.values() if _matches(d, flt))
+
+    def update(self, flt: Mapping[str, Any], changes: Mapping[str, Any]) -> int:
+        """Shallow-merge ``changes`` into matching docs; returns count."""
+        n = 0
+        for _id, doc in self._docs.items():
+            if _matches(doc, flt):
+                self._unindex(_id, doc)
+                doc.update(copy.deepcopy(dict(changes)))
+                doc["_id"] = _id  # _id is immutable
+                self._reindex(_id, doc)
+                n += 1
+        return n
+
+    def delete(self, flt: Mapping[str, Any]) -> int:
+        """Delete matching docs; returns count."""
+        doomed = [i for i, d in self._docs.items() if _matches(d, flt)]
+        for _id in doomed:
+            self._unindex(_id, self._docs[_id])
+            del self._docs[_id]
+        return len(doomed)
+
+    def _unindex(self, _id: int, doc: Mapping[str, Any]) -> None:
+        for field, idx in self._indexes.items():
+            idx.get(_hashable(_get_path(doc, field)), set()).discard(_id)
+
+    def _reindex(self, _id: int, doc: Mapping[str, Any]) -> None:
+        for field, idx in self._indexes.items():
+            idx.setdefault(_hashable(_get_path(doc, field)), set()).add(_id)
+
+    # -- persistence ------------------------------------------------------------
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "next_id": self._next_id,
+            "docs": list(self._docs.values()),
+            "indexes": sorted(self._indexes),
+        }
+
+    @staticmethod
+    def from_jsonable(blob: Mapping[str, Any]) -> "Collection":
+        coll = Collection(blob["name"])
+        coll._next_id = int(blob["next_id"])
+        for doc in blob["docs"]:
+            coll._docs[int(doc["_id"])] = copy.deepcopy(dict(doc))
+        for field in blob.get("indexes", []):
+            coll.create_index(field)
+        return coll
+
+
+class DocumentStore:
+    """A set of named collections, persistable to one JSON file."""
+
+    def __init__(self) -> None:
+        self._collections: dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get or create a collection."""
+        if not name or "." in name:
+            raise ValueError(f"invalid collection name {name!r}")
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._collections
+
+    def collection_names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def drop(self, name: str) -> None:
+        self._collections.pop(name, None)
+
+    # -- persistence -------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        blob = {
+            "format": "gptunecrowd-store-v1",
+            "collections": [c.to_jsonable() for c in self._collections.values()],
+        }
+        Path(path).write_text(json.dumps(blob, indent=1, sort_keys=True))
+
+    @staticmethod
+    def load(path: str | Path) -> "DocumentStore":
+        blob = json.loads(Path(path).read_text())
+        if blob.get("format") != "gptunecrowd-store-v1":
+            raise ValueError(f"{path}: not a GPTuneCrowd store file")
+        store = DocumentStore()
+        for cblob in blob["collections"]:
+            store._collections[cblob["name"]] = Collection.from_jsonable(cblob)
+        return store
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True, default=str)
+    return value
+
+
+def _sort_key(value: Any) -> tuple:
+    """Total order across mixed types (None < numbers < strings < other)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(value))

@@ -1,0 +1,190 @@
+"""The shared crowd repository (system S12, paper Fig. 2).
+
+:class:`CrowdRepository` glues the document store, user registry and tag
+matcher into the service the paper hosts at gptune.lbl.gov: authenticated
+upload and download of performance records, with
+
+* tag normalization of machine/software configurations on upload,
+* per-record accessibility enforcement on download (public / private /
+  group, Sec. III),
+* meta-description and SQL-like query front-ends,
+* JSON persistence of the whole repository state.
+
+The HTTP transport of the real service is replaced by direct method
+calls (documented substitution: no network in this environment); all
+server-side semantics live here and are exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from .configmatch import TagMatcher, default_matcher
+from .database import DocumentStore
+from .query import SqlQuery, build_filter
+from .records import PerformanceRecord
+from .users import AuthError, User, UserRegistry
+
+__all__ = ["CrowdRepository"]
+
+_RECORDS = "performance_records"
+
+
+class CrowdRepository:
+    """Authenticated store of crowd performance data."""
+
+    def __init__(
+        self,
+        store: DocumentStore | None = None,
+        users: UserRegistry | None = None,
+        matcher: TagMatcher | None = None,
+    ) -> None:
+        self.store = store if store is not None else DocumentStore()
+        self.users = users if users is not None else UserRegistry()
+        self.matcher = matcher if matcher is not None else default_matcher()
+        coll = self.store.collection(_RECORDS)
+        coll.create_index("problem_name")
+        coll.create_index("owner")
+        self._clock = 0.0
+
+    # -- time (deterministic, monotonic) ------------------------------------
+    def _now(self) -> float:
+        self._clock += 1.0
+        return self._clock
+
+    # -- upload ---------------------------------------------------------------
+    def upload(self, record: PerformanceRecord, api_key: str) -> int:
+        """Store one record on behalf of the authenticated user.
+
+        The record's owner is forced to the authenticated user (uploads
+        cannot impersonate), and machine names are normalized against the
+        well-known tag database.
+        """
+        user = self.users.authenticate(api_key)
+        record.owner = user.username
+        record.timestamp = self._now()
+        if record.machine_configuration.get("machine_name"):
+            canonical = self.matcher.match_machine(
+                record.machine_configuration["machine_name"]
+            )
+            if canonical:
+                record.machine_configuration["machine_name"] = canonical
+        normalized_sw = {}
+        for package, payload in record.software_configuration.items():
+            canonical = self.matcher.match_software(package)
+            normalized_sw[canonical if canonical else package] = payload
+        record.software_configuration = normalized_sw
+        return self.store[_RECORDS].insert(record.to_doc())
+
+    def upload_many(self, records: list[PerformanceRecord], api_key: str) -> list[int]:
+        return [self.upload(r, api_key) for r in records]
+
+    # -- download ----------------------------------------------------------------
+    def _visible(self, doc: Mapping[str, Any], user: User) -> bool:
+        record = PerformanceRecord.from_doc(doc)
+        return record.accessibility.visible_to(
+            user.username, record.owner, sorted(user.groups)
+        )
+
+    def query(
+        self,
+        api_key: str,
+        *,
+        problem_name: str | None = None,
+        problem_space: Mapping[str, Any] | None = None,
+        configuration_space: Mapping[str, Any] | None = None,
+        require_success: bool = True,
+        limit: int | None = None,
+    ) -> list[PerformanceRecord]:
+        """Meta-description query (the crowd-tuning API's workhorse)."""
+        user = self.users.authenticate(api_key)
+        flt = build_filter(
+            problem_name,
+            problem_space,
+            configuration_space,
+            require_success=require_success,
+        )
+        docs = self.store[_RECORDS].find(flt, sort="timestamp")
+        visible = [d for d in docs if self._visible(d, user)]
+        if limit is not None:
+            visible = visible[: max(limit, 0)]
+        return [PerformanceRecord.from_doc(d) for d in visible]
+
+    def query_sql(self, api_key: str, sql: str) -> list[PerformanceRecord]:
+        """SQL-like query front-end (paper Sec. II-B)."""
+        user = self.users.authenticate(api_key)
+        q = SqlQuery.parse(sql)
+        docs = self.store[_RECORDS].find(
+            q.filter, sort=q.order_by, descending=q.descending
+        )
+        visible = [d for d in docs if self._visible(d, user)]
+        if q.limit is not None:
+            visible = visible[: q.limit]
+        return [PerformanceRecord.from_doc(d) for d in visible]
+
+    def delete_own(self, api_key: str, problem_name: str) -> int:
+        """Users may delete their own records for a problem."""
+        user = self.users.authenticate(api_key)
+        return self.store[_RECORDS].delete(
+            {"problem_name": problem_name, "owner": user.username}
+        )
+
+    # -- introspection ---------------------------------------------------------------
+    def problems(self, api_key: str) -> list[str]:
+        """Distinct problem names visible to the user."""
+        user = self.users.authenticate(api_key)
+        names = {
+            d["problem_name"]
+            for d in self.store[_RECORDS].find({})
+            if self._visible(d, user)
+        }
+        return sorted(names)
+
+    def count(self) -> int:
+        return len(self.store[_RECORDS])
+
+    # -- persistence -------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist records (user credentials are never written to disk)."""
+        self.store.save(path)
+
+    def load_records(self, path: str | Path) -> int:
+        """Merge performance records from a saved store into this one."""
+        other = DocumentStore.load(path)
+        if _RECORDS not in other:
+            raise ValueError(f"{path}: no {_RECORDS!r} collection")
+        docs = other[_RECORDS].find({})
+        for doc in docs:
+            doc.pop("_id", None)
+            self.store[_RECORDS].insert(doc)
+        return len(docs)
+
+    def merge_from(self, path: str | Path) -> dict[str, int]:
+        """Merge *every* collection of a saved store (records, stored
+        surrogate models, anything future) into this repository.
+
+        Returns per-collection merged-document counts.  This is the
+        import path for federating repositories — e.g. combining dumps
+        from two sites.
+        """
+        other = DocumentStore.load(path)
+        merged: dict[str, int] = {}
+        for name in other.collection_names():
+            docs = other[name].find({})
+            target = self.store.collection(name)
+            for doc in docs:
+                doc.pop("_id", None)
+                target.insert(doc)
+            merged[name] = len(docs)
+        return merged
+
+    # -- convenience for tests/examples ----------------------------------------------
+    def register_user(self, username: str, email: str) -> tuple[User, str]:
+        """Register a user and hand back their first API key."""
+        user = self.users.register(username, email)
+        try:
+            key = self.users.issue_api_key(username)
+        except Exception:
+            raise AuthError(f"could not issue key for {username}")
+        return user, key

@@ -1,0 +1,191 @@
+"""Request/response API service over the crowd repository.
+
+The production GPTuneCrowd repository is reached over HTTPS
+(gptune.lbl.gov).  No network exists in this environment, so this module
+implements the service *protocol* layer with the transport factored out:
+:class:`CrowdServer` maps JSON-shaped request dicts to JSON-shaped
+response dicts, one route per operation of the web API.  A real
+deployment would wrap :meth:`handle` in a dozen lines of any HTTP
+framework; the tests exercise the full protocol surface directly.
+
+Protocol conventions (mirroring typical REST-over-JSON services):
+
+* every request: ``{"route": <name>, "api_key": <key>, ...params}``
+  (``register`` alone requires no key),
+* success: ``{"ok": true, ...payload}``,
+* failure: ``{"ok": false, "error": <kind>, "message": <detail>}`` with
+  ``error`` in {"auth", "bad_request", "not_found"} — internal details
+  never leak into responses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Mapping
+
+from .models import ModelStore
+from .records import Accessibility, PerformanceRecord
+from .repository import CrowdRepository
+from .users import AuthError
+from .views import contributor_stats, leaderboard, render_html
+
+__all__ = ["CrowdServer"]
+
+
+class CrowdServer:
+    """Transport-free request dispatcher for the crowd service."""
+
+    def __init__(self, repository: CrowdRepository | None = None) -> None:
+        self.repository = repository if repository is not None else CrowdRepository()
+        self.models = ModelStore(self.repository)
+        self._routes: dict[str, Callable[[Mapping[str, Any]], dict[str, Any]]] = {
+            "register": self._route_register,
+            "issue_key": self._route_issue_key,
+            "upload": self._route_upload,
+            "query": self._route_query,
+            "query_sql": self._route_query_sql,
+            "problems": self._route_problems,
+            "upload_model": self._route_upload_model,
+            "query_models": self._route_query_models,
+            "leaderboard": self._route_leaderboard,
+            "contributors": self._route_contributors,
+            "browse_html": self._route_browse_html,
+        }
+
+    # -- dispatch ----------------------------------------------------------
+    def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Process one request dict; never raises."""
+        if not isinstance(request, Mapping):
+            return _bad_request("request must be an object")
+        route = request.get("route")
+        handler = self._routes.get(route)
+        if handler is None:
+            return {
+                "ok": False,
+                "error": "not_found",
+                "message": f"unknown route {route!r}",
+            }
+        try:
+            return handler(request)
+        except AuthError as exc:
+            return {"ok": False, "error": "auth", "message": str(exc)}
+        except (KeyError, TypeError, ValueError) as exc:
+            return _bad_request(str(exc))
+
+    def handle_json(self, payload: str) -> str:
+        """Wire-format entry point: JSON string in, JSON string out."""
+        try:
+            request = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            return json.dumps(_bad_request(f"invalid JSON: {exc.msg}"))
+        return json.dumps(self.handle(request), default=str)
+
+    def routes(self) -> list[str]:
+        return sorted(self._routes)
+
+    # -- account routes -------------------------------------------------------
+    def _route_register(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        user = self.repository.users.register(req["username"], req["email"])
+        key = self.repository.users.issue_api_key(user.username)
+        return {"ok": True, "username": user.username, "api_key": key}
+
+    def _route_issue_key(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        user = self.repository.users.authenticate(req["api_key"])
+        new_key = self.repository.users.issue_api_key(user.username)
+        return {"ok": True, "api_key": new_key}
+
+    # -- record routes -----------------------------------------------------------
+    def _route_upload(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        record = PerformanceRecord(
+            problem_name=req["problem_name"],
+            task_parameters=dict(req["task_parameters"]),
+            tuning_parameters=dict(req["tuning_parameters"]),
+            output=req.get("output"),
+            machine_configuration=dict(req.get("machine_configuration", {})),
+            software_configuration=dict(req.get("software_configuration", {})),
+            accessibility=Accessibility.from_dict(req.get("accessibility")),
+        )
+        self.repository.upload(record, req["api_key"])
+        return {"ok": True, "uid": record.uid}
+
+    def _route_query(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        records = self.repository.query(
+            req["api_key"],
+            problem_name=req.get("problem_name"),
+            problem_space=req.get("problem_space"),
+            configuration_space=req.get("configuration_space"),
+            require_success=bool(req.get("require_success", True)),
+            limit=req.get("limit"),
+        )
+        return {"ok": True, "records": [r.to_doc() for r in records]}
+
+    def _route_query_sql(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        records = self.repository.query_sql(req["api_key"], req["sql"])
+        return {"ok": True, "records": [r.to_doc() for r in records]}
+
+    def _route_problems(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        return {"ok": True, "problems": self.repository.problems(req["api_key"])}
+
+    # -- model routes ---------------------------------------------------------------
+    def _route_upload_model(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        from ..core.gp import GaussianProcess
+
+        gp = GaussianProcess.from_dict(dict(req["model"]))
+        uid = self.models.upload_model(
+            req["api_key"],
+            req["problem_name"],
+            dict(req["task_parameters"]),
+            gp,
+            accessibility=Accessibility.from_dict(req.get("accessibility")),
+        )
+        return {"ok": True, "uid": uid}
+
+    def _route_query_models(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        models = self.models.query_models(
+            req["api_key"], req["problem_name"], task=req.get("task_parameters")
+        )
+        return {
+            "ok": True,
+            "models": [
+                {
+                    "problem_name": m.problem_name,
+                    "task_parameters": m.task_parameters,
+                    "owner": m.owner,
+                    "n_samples": m.n_samples,
+                    "model": m._payload,
+                }
+                for m in models
+            ],
+        }
+
+    # -- browse routes ------------------------------------------------------------------
+    def _route_leaderboard(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        rows = leaderboard(self.repository, req["api_key"], req["problem_name"])
+        return {
+            "ok": True,
+            "rows": [
+                {
+                    "task_parameters": r.task_parameters,
+                    "best_output": r.best_output,
+                    "best_configuration": r.best_configuration,
+                    "best_owner": r.best_owner,
+                    "n_samples": r.n_samples,
+                    "n_failures": r.n_failures,
+                }
+                for r in rows
+            ],
+        }
+
+    def _route_contributors(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        stats = contributor_stats(
+            self.repository, req["api_key"], req["problem_name"]
+        )
+        return {"ok": True, "contributors": stats}
+
+    def _route_browse_html(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        html = render_html(self.repository, req["api_key"], req["problem_name"])
+        return {"ok": True, "html": html}
+
+
+def _bad_request(message: str) -> dict[str, Any]:
+    return {"ok": False, "error": "bad_request", "message": message}

@@ -1,0 +1,84 @@
+"""Interconnect cost model (system S21): alpha-beta with collectives.
+
+The classic LogP-style alpha-beta model: a message of ``n`` bytes between
+two ranks costs ``alpha + n * beta`` seconds, where ``alpha`` is latency
+and ``beta`` inverse bandwidth.  Collective costs use the standard
+tree/ring algorithm bounds that MPI implementations achieve:
+
+* broadcast / reduce:  ``ceil(log2 p) * (alpha + n beta)``  (binomial tree)
+* allreduce:           ``2 (p-1)/p n beta + 2 ceil(log2 p) alpha``
+                       (Rabenseifner ring for large n)
+* allgather / all-to-all: ring bounds.
+
+Intra-node messages use a separate (much faster) alpha/beta pair; the
+caller states how many of the communicating ranks share a node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NetworkModel", "CORI_ARIES", "SHARED_MEMORY"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """alpha-beta interconnect parameters (seconds, seconds/byte)."""
+
+    name: str
+    alpha: float  # point-to-point latency
+    beta: float  # inverse bandwidth (s per byte)
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+
+    # -- point-to-point -----------------------------------------------------
+    def p2p(self, nbytes: float) -> float:
+        """One message of ``nbytes``."""
+        return self.alpha + max(nbytes, 0.0) * self.beta
+
+    # -- collectives --------------------------------------------------------
+    def bcast(self, nbytes: float, p: int) -> float:
+        """Binomial-tree broadcast among ``p`` ranks."""
+        if p <= 1:
+            return 0.0
+        return math.ceil(math.log2(p)) * self.p2p(nbytes)
+
+    def reduce(self, nbytes: float, p: int) -> float:
+        """Binomial-tree reduction (same asymptotics as bcast)."""
+        return self.bcast(nbytes, p)
+
+    def allreduce(self, nbytes: float, p: int) -> float:
+        """Rabenseifner-style allreduce."""
+        if p <= 1:
+            return 0.0
+        steps = math.ceil(math.log2(p))
+        return 2.0 * steps * self.alpha + 2.0 * (p - 1) / p * nbytes * self.beta
+
+    def allgather(self, nbytes_per_rank: float, p: int) -> float:
+        """Ring allgather; each rank contributes ``nbytes_per_rank``."""
+        if p <= 1:
+            return 0.0
+        return (p - 1) * self.p2p(nbytes_per_rank)
+
+    def alltoall(self, nbytes_per_pair: float, p: int) -> float:
+        """Pairwise-exchange all-to-all."""
+        if p <= 1:
+            return 0.0
+        return (p - 1) * self.p2p(nbytes_per_pair)
+
+    def scatter(self, nbytes_per_rank: float, p: int) -> float:
+        if p <= 1:
+            return 0.0
+        return math.ceil(math.log2(p)) * self.alpha + (
+            (p - 1) / p
+        ) * p * nbytes_per_rank * self.beta / max(p, 1)
+
+
+#: Cray Aries (Cori's interconnect): ~1.2 us latency, ~10 GB/s per-rank BW
+CORI_ARIES = NetworkModel("cray-aries", alpha=1.2e-6, beta=1.0e-10)
+
+#: intra-node shared-memory transport
+SHARED_MEMORY = NetworkModel("shm", alpha=4.0e-7, beta=1.5e-11)

@@ -1,0 +1,170 @@
+"""Virtual-time SPMD simulator (system S21's message-level companion).
+
+Executes real per-rank Python programs under simulated time: each rank is
+a generator that *yields* communication actions (send / recv / compute /
+barrier-style collectives), and the simulator advances per-rank virtual
+clocks, matches messages by (source, destination, tag), and charges
+alpha-beta transfer costs.
+
+This is deliberately a cooperative single-threaded discrete-event engine
+— no real parallelism, no nondeterminism — so tests can assert exact
+virtual times.  It serves two purposes:
+
+* validating the closed-form collective costs used by :class:`CostComm`
+  against an actual message schedule (tests/hpc/test_simulator.py), and
+* the ``examples/spmd_simulation.py`` walkthrough of how the machine
+  substrate executes rank programs.
+
+Rank programs yield action tuples:
+
+    ("compute", seconds)           advance local clock
+    ("send", dest, nbytes, tag)    non-blocking-ish eager send
+    ("recv", src, nbytes, tag)     blocks until matching send
+    ("barrier",)                   synchronize all ranks
+
+``run`` returns per-rank finish times (the makespan is their max).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from .network import NetworkModel
+
+__all__ = ["SpmdSimulator", "DeadlockError", "RankProgram"]
+
+RankProgram = Callable[[int, int], Generator[tuple, Any, None]]
+
+
+class DeadlockError(RuntimeError):
+    """All unfinished ranks are blocked on receives that can never match."""
+
+
+@dataclass
+class _PendingSend:
+    time_sent: float
+    nbytes: float
+
+
+class SpmdSimulator:
+    """Discrete-event executor for ``size`` rank generators."""
+
+    def __init__(self, size: int, network: NetworkModel) -> None:
+        if size < 1:
+            raise ValueError("need >= 1 rank")
+        self.size = size
+        self.network = network
+
+    def run(self, program: RankProgram) -> list[float]:
+        """Execute ``program(rank, size)`` on every rank; returns clocks."""
+        gens = [program(r, self.size) for r in range(self.size)]
+        clocks = [0.0] * self.size
+        finished = [False] * self.size
+        # mailbox[(src, dst, tag)] -> queue of pending sends
+        mailbox: dict[tuple[int, int, Any], deque[_PendingSend]] = defaultdict(deque)
+        # blocked[r] = ("recv", src, nbytes, tag) or ("barrier",)
+        blocked: dict[int, tuple] = {}
+        barrier_wait: set[int] = set()
+
+        def step(r: int, send_value: Any = None) -> None:
+            """Advance rank ``r`` until it blocks or finishes."""
+            gen = gens[r]
+            value = send_value
+            while True:
+                try:
+                    action = gen.send(value) if value is not None else next(gen)
+                except StopIteration:
+                    finished[r] = True
+                    return
+                value = None
+                kind = action[0]
+                if kind == "compute":
+                    clocks[r] += float(action[1])
+                elif kind == "send":
+                    _, dest, nbytes, *rest = action
+                    tag = rest[0] if rest else 0
+                    if not 0 <= dest < self.size:
+                        raise ValueError(f"rank {r}: send to invalid rank {dest}")
+                    mailbox[(r, dest, tag)].append(_PendingSend(clocks[r], nbytes))
+                    # eager send: local cost is the latency only
+                    clocks[r] += self.network.alpha
+                elif kind == "recv":
+                    blocked[r] = action
+                    return
+                elif kind == "barrier":
+                    blocked[r] = action
+                    barrier_wait.add(r)
+                    return
+                else:
+                    raise ValueError(f"rank {r}: unknown action {action!r}")
+
+        for r in range(self.size):
+            step(r)
+
+        while blocked:
+            progressed = False
+            # complete any satisfiable receives
+            for r, action in list(blocked.items()):
+                if action[0] != "recv":
+                    continue
+                _, src, nbytes, *rest = action
+                tag = rest[0] if rest else 0
+                queue = mailbox.get((src, r, tag))
+                if queue:
+                    send = queue.popleft()
+                    arrival = send.time_sent + self.network.p2p(send.nbytes)
+                    clocks[r] = max(clocks[r], arrival)
+                    del blocked[r]
+                    progressed = True
+                    step(r, send_value=nbytes)
+            # release a completed barrier
+            if barrier_wait and len(barrier_wait) == sum(
+                1 for f in finished if not f
+            ) + 0 and all(
+                blocked.get(r, ("",))[0] == "barrier" for r in barrier_wait
+            ):
+                active = [r for r in range(self.size) if not finished[r]]
+                if set(active) == barrier_wait:
+                    t = max(clocks[r] for r in barrier_wait)
+                    t += self.network.allreduce(8, len(barrier_wait))
+                    for r in sorted(barrier_wait):
+                        clocks[r] = t
+                        del blocked[r]
+                    barrier_wait.clear()
+                    progressed = True
+                    for r in active:
+                        step(r)
+            if not progressed:
+                stuck = {r: blocked[r] for r in blocked}
+                raise DeadlockError(f"no rank can progress; blocked: {stuck}")
+        if not all(finished):
+            # ranks that never blocked are already finished; sanity check
+            unfinished = [r for r, f in enumerate(finished) if not f]
+            raise DeadlockError(f"ranks {unfinished} neither blocked nor finished")
+        return clocks
+
+    # -- reference collectives (built from the primitive actions) ----------------
+    @staticmethod
+    def bcast_program(
+        root: int, nbytes: float, work: Iterable[float] | None = None
+    ) -> RankProgram:
+        """A binomial-tree broadcast as a rank program (for validation)."""
+
+        def program(rank: int, size: int):
+            w = list(work) if work is not None else [0.0] * size
+            yield ("compute", w[rank])
+            rel = (rank - root) % size
+            mask = 1
+            while mask < size:
+                if rel < mask:
+                    partner = rel | mask
+                    if partner < size:
+                        yield ("send", (partner + root) % size, nbytes, mask)
+                elif rel < 2 * mask:
+                    partner = rel ^ mask
+                    yield ("recv", (partner + root) % size, nbytes, mask)
+                mask <<= 1
+
+        return program

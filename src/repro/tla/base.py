@@ -1,0 +1,154 @@
+"""Transfer-learning strategy interface (system S7, paper Sec. V).
+
+A :class:`TLAStrategy` turns *source-task datasets* (queried from the
+crowd repository) plus the growing *target-task history* into a surrogate
+``predict(X) -> (mean, std)`` that the shared acquisition search consumes.
+
+The lifecycle, driven by :class:`repro.tla.tuner.TransferTuner`:
+
+1. :meth:`prepare` — once, with the source datasets (pre-train source GPs).
+2. per iteration: :meth:`model` — build/refresh the transfer surrogate
+   from current target data; the tuner then searches and evaluates.
+3. :meth:`notify_proposal` / :meth:`notify_result` — hooks for stateful
+   strategies (Multitask(PS) grows pseudo samples on proposals; the
+   ensemble updates its per-algorithm best outputs on results).
+
+When the target task has no data at all, every strategy falls back to the
+equal-weight combination of the source surrogates — the paper's choice
+for the first function evaluation (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..core.acquisition import PredictFn
+from ..core.gp import GaussianProcess, GPFitError
+from ..core.history import TaskData
+from ..core.kernels import kernel_from_name
+
+__all__ = ["TLAStrategy", "fit_source_gps", "equal_weight_model", "combine_weighted"]
+
+
+def fit_source_gps(
+    sources: list[TaskData],
+    rng: np.random.Generator,
+    *,
+    kernel: str = "rbf",
+    max_fun: int = 80,
+) -> list[GaussianProcess]:
+    """Pre-train one GP surrogate per source dataset."""
+    gps = []
+    for src in sources:
+        if src.n == 0:
+            raise ValueError(f"source dataset {src.label!r} is empty")
+        gp = GaussianProcess(
+            kernel_from_name(kernel, src.dim),
+            max_fun=max_fun,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        gp.fit(src.X, src.y)
+        gps.append(gp)
+    return gps
+
+
+def combine_weighted(
+    models: list[PredictFn], weights: np.ndarray
+) -> PredictFn:
+    """The paper's Eq. (1)-(2): weighted arithmetic mean of the means and
+    weighted geometric mean of the standard deviations."""
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != (len(models),):
+        raise ValueError(f"need {len(models)} weights, got shape {weights.shape}")
+
+    def predict(X: np.ndarray):
+        mean = np.zeros(X.shape[0])
+        log_std = np.zeros(X.shape[0])
+        for w, m in zip(weights, models):
+            mu, sd = m(X)
+            mean += w * mu
+            log_std += w * np.log(np.maximum(sd, 1e-12))
+        return mean, np.exp(log_std)
+
+    return predict
+
+
+def equal_weight_model(source_gps: list[GaussianProcess]) -> PredictFn:
+    """Equal-weight combination of the source surrogates only.
+
+    Used for the very first target evaluation, when neither dynamic
+    weights nor an LCM can be formed (paper Sec. VI-A note).
+    """
+    if not source_gps:
+        raise ValueError("need at least one source surrogate")
+    return combine_weighted([gp.predict for gp in source_gps], np.ones(len(source_gps)))
+
+
+class TLAStrategy(ABC):
+    """Base class for the TLA pool entries of the paper's Table I."""
+
+    #: pool name, e.g. "Multitask (TS)"
+    name: str = "abstract"
+    #: provenance per Table I ("[11]", "[6]", "[12]", or "GPTuneCrowd")
+    provenance: str = ""
+
+    def __init__(self, *, kernel: str = "rbf", gp_max_fun: int = 80) -> None:
+        self.kernel = kernel
+        self.gp_max_fun = gp_max_fun
+        self.sources: list[TaskData] = []
+        self.source_gps: list[GaussianProcess] = []
+        #: set once prepare()/prepare_from_models() has run; the transfer
+        #: tuner skips re-preparation for already-prepared strategies
+        self.prepared = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def prepare(self, sources: list[TaskData], rng: np.random.Generator) -> None:
+        """One-time setup with the queried source datasets."""
+        if not sources:
+            raise ValueError(f"{self.name}: transfer learning needs >= 1 source task")
+        dims = {s.dim for s in sources}
+        if len(dims) != 1:
+            raise ValueError(f"{self.name}: source dims differ: {dims}")
+        self.sources = list(sources)
+        self.source_gps = fit_source_gps(
+            sources, rng, kernel=self.kernel, max_fun=self.gp_max_fun
+        )
+        self.prepared = True
+
+    @abstractmethod
+    def model(self, target: TaskData, rng: np.random.Generator) -> PredictFn | None:
+        """Build the transfer surrogate for the current target data.
+
+        Returns ``None`` if no model can be formed (the tuner then falls
+        back to the equal-weight source combination, or random search if
+        even that fails).
+        """
+
+    # -- optional hooks ----------------------------------------------------------
+    def notify_proposal(self, x_unit: np.ndarray, rng: np.random.Generator) -> None:
+        """Called with the unit-cube point chosen for evaluation."""
+
+    def notify_result(self, x_unit: np.ndarray, y: float | None) -> None:
+        """Called with the evaluation outcome (``None`` on failure)."""
+
+    # -- fallback shared by subclasses ----------------------------------------------
+    def _target_gp(
+        self, target: TaskData, rng: np.random.Generator
+    ) -> GaussianProcess | None:
+        if target.n == 0:
+            return None
+        gp = GaussianProcess(
+            kernel_from_name(self.kernel, target.dim),
+            max_fun=self.gp_max_fun,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        try:
+            gp.fit(target.X, target.y)
+        except GPFitError:
+            return None
+        return gp
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name!r}>"

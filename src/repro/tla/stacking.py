@@ -1,0 +1,116 @@
+"""Stacking TLA — Google Vizier's residual-model transfer [12] (Sec. V-D).
+
+Sources are ordered by sample count (largest first, the paper's choice).
+A GP is fit to the first source; each subsequent source gets a GP on the
+*residuals* between its observations and the running stack's mean; the
+target task contributes a final residual GP refit at every iteration.
+
+    mu(x) = mu'_target(x) + sum_i mu'_src_i(x)
+
+The standard deviation combines iteratively through sample-count-weighted
+geometric means:
+
+    sigma_i(x) = sigma'_i(x)^beta_i * sigma_{i-1}(x)^{1-beta_i},
+    beta_i = n_i / (n_i + n_{i-1})
+
+ending with ``beta = n_target / (n_target + n_src_last)`` for the target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.acquisition import PredictFn
+from ..core.gp import GaussianProcess, GPFitError
+from ..core.history import TaskData
+from ..core.kernels import kernel_from_name
+from .base import TLAStrategy, equal_weight_model
+
+__all__ = ["Stacking"]
+
+
+class Stacking(TLAStrategy):
+    """Vizier-style stacked residual surrogates."""
+
+    name = "Stacking"
+    provenance = "[12]"
+
+    #: stacking orders: "samples" (paper: largest source first),
+    #: "given" (query order), "reverse" (smallest first; ablation)
+    ORDERS = ("samples", "given", "reverse")
+
+    def __init__(self, order: str = "samples", **kwargs) -> None:
+        super().__init__(**kwargs)
+        if order not in self.ORDERS:
+            raise ValueError(f"order must be one of {self.ORDERS}, got {order!r}")
+        self.order = order
+        self._stack: list[GaussianProcess] = []
+        self._stack_ns: list[int] = []
+
+    # -- source stack (built once) ----------------------------------------
+    def prepare(self, sources: list[TaskData], rng: np.random.Generator) -> None:
+        super().prepare(sources, rng)
+        if self.order == "samples":
+            ordered = sorted(sources, key=lambda s: s.n, reverse=True)
+        elif self.order == "reverse":
+            ordered = sorted(sources, key=lambda s: s.n)
+        else:
+            ordered = list(sources)
+        self._stack = []
+        self._stack_ns = []
+        for src in ordered:
+            if self._stack:
+                residual = src.y - self._stack_mean(src.X)
+            else:
+                residual = src.y
+            gp = GaussianProcess(
+                kernel_from_name(self.kernel, src.dim),
+                max_fun=self.gp_max_fun,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            gp.fit(src.X, residual)
+            self._stack.append(gp)
+            self._stack_ns.append(src.n)
+
+    def _stack_mean(self, X: np.ndarray) -> np.ndarray:
+        mean = np.zeros(X.shape[0])
+        for gp in self._stack:
+            mean += gp.predict_mean(X)
+        return mean
+
+    def _stack_std(self, X: np.ndarray) -> np.ndarray:
+        """Iterative sample-weighted geometric mean over the source stack."""
+        _, std = self._stack[0].predict(X)
+        running = np.maximum(std, 1e-12)
+        for gp, n_i, n_prev in zip(
+            self._stack[1:], self._stack_ns[1:], self._stack_ns[:-1]
+        ):
+            _, s_i = gp.predict(X)
+            beta = n_i / (n_i + n_prev)
+            running = np.maximum(s_i, 1e-12) ** beta * running ** (1.0 - beta)
+        return running
+
+    # -- per-iteration target residual ------------------------------------
+    def model(self, target: TaskData, rng: np.random.Generator) -> PredictFn | None:
+        if target.n == 0:
+            return equal_weight_model(self.source_gps)
+        residual = target.y - self._stack_mean(target.X)
+        tgt = GaussianProcess(
+            kernel_from_name(self.kernel, target.dim),
+            max_fun=self.gp_max_fun,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        try:
+            tgt.fit(target.X, residual)
+        except GPFitError:
+            return None
+        n_t, n_last = target.n, self._stack_ns[-1]
+        beta = n_t / (n_t + n_last)
+
+        def predict(X: np.ndarray):
+            mu_t, sd_t = tgt.predict(X)
+            mean = mu_t + self._stack_mean(X)
+            sd = np.maximum(sd_t, 1e-12) ** beta * self._stack_std(X) ** (1.0 - beta)
+            return mean, sd
+
+        return predict

@@ -1,0 +1,125 @@
+"""Transfer-learning tuning loop (system S7's driver).
+
+:class:`TransferTuner` extends the core BO loop: instead of an initial
+random design plus a target-only GP, every proposal comes from the TLA
+strategy's transfer surrogate.  The very first evaluation — when no
+target data exists and neither dynamic weights nor an LCM has anything to
+fit — falls back to the equal-weight combination of the source
+surrogates, matching the paper's experimental protocol (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.feasibility import KnnFeasibility
+from ..core.history import History, TaskData
+from ..core.optimizer import search_next
+from ..core.problem import TuningProblem
+from ..core.tuner import Tuner, TunerOptions
+from .base import TLAStrategy, equal_weight_model
+
+__all__ = ["TransferTuner"]
+
+
+class TransferTuner(Tuner):
+    """BO tuner whose surrogate is a TLA strategy over crowd source data.
+
+    Parameters
+    ----------
+    problem:
+        Target tuning problem.
+    strategy:
+        A :class:`repro.tla.base.TLAStrategy` (one of the paper's
+        Table I pool).
+    sources:
+        Source-task datasets, e.g. from
+        :meth:`repro.crowd.api.CrowdClient.query_source_data`.
+    """
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        strategy: TLAStrategy,
+        sources: list[TaskData],
+        options: TunerOptions | None = None,
+        callbacks=None,
+    ) -> None:
+        opts = options or TunerOptions()
+        opts.n_initial = 0  # transfer replaces the random initial design
+        super().__init__(problem, opts, callbacks)
+        self.strategy = strategy
+        self.sources = list(sources)
+        self.name = strategy.name
+
+    # -- hooks ------------------------------------------------------------
+    def _prepare(self, task: Mapping[str, Any], rng: np.random.Generator) -> None:
+        super()._prepare(task, rng)
+        if not self.strategy.prepared:
+            self.strategy.prepare(self.sources, rng)
+
+    def _propose(self, hist: History, rng: np.random.Generator) -> dict[str, Any]:
+        target = hist.as_task_data()
+        predict = self.strategy.model(target, rng)
+        if predict is None:
+            try:
+                predict = equal_weight_model(self.strategy.source_gps)
+            except ValueError:
+                return self._initial_config(
+                    self.options.make_sampler(), hist, self._feasible, rng
+                )
+        X_failed = hist.failed_array()
+        config = search_next(
+            predict,
+            self.problem.parameter_space,
+            self.options.acquisition,
+            rng,
+            X_obs=target.X,
+            evaluated=hist.configs(),
+            X_failed=X_failed,
+            p_feasible=self._crowd_feasibility(target, X_failed),
+            feasible=self._feasible,
+            options=self.options.search,
+        )
+        x_unit = self.problem.parameter_space.to_unit(config)
+        self.strategy.notify_proposal(x_unit, rng)
+        self._last_x_unit = x_unit
+        return config
+
+    def _crowd_feasibility(self, target: TaskData, X_failed):
+        """P(feasible) learned from target history *and* the sources'
+        recorded failures (the crowd database stores failed samples too;
+        an OOM region observed on a source task warns the target run)."""
+        if not self.options.learn_feasibility:
+            return None
+        fails = [X_failed] + [
+            s.X_failed for s in self.sources if s.X_failed is not None
+        ]
+        fails = [f for f in fails if f is not None and len(f)]
+        if not fails:
+            return None
+        oks = [target.X] + [s.X for s in self.sources]
+        model = KnnFeasibility(np.vstack(oks), np.vstack(fails))
+        return model.predict_proba
+
+    def tune(self, task, n_samples, *, seed=None, history=None):
+        """Run the transfer-tuning loop (see :meth:`Tuner.tune`).
+
+        Wraps the parent loop so strategy result-notifications fire after
+        each evaluation (the base loop invokes callbacks; we register a
+        bridge callback bound to this run).
+        """
+        self._last_x_unit = None
+
+        def _notify(evaluation):
+            if self._last_x_unit is not None:
+                y = None if evaluation.failed else float(evaluation.output)
+                self.strategy.notify_result(self._last_x_unit, y)
+
+        self.callbacks.append(_notify)
+        try:
+            return super().tune(task, n_samples, seed=seed, history=history)
+        finally:
+            self.callbacks.remove(_notify)

@@ -1,0 +1,91 @@
+"""Tests for the application base class and deterministic noise."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import deterministic_seed
+from repro.apps.synthetic import DemoFunction
+from repro.apps import PDGEQRF
+from repro.hpc import cori_haswell
+
+
+class TestDeterministicSeed:
+    def test_stable(self):
+        assert deterministic_seed("a", {"x": 1}) == deterministic_seed("a", {"x": 1})
+
+    def test_order_independent_dicts(self):
+        assert deterministic_seed({"a": 1, "b": 2}) == deterministic_seed(
+            {"b": 2, "a": 1}
+        )
+
+    def test_distinguishes_content(self):
+        assert deterministic_seed("a") != deterministic_seed("b")
+        assert deterministic_seed({"x": 1}) != deterministic_seed({"x": 2})
+
+    def test_numpy_scalars_canonical(self):
+        import numpy as np
+
+        assert deterministic_seed({"x": np.int64(3)}) == deterministic_seed({"x": 3})
+        assert deterministic_seed({"x": np.float64(0.5)}) == deterministic_seed(
+            {"x": 0.5}
+        )
+
+
+class TestObjectiveNoise:
+    @pytest.fixture
+    def app(self):
+        app = PDGEQRF(cori_haswell(2))
+        return app
+
+    def test_noiseless_app_returns_raw(self):
+        app = DemoFunction()  # noise_sigma = 0
+        task, cfg = {"t": 1.0}, {"x": 0.5}
+        assert app.objective(task, cfg) == app.raw_objective(task, cfg)
+
+    def test_noise_reproducible_per_run(self, app):
+        task = {"m": 5000, "n": 5000}
+        cfg = {"mb": 4, "nb": 4, "lg2npernode": 5, "p": 8}
+        a = app.objective(task, cfg, run=0)
+        b = app.objective(task, cfg, run=0)
+        assert a == b
+
+    def test_noise_differs_across_runs(self, app):
+        task = {"m": 5000, "n": 5000}
+        cfg = {"mb": 4, "nb": 4, "lg2npernode": 5, "p": 8}
+        assert app.objective(task, cfg, run=0) != app.objective(task, cfg, run=1)
+
+    def test_noise_is_small_multiplicative(self, app):
+        task = {"m": 5000, "n": 5000}
+        cfg = {"mb": 4, "nb": 4, "lg2npernode": 5, "p": 8}
+        raw = app.raw_objective(task, cfg)
+        noisy = app.objective(task, cfg, run=3)
+        assert abs(noisy / raw - 1.0) < 0.25
+
+    def test_failures_pass_through(self, app):
+        task = {"m": 5000, "n": 5000}
+        bad = {"mb": 4, "nb": 4, "lg2npernode": 0, "p": 60}  # p > ranks
+        assert app.objective(task, bad, run=0) is None
+
+
+class TestMakeProblem:
+    def test_problem_wiring(self):
+        app = DemoFunction()
+        p = app.make_problem()
+        assert p.name == "demo"
+        assert p.parameter_space.names == ["x"]
+        ev = p.evaluate({"t": 1.0}, {"x": 0.5})
+        assert not ev.failed
+
+    def test_noisy_flag(self):
+        app = PDGEQRF(cori_haswell(2))
+        task = app.default_task()
+        cfg = {"mb": 4, "nb": 4, "lg2npernode": 5, "p": 8}
+        raw_p = app.make_problem(noisy=False)
+        noisy_p = app.make_problem(noisy=True, run=1)
+        assert raw_p.objective(task, cfg) == app.raw_objective(task, cfg)
+        assert noisy_p.objective(task, cfg) != raw_p.objective(task, cfg)
+
+    def test_default_task_valid(self):
+        for app in (DemoFunction(), PDGEQRF(cori_haswell(2))):
+            app.input_space().validate(app.default_task())

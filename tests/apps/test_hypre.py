@@ -1,0 +1,132 @@
+"""Tests for the Hypre GMRES+BoomerAMG model (paper Sec. VI-E, Table V)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import HYPRE_DEFAULTS, HypreAMG
+from repro.hpc import cori_haswell
+
+TASK = {"nx": 100, "ny": 100, "nz": 100}
+GOOD = {
+    "Px": 2,
+    "Py": 4,
+    "Nproc": 31,
+    "strong_threshold": 0.25,
+    "trunc_factor": 0.0,
+    "P_max_elmts": 4,
+    "coarsen_type": "falgout",
+    "relax_type": "hybrid-gs",
+    "smooth_type": "parasails",
+    "smooth_num_levels": 4,
+    "interp_type": "classical",
+    "agg_num_levels": 3,
+}
+
+
+@pytest.fixture(scope="module")
+def app():
+    return HypreAMG(cori_haswell(1))
+
+
+class TestSpaces:
+    def test_twelve_parameters(self, app):
+        """Table V lists exactly 12 tuning parameters."""
+        space = app.parameter_space()
+        assert space.dim == 12
+        assert space.names == [
+            "Px",
+            "Py",
+            "Nproc",
+            "strong_threshold",
+            "trunc_factor",
+            "P_max_elmts",
+            "coarsen_type",
+            "relax_type",
+            "smooth_type",
+            "smooth_num_levels",
+            "interp_type",
+            "agg_num_levels",
+        ]
+
+    def test_ranges_match_table5(self, app):
+        space = app.parameter_space()
+        for name in ("Px", "Py", "Nproc"):
+            assert (space[name].low, space[name].high) == (1, 32)
+        assert (space["P_max_elmts"].low, space["P_max_elmts"].high) == (1, 12)
+        assert (space["smooth_num_levels"].low, space["smooth_num_levels"].high) == (0, 5)
+        assert (space["agg_num_levels"].low, space["agg_num_levels"].high) == (0, 5)
+        assert space["coarsen_type"].n_values == 8
+        assert space["relax_type"].n_values == 6
+        assert space["smooth_type"].n_values == 5
+        assert space["interp_type"].n_values == 7
+
+    def test_defaults_valid(self, app):
+        space = app.parameter_space()
+        for key, value in HYPRE_DEFAULTS.items():
+            assert space[key].contains(value), key
+
+    def test_default_task_is_papers(self, app):
+        assert app.default_task() == TASK
+
+
+class TestModelShape:
+    def test_positive_runtime(self, app):
+        y = app.raw_objective(TASK, GOOD)
+        assert y is not None and y > 0
+
+    def test_problem_size_scaling(self, app):
+        small = app.raw_objective({"nx": 50, "ny": 50, "nz": 50}, GOOD)
+        large = app.raw_objective({"nx": 150, "ny": 150, "nz": 150}, GOOD)
+        assert large > small * 10
+
+    def test_smoother_and_levels_interact(self, app):
+        """Table V's signature: smooth_type only matters when
+        smooth_num_levels > 0."""
+        off = dict(GOOD, smooth_num_levels=0)
+        y_par = app.raw_objective(TASK, dict(off, smooth_type="parasails"))
+        y_pil = app.raw_objective(TASK, dict(off, smooth_type="pilut"))
+        assert y_par == pytest.approx(y_pil, rel=1e-9)
+
+        on = dict(GOOD, smooth_num_levels=4)
+        y_par = app.raw_objective(TASK, dict(on, smooth_type="parasails"))
+        y_pil = app.raw_objective(TASK, dict(on, smooth_type="pilut"))
+        assert y_pil > y_par * 1.5
+
+    def test_aggressive_coarsening_helps(self, app):
+        y0 = app.raw_objective(TASK, dict(GOOD, agg_num_levels=0))
+        y3 = app.raw_objective(TASK, dict(GOOD, agg_num_levels=3))
+        assert y3 < y0
+
+    def test_px_nearly_free(self, app):
+        """Table V: Px has ~zero sensitivity."""
+        ys = [app.raw_objective(TASK, dict(GOOD, Px=px)) for px in (1, 8, 31)]
+        assert max(ys) < min(ys) * 1.1
+
+    def test_py_matters_more_than_px(self, app):
+        spread = lambda key: max(
+            app.raw_objective(TASK, dict(GOOD, **{key: v})) for v in (1, 31)
+        ) / min(app.raw_objective(TASK, dict(GOOD, **{key: v})) for v in (1, 31))
+        assert spread("Py") > spread("Px")
+
+    def test_nproc_mild(self, app):
+        """AMG is bandwidth bound: Nproc swings runtime far less than
+        linearly."""
+        y1 = app.raw_objective(TASK, dict(GOOD, Nproc=1, Px=1, Py=1))
+        y31 = app.raw_objective(TASK, dict(GOOD, Nproc=31, Px=1, Py=1))
+        assert y1 < y31 * 3
+
+    def test_minor_knobs_are_minor(self, app):
+        for key, values in [
+            ("strong_threshold", (0.0, 0.9)),
+            ("trunc_factor", (0.0, 0.9)),
+            ("P_max_elmts", (1, 11)),
+        ]:
+            ys = [app.raw_objective(TASK, dict(GOOD, **{key: v})) for v in values]
+            assert max(ys) < min(ys) * 1.25, key
+
+    def test_never_fails(self, app, rng):
+        space = app.parameter_space()
+        for _ in range(60):
+            assert app.raw_objective(TASK, space.sample(rng)) is not None

@@ -1,0 +1,134 @@
+"""Tests for the NIMROD model (paper Sec. VI-C, Table III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import NIMROD
+from repro.hpc import cori_haswell, cori_knl
+
+SRC_TASK = {"mx": 5, "my": 7, "lphi": 1}
+BIG_TASK = {"mx": 6, "my": 8, "lphi": 1}
+GOOD = {"NSUP": 230, "NREL": 18, "nbx": 2, "nby": 2, "npz": 1}
+
+
+@pytest.fixture(scope="module")
+def app32():
+    return NIMROD(cori_haswell(32))
+
+
+@pytest.fixture(scope="module")
+def app64():
+    return NIMROD(cori_haswell(64))
+
+
+class TestSpaces:
+    def test_table3_parameters(self, app32):
+        space = app32.parameter_space()
+        assert space.names == ["NSUP", "NREL", "nbx", "nby", "npz"]
+        assert (space["NSUP"].low, space["NSUP"].high) == (30, 300)
+        assert (space["NREL"].low, space["NREL"].high) == (10, 40)
+        assert (space["nbx"].low, space["nbx"].high) == (1, 3)
+        assert (space["nby"].low, space["nby"].high) == (1, 3)
+        assert (space["npz"].low, space["npz"].high) == (0, 5)
+
+    def test_task_parameters(self, app32):
+        assert app32.input_space().names == ["mx", "my", "lphi"]
+
+    def test_default_task_is_papers_source(self, app32):
+        assert app32.default_task() == SRC_TASK
+
+    def test_fourier_mode_formula(self):
+        """floor(2^lphi / 3) + 1 toroidal modes."""
+        assert NIMROD.n_fourier(0) == 1
+        assert NIMROD.n_fourier(1) == 1
+        assert NIMROD.n_fourier(2) == 2
+        assert NIMROD.n_fourier(3) == 3
+
+
+class TestModelShape:
+    def test_reasonable_runtime(self, app32):
+        y = app32.raw_objective(SRC_TASK, GOOD)
+        assert y is not None and 10 < y < 1000
+
+    def test_deterministic(self, app32):
+        assert app32.raw_objective(SRC_TASK, GOOD) == app32.raw_objective(
+            SRC_TASK, GOOD
+        )
+
+    def test_more_nodes_faster(self, app32, app64):
+        y32 = app32.raw_objective(SRC_TASK, GOOD)
+        y64 = app64.raw_objective(SRC_TASK, GOOD)
+        assert y64 < y32
+
+    def test_bigger_problem_slower(self, app64):
+        y_small = app64.raw_objective(SRC_TASK, GOOD)
+        y_big = app64.raw_objective(BIG_TASK, GOOD)
+        assert y_big > y_small * 2
+
+    def test_nsup_matters(self, app64):
+        slow = app64.raw_objective(BIG_TASK, dict(GOOD, NSUP=30))
+        fast = app64.raw_objective(BIG_TASK, dict(GOOD, NSUP=250))
+        assert slow > fast * 1.2
+
+    def test_npz_sweet_spot(self, app64):
+        """Fig. 5's tension: npz=0 pays the 2D latency wall, large npz
+        runs out of memory; the optimum sits in between."""
+        ys = {}
+        for npz in range(5):
+            ys[npz] = app64.raw_objective(BIG_TASK, dict(GOOD, npz=npz))
+        assert ys[3] is None and ys[4] is None  # OOM
+        assert ys[1] < ys[0] or ys[2] < ys[0]  # replication helps
+
+    def test_knl_slower_than_haswell(self):
+        """KNL's weak sparse cores (paper Fig. 5(b) context)."""
+        task = {"mx": 5, "my": 4, "lphi": 1}
+        hsw = NIMROD(cori_haswell(32)).raw_objective(task, GOOD)
+        knl = NIMROD(cori_knl(32)).raw_objective(task, GOOD)
+        assert knl > hsw
+
+
+class TestFailures:
+    def test_oom_on_big_problem_high_npz(self, app64):
+        assert app64.raw_objective(BIG_TASK, dict(GOOD, npz=4)) is None
+
+    def test_oom_rate_substantial_for_fig5c(self, app64, rng):
+        """Fig. 5(c): random sampling hits OOM configurations often."""
+        space = app64.parameter_space()
+        fails = sum(
+            1
+            for _ in range(100)
+            if app64.raw_objective(BIG_TASK, space.sample(rng)) is None
+        )
+        assert 20 <= fails <= 60
+
+    def test_small_problem_on_knl_never_fails(self, rng):
+        app = NIMROD(cori_knl(32))
+        task = {"mx": 5, "my": 4, "lphi": 1}
+        space = app.parameter_space()
+        for _ in range(50):
+            assert app.raw_objective(task, space.sample(rng)) is not None
+
+    def test_npz_exceeding_ranks_fails(self):
+        tiny = NIMROD(cori_haswell(1))  # 32 ranks
+        # lphi=3 -> 3 modes -> ~10 ranks per solve; 2^4=16 > 10
+        y = tiny.raw_objective(
+            {"mx": 3, "my": 3, "lphi": 3}, dict(GOOD, npz=4)
+        )
+        assert y is None
+
+
+class TestTransferPremise:
+    def test_correlation_across_node_counts(self, app32, app64, rng):
+        """Fig. 5(a): configurations rank similarly on 32 and 64 nodes."""
+        space = app32.parameter_space()
+        y1, y2 = [], []
+        while len(y1) < 20:
+            c = space.sample(rng)
+            a = app32.raw_objective(SRC_TASK, c)
+            b = app64.raw_objective(SRC_TASK, c)
+            if a is not None and b is not None:
+                y1.append(a)
+                y2.append(b)
+        assert np.corrcoef(y1, y2)[0, 1] > 0.5

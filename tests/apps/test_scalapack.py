@@ -1,0 +1,121 @@
+"""Tests for the PDGEQRF performance model (paper Sec. VI-B, Table II)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import PDGEQRF
+from repro.hpc import cori_haswell
+
+
+@pytest.fixture(scope="module")
+def app():
+    return PDGEQRF(cori_haswell(8))
+
+
+GOOD = {"mb": 4, "nb": 8, "lg2npernode": 5, "p": 16}
+TASK = {"m": 10000, "n": 10000}
+
+
+class TestSpaces:
+    def test_table2_parameters(self, app):
+        """Table II: mb/nb in [1,16), lg2npernode in [0, log2 cores),
+        p in [1, nodes*cores)."""
+        space = app.parameter_space()
+        assert space.names == ["mb", "nb", "lg2npernode", "p"]
+        assert (space["mb"].low, space["mb"].high) == (1, 16)
+        assert (space["nb"].low, space["nb"].high) == (1, 16)
+        assert space["lg2npernode"].high == 6  # 2^5 = 32 cores max
+        assert (space["p"].low, space["p"].high) == (1, 8 * 32)
+
+    def test_task_space(self, app):
+        assert app.input_space().names == ["m", "n"]
+
+    def test_default_task_is_papers(self, app):
+        assert app.default_task() == {"m": 10000, "n": 10000}
+
+
+class TestFeasibility:
+    def test_p_exceeding_ranks_infeasible(self, app):
+        cfg = dict(GOOD, lg2npernode=0, p=9)  # 8 ranks total, p=9
+        assert not app.constraint(TASK, cfg)
+        assert app.raw_objective(TASK, cfg) is None
+
+    def test_p_within_ranks_feasible(self, app):
+        assert app.constraint(TASK, GOOD)
+        assert app.raw_objective(TASK, GOOD) is not None
+
+    def test_memory_failure_on_small_memory_machine(self):
+        """Out-of-memory configurations must fail, not run slowly."""
+        from dataclasses import replace
+
+        tight = PDGEQRF(replace(cori_haswell(1), mem_per_node=4 * 1024.0**3))
+        cfg = {"mb": 4, "nb": 4, "lg2npernode": 0, "p": 1}
+        # 8 bytes * 50000^2 * 1.15 ~ 23 GB on one rank >> 4 GB node
+        assert tight.raw_objective({"m": 50000, "n": 50000}, cfg) is None
+
+
+class TestModelShape:
+    def test_runtime_in_paper_range(self, app):
+        """Fig. 4 reports ~2.8-4.4 s tuned for m=n=10000 on 8 nodes;
+        good configurations should land in the low single-digit seconds."""
+        y = app.raw_objective(TASK, GOOD)
+        assert 1.0 < y < 10.0
+
+    def test_more_nodes_faster(self):
+        y8 = PDGEQRF(cori_haswell(8)).raw_objective(TASK, GOOD)
+        y16 = PDGEQRF(cori_haswell(16)).raw_objective(
+            TASK, dict(GOOD, p=22)
+        )
+        assert y16 < y8
+
+    def test_bigger_matrix_slower(self, app):
+        y_small = app.raw_objective({"m": 6000, "n": 6000}, GOOD)
+        y_big = app.raw_objective({"m": 14000, "n": 14000}, GOOD)
+        assert y_big > y_small * 2
+
+    def test_degenerate_grid_slow(self, app):
+        """A 1-row grid wastes the panel parallelism."""
+        good = app.raw_objective(TASK, GOOD)
+        flat = app.raw_objective(TASK, dict(GOOD, p=1))
+        assert flat > good * 1.5
+
+    def test_tiny_blocks_slow(self, app):
+        good = app.raw_objective(TASK, GOOD)
+        tiny = app.raw_objective(TASK, dict(GOOD, nb=1))
+        assert tiny > good
+
+    def test_underpacked_nodes_slower(self, app):
+        """Using 1 rank/node leaves 31 cores idle."""
+        packed = app.raw_objective(TASK, GOOD)
+        sparse = app.raw_objective(TASK, dict(GOOD, lg2npernode=0, p=2))
+        assert sparse > packed * 2
+
+    def test_deterministic(self, app):
+        assert app.raw_objective(TASK, GOOD) == app.raw_objective(TASK, GOOD)
+
+    def test_square_grid_near_optimal_for_square_matrix(self, app, rng):
+        """For m=n the best grids should not be extremely elongated."""
+        ys = {}
+        for p in (1, 4, 16, 64, 256):
+            ys[p] = app.raw_objective(TASK, dict(GOOD, p=p))
+        best_p = min(ys, key=ys.get)
+        assert best_p in (4, 16, 64)
+
+    def test_correlated_across_node_counts(self, app, rng):
+        """Transfer premise (Fig. 4/5): rankings on 8 nodes correlate
+        with rankings on 16 nodes."""
+        other = PDGEQRF(cori_haswell(16))
+        space = app.parameter_space()
+        configs, y1, y2 = [], [], []
+        while len(configs) < 25:
+            c = space.sample(rng)
+            a = app.raw_objective(TASK, c)
+            b = other.raw_objective(TASK, c)
+            if a is not None and b is not None:
+                configs.append(c)
+                y1.append(a)
+                y2.append(b)
+        r = np.corrcoef(y1, y2)[0, 1]
+        assert r > 0.6

@@ -1,0 +1,157 @@
+"""Tests for the sparse-matrix substrate (Sec. VI-D's foundation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.apps.sparse import (
+    COLPERM_CHOICES,
+    MATRIX_REGISTRY,
+    bandwidth,
+    dense_block_lu_flops,
+    get_matrix,
+    laplacian_3d,
+    parsec_like,
+    supernode_gemm_efficiency,
+    supernode_sizes,
+    symbolic_stats,
+)
+
+
+class TestGenerators:
+    def test_laplacian_shape_and_symmetry(self):
+        A = laplacian_3d(4, 5, 6)
+        assert A.shape == (120, 120)
+        assert (A != A.T).nnz == 0
+
+    def test_laplacian_diagonal_dominant(self):
+        A = laplacian_3d(5, 5, 5, shift=0.5).tocsr()
+        d = A.diagonal()
+        off = np.abs(A).sum(axis=1).A1 - np.abs(d)
+        assert np.all(d >= off)  # weakly diagonally dominant -> nonsingular
+
+    def test_laplacian_validation(self):
+        with pytest.raises(ValueError):
+            laplacian_3d(0, 2, 2)
+
+    def test_parsec_like_adds_bonds(self):
+        base = laplacian_3d(8, 8, 8)
+        A = parsec_like(8, bond_fraction=0.05, seed=1)
+        assert A.nnz > base.nnz
+        assert (A != A.T).nnz == 0  # still structurally symmetric
+
+    def test_parsec_like_seeded(self):
+        a = parsec_like(6, seed=3)
+        b = parsec_like(6, seed=3)
+        assert (a != b).nnz == 0
+
+    def test_bandwidth(self):
+        A = sp.diags([1.0, 1.0, 1.0], [-2, 0, 2], shape=(10, 10))
+        assert bandwidth(A) == 2
+        assert bandwidth(sp.csr_matrix((3, 3))) == 0
+
+
+class TestRegistry:
+    def test_paper_matrices_present(self):
+        """The PARSEC analogues of the paper's Si5H12 and H2O."""
+        assert set(MATRIX_REGISTRY) == {"Si5H12", "H2O"}
+        assert "PARSEC" in MATRIX_REGISTRY["Si5H12"].stands_for
+
+    def test_h2o_larger_than_si5h12(self):
+        assert get_matrix("H2O").shape[0] > get_matrix("Si5H12").shape[0]
+
+    def test_matrices_cached(self):
+        assert get_matrix("Si5H12") is get_matrix("Si5H12")
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError):
+            get_matrix("bcsstk01")
+
+
+class TestSymbolicStats:
+    def test_all_orderings_factorize(self):
+        for cp in COLPERM_CHOICES:
+            s = symbolic_stats("Si5H12", cp)
+            assert s.nnz_LU > s.nnz_A
+            assert s.flops > 0
+            assert s.fill_ratio > 1.0
+
+    def test_ordering_matters(self):
+        """The whole point of COLPERM: fill varies strongly by ordering."""
+        fills = {cp: symbolic_stats("Si5H12", cp).fill_ratio for cp in COLPERM_CHOICES}
+        assert max(fills.values()) > 2.0 * min(fills.values())
+
+    def test_natural_is_worst(self):
+        """No fill-reducing ordering should lose to natural order on a
+        3D-stencil matrix."""
+        nat = symbolic_stats("Si5H12", "NATURAL").flops
+        for cp in ("MMD_ATA", "MMD_AT_PLUS_A", "COLAMD"):
+            assert symbolic_stats("Si5H12", cp).flops < nat
+
+    def test_ranking_transfers_between_matrices(self):
+        """The premise of Fig. 6: Si5H12 and H2O have similar sparsity
+        patterns, so the ordering ranking transfers."""
+        rank_a = sorted(
+            COLPERM_CHOICES, key=lambda cp: symbolic_stats("Si5H12", cp).flops
+        )
+        rank_b = sorted(
+            COLPERM_CHOICES, key=lambda cp: symbolic_stats("H2O", cp).flops
+        )
+        assert rank_a[0] == rank_b[0]  # same best ordering
+        assert rank_a[-1] == rank_b[-1]  # same worst ordering
+
+    def test_cached(self):
+        assert symbolic_stats("Si5H12", "COLAMD") is symbolic_stats(
+            "Si5H12", "COLAMD"
+        )
+
+    def test_unknown_colperm(self):
+        with pytest.raises(ValueError):
+            symbolic_stats("Si5H12", "METIS")
+
+    def test_dense_limit_of_flop_formula(self):
+        """flops ~ (2/3) nnz^2 / n reproduces the dense 2/3 n^3."""
+        n = 100
+        s_flops = (2.0 / 3.0) * (n * n) ** 2 / n
+        assert s_flops == pytest.approx((2.0 / 3.0) * n**3)
+
+
+class TestSupernodes:
+    def test_sizes_partition_n(self):
+        sizes = supernode_sizes(4096, nsup=128, nrel=20, seed=0)
+        assert sizes.sum() == 4096
+        assert np.all(sizes >= 1)
+
+    def test_nsup_caps_sizes(self):
+        sizes = supernode_sizes(4096, nsup=64, nrel=10, seed=0)
+        assert sizes.max() <= 64
+
+    def test_nrel_floors_sizes(self):
+        sizes = supernode_sizes(4096, nsup=300, nrel=35, seed=0)
+        # all but possibly the last remainder should be >= nrel
+        assert np.all(sizes[:-1] >= 35) or sizes.min() >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            supernode_sizes(0, 10, 5)
+        with pytest.raises(ValueError):
+            supernode_sizes(10, 0, 5)
+
+    def test_efficiency_increases_with_nsup(self):
+        e = [supernode_gemm_efficiency(ns, 20) for ns in (30, 100, 250)]
+        assert e[0] < e[1] < e[2]
+
+    def test_efficiency_in_unit_interval(self):
+        for ns in (30, 128, 299):
+            for nr in (10, 25, 39):
+                assert 0.0 < supernode_gemm_efficiency(ns, nr) < 1.0
+
+    def test_relaxation_waste(self):
+        lean = supernode_gemm_efficiency(128, 12)
+        bloated = supernode_gemm_efficiency(128, 39)
+        assert bloated < lean * 1.02  # relaxation never helps much past 12
+
+    def test_dense_block_flops(self):
+        assert dense_block_lu_flops(10) == pytest.approx((2.0 / 3.0) * 1000)

@@ -1,0 +1,111 @@
+"""Tests for the SuperLU_DIST 2D model (paper Sec. VI-D, Table IV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import SuperLUDist2D
+from repro.apps.superlu import SUPERLU_DEFAULTS
+from repro.hpc import cori_haswell
+
+
+@pytest.fixture(scope="module")
+def app():
+    return SuperLUDist2D(cori_haswell(4))
+
+
+GOOD = {"COLPERM": "MMD_AT_PLUS_A", "LOOKAHEAD": 10, "nprows": 8, "NSUP": 128, "NREL": 20}
+
+
+class TestSpaces:
+    def test_five_parameters(self, app):
+        assert app.parameter_space().names == [
+            "COLPERM",
+            "LOOKAHEAD",
+            "nprows",
+            "NSUP",
+            "NREL",
+        ]
+
+    def test_colperm_choices_are_superlu(self, app):
+        assert app.parameter_space()["COLPERM"].categories == [
+            "NATURAL",
+            "MMD_ATA",
+            "MMD_AT_PLUS_A",
+            "COLAMD",
+        ]
+
+    def test_ranges(self, app):
+        sp = app.parameter_space()
+        assert (sp["NSUP"].low, sp["NSUP"].high) == (30, 300)
+        assert (sp["NREL"].low, sp["NREL"].high) == (10, 40)
+        assert sp["nprows"].high == 4 * 32 + 1
+
+    def test_task_is_matrix_choice(self, app):
+        assert app.input_space()["matrix"].categories == ["H2O", "Si5H12"]
+
+    def test_defaults_valid(self, app):
+        space = app.parameter_space()
+        for k, v in SUPERLU_DEFAULTS.items():
+            if k in space:
+                assert space[k].contains(v)
+
+
+class TestModelShape:
+    def test_finite_positive(self, app):
+        y = app.raw_objective({"matrix": "Si5H12"}, GOOD)
+        assert y is not None and y > 0
+
+    def test_ordering_dominates(self, app):
+        """Table IV: COLPERM is the most influential parameter."""
+        best = app.raw_objective({"matrix": "Si5H12"}, GOOD)
+        worst = app.raw_objective(
+            {"matrix": "Si5H12"}, dict(GOOD, COLPERM="NATURAL")
+        )
+        assert worst > best * 1.5
+
+    def test_grid_aspect_matters(self, app):
+        square = app.raw_objective({"matrix": "Si5H12"}, dict(GOOD, nprows=8))
+        flat = app.raw_objective({"matrix": "Si5H12"}, dict(GOOD, nprows=128))
+        assert flat > square
+
+    def test_nsup_moderate_effect(self, app):
+        small = app.raw_objective({"matrix": "Si5H12"}, dict(GOOD, NSUP=30))
+        large = app.raw_objective({"matrix": "Si5H12"}, dict(GOOD, NSUP=250))
+        assert small > large  # bigger supernodes = better BLAS-3
+        assert small < large * 4  # but not a dominant effect
+
+    def test_lookahead_minor_effect(self, app):
+        ys = [
+            app.raw_objective({"matrix": "Si5H12"}, dict(GOOD, LOOKAHEAD=la))
+            for la in (5, 12, 19)
+        ]
+        assert max(ys) < min(ys) * 1.5
+
+    def test_extreme_nprows_valid_but_slow(self, app):
+        """nprows up to the full rank count forms a degenerate (p x 1)
+        grid — legal in SuperLU_DIST, just slow."""
+        y = app.raw_objective({"matrix": "Si5H12"}, dict(GOOD, nprows=128))
+        assert y is not None
+        assert y > app.raw_objective({"matrix": "Si5H12"}, GOOD)
+
+    def test_h2o_slower_than_si5h12(self, app):
+        """H2O is the larger matrix (as in SuiteSparse)."""
+        y_si = app.raw_objective({"matrix": "Si5H12"}, GOOD)
+        y_h2o = app.raw_objective({"matrix": "H2O"}, GOOD)
+        assert y_h2o > y_si
+
+    def test_rankings_transfer_between_matrices(self, app, rng):
+        """Fig. 6's premise: tuning knowledge from Si5H12 applies to H2O."""
+        space = app.parameter_space()
+        configs, y1, y2 = [], [], []
+        while len(configs) < 20:
+            c = space.sample(rng)
+            a = app.raw_objective({"matrix": "Si5H12"}, c)
+            b = app.raw_objective({"matrix": "H2O"}, c)
+            if a is not None and b is not None:
+                configs.append(c)
+                y1.append(a)
+                y2.append(b)
+        assert np.corrcoef(y1, y2)[0, 1] > 0.8

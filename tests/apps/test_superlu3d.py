@@ -1,0 +1,68 @@
+"""Tests for the 3D communication-avoiding LU model (Sao-Li-Vuduc [23])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.superlu3d import SuperLU3DModel
+from repro.hpc import Grid3D, cori_haswell
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SuperLU3DModel(cori_haswell(32))
+
+
+N = 200_000
+
+
+class TestFactorization:
+    def test_costs_positive(self, model):
+        c = model.factorization(N, Grid3D(16, 32, 2), nsup=128, nrel=20)
+        assert c.factor_seconds > 0
+        assert c.solve_seconds > 0
+        assert c.mem_per_rank > 0
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.factorization(0, Grid3D(2, 2, 1), nsup=128, nrel=20)
+
+    def test_replication_reduces_communication_cost(self, model):
+        """The 3D algorithm's raison d'etre: at scale, pz > 1 beats the
+        pure 2D grid with the same total ranks."""
+        ranks = 1024
+        flat = model.factorization(N, Grid3D(32, 32, 1), nsup=128, nrel=20)
+        repl = model.factorization(N, Grid3D(16, 16, 4), nsup=128, nrel=20)
+        assert repl.factor_seconds < flat.factor_seconds
+        del ranks
+
+    def test_replication_costs_memory(self, model):
+        """Memory per rank grows with pz (same total ranks)."""
+        flat = model.factorization(N, Grid3D(32, 32, 1), nsup=128, nrel=20)
+        repl = model.factorization(N, Grid3D(16, 16, 4), nsup=128, nrel=20)
+        assert repl.mem_per_rank > flat.mem_per_rank * 2
+
+    def test_memory_monotone_in_pz(self, model):
+        mems = []
+        for pz in (1, 2, 4, 8):
+            grid = Grid3D(16, 1024 // (16 * pz), pz)
+            mems.append(
+                model.factorization(N, grid, nsup=128, nrel=20).mem_per_rank
+            )
+        assert mems == sorted(mems)
+
+    def test_larger_problem_costs_more(self, model):
+        g = Grid3D(16, 16, 2)
+        small = model.factorization(N, g, nsup=128, nrel=20)
+        big = model.factorization(4 * N, g, nsup=128, nrel=20)
+        assert big.factor_seconds > small.factor_seconds * 3
+
+    def test_nsup_speeds_factorization(self, model):
+        g = Grid3D(16, 16, 2)
+        slow = model.factorization(N, g, nsup=30, nrel=20)
+        fast = model.factorization(N, g, nsup=250, nrel=20)
+        assert fast.factor_seconds < slow.factor_seconds
+
+    def test_solve_cheaper_than_factor(self, model):
+        c = model.factorization(N, Grid3D(16, 16, 2), nsup=128, nrel=20)
+        assert c.solve_seconds < c.factor_seconds

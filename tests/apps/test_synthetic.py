@@ -1,0 +1,92 @@
+"""Tests for the paper's synthetic objectives (Sec. VI-A)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import BRANIN_CLASSIC_TASK, BraninFunction, DemoFunction
+
+
+class TestDemoFunction:
+    @pytest.fixture
+    def app(self):
+        return DemoFunction()
+
+    def test_formula_spot_check(self, app):
+        """y(t, x) = 1 + e^{-(x+1)^{t+1}} cos(2 pi x) sum sin(2 pi x (t+2)^i)."""
+        t, x = 1.0, 0.25
+        env = math.exp(-((x + 1.0) ** 2.0))
+        waves = sum(math.sin(2 * math.pi * x * 3.0**i) for i in (1, 2, 3))
+        expect = 1.0 + env * math.cos(2 * math.pi * x) * waves
+        assert app.raw_objective({"t": t}, {"x": x}) == pytest.approx(expect)
+
+    def test_x_zero_value(self, app):
+        # at x=0 all sine terms vanish: y = 1
+        for t in (0.5, 1.0, 5.0):
+            assert app.raw_objective({"t": t}, {"x": 0.0}) == pytest.approx(1.0)
+
+    def test_spaces_match_paper(self, app):
+        t = app.input_space()["t"]
+        x = app.parameter_space()["x"]
+        assert (t.low, t.high) == (0.0, 10.0)
+        assert (x.low, x.high) == (0.0, 1.0)
+
+    def test_task_parameter_changes_landscape(self, app):
+        xs = np.linspace(0.01, 0.99, 50)
+        y1 = [app.raw_objective({"t": 0.8}, {"x": x}) for x in xs]
+        y2 = [app.raw_objective({"t": 6.0}, {"x": x}) for x in xs]
+        assert not np.allclose(y1, y2)
+
+    def test_correlated_nearby_tasks(self, app):
+        """Close tasks (t=0.8 vs 1.0) should have correlated landscapes —
+        the premise of the paper's Fig. 3 transfer scenarios."""
+        xs = np.linspace(0.01, 0.99, 80)
+        y1 = np.array([app.raw_objective({"t": 0.8}, {"x": x}) for x in xs])
+        y2 = np.array([app.raw_objective({"t": 1.0}, {"x": x}) for x in xs])
+        assert np.corrcoef(y1, y2)[0, 1] > 0.3
+
+    def test_noiseless(self, app):
+        assert app.noise_sigma == 0.0
+
+
+class TestBraninFunction:
+    @pytest.fixture
+    def app(self):
+        return BraninFunction()
+
+    def test_classic_branin_minima(self, app):
+        """The classic Branin function has three global minima with value
+        ~0.397887."""
+        minima = [(-math.pi, 12.275), (math.pi, 2.275), (9.42478, 2.475)]
+        for x1, x2 in minima:
+            y = app.raw_objective(BRANIN_CLASSIC_TASK, {"x1": x1, "x2": x2})
+            assert y == pytest.approx(0.397887, abs=1e-4)
+
+    def test_six_task_parameters(self, app):
+        assert app.input_space().names == ["a", "b", "c", "r", "s", "t"]
+
+    def test_two_tuning_parameters(self, app):
+        space = app.parameter_space()
+        assert space.names == ["x1", "x2"]
+        assert (space["x1"].low, space["x1"].high) == (-5.0, 10.0)
+        assert (space["x2"].low, space["x2"].high) == (0.0, 15.0)
+
+    def test_classic_task_inside_input_space(self, app):
+        app.input_space().validate(BRANIN_CLASSIC_TASK)
+
+    def test_random_tasks_remain_positive_near_minima(self, app, rng):
+        """Scaled task parameters shift but do not degenerate the bowl."""
+        for _ in range(10):
+            task = app.input_space().sample(rng)
+            cfg = app.parameter_space().sample(rng)
+            assert np.isfinite(app.raw_objective(task, cfg))
+
+    def test_task_scaling_changes_optimum_value(self, app):
+        task2 = dict(BRANIN_CLASSIC_TASK)
+        task2["s"] = BRANIN_CLASSIC_TASK["s"] * 1.4
+        y1 = app.raw_objective(BRANIN_CLASSIC_TASK, {"x1": math.pi, "x2": 2.275})
+        y2 = app.raw_objective(task2, {"x1": math.pi, "x2": 2.275})
+        assert y1 != pytest.approx(y2)

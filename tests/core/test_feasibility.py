@@ -1,0 +1,105 @@
+"""Tests for the k-NN feasibility model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import KnnFeasibility
+
+
+def _slab_data(rng, n=120, threshold=0.7):
+    """Failures occupy the axis-aligned slab x0 > threshold."""
+    X = rng.random((n, 3))
+    ok = X[X[:, 0] <= threshold]
+    fail = X[X[:, 0] > threshold]
+    return ok, fail
+
+
+class TestConstruction:
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            KnnFeasibility(np.zeros((2, 2)), np.zeros((1, 2)), k=0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            KnnFeasibility(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_empty_data_all_feasible(self):
+        model = KnnFeasibility(np.empty((0, 2)), np.empty((0, 2)))
+        assert np.allclose(model.predict_proba(np.random.rand(5, 2)), 1.0)
+
+    def test_no_failures_all_feasible(self, rng):
+        model = KnnFeasibility(rng.random((20, 2)), np.empty((0, 2)))
+        assert not model.informative
+        assert np.allclose(model.predict_proba(rng.random((5, 2))), 1.0)
+
+
+class TestPrediction:
+    def test_recovers_failure_slab(self, rng):
+        ok, fail = _slab_data(rng, n=200)
+        model = KnnFeasibility(ok, fail)
+        deep_fail = np.array([[0.95, 0.5, 0.5]])
+        deep_ok = np.array([[0.2, 0.5, 0.5]])
+        assert model.predict_proba(deep_fail)[0] < 0.45
+        assert model.predict_proba(deep_ok)[0] > 0.8
+
+    def test_probabilities_in_unit_interval(self, rng):
+        ok, fail = _slab_data(rng)
+        model = KnnFeasibility(ok, fail)
+        p = model.predict_proba(rng.random((50, 3)))
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_smoothing_keeps_unexplored_open(self, rng):
+        """A lone failure far away must not zero out distant regions."""
+        model = KnnFeasibility(
+            np.array([[0.1, 0.1]]), np.array([[0.9, 0.9]]), smoothing=1.0
+        )
+        far = model.predict_proba(np.array([[0.5, 0.1]]))[0]
+        assert far > 0.3
+
+    def test_failure_point_itself_low(self, rng):
+        ok = rng.random((30, 2)) * 0.4
+        fail = np.array([[0.9, 0.9]])
+        model = KnnFeasibility(ok, fail, k=1, smoothing=0.1)
+        assert model.predict_proba(np.array([[0.9, 0.9]]))[0] < 0.2
+
+    def test_vectorized_matches_single(self, rng):
+        ok, fail = _slab_data(rng)
+        model = KnnFeasibility(ok, fail)
+        U = rng.random((10, 3))
+        batch = model.predict_proba(U)
+        singles = np.array([model.predict_proba(u[None, :])[0] for u in U])
+        assert np.allclose(batch, singles)
+
+    def test_k_larger_than_points_ok(self, rng):
+        model = KnnFeasibility(rng.random((2, 2)), rng.random((1, 2)), k=10)
+        assert model.predict_proba(rng.random((3, 2))).shape == (3,)
+
+
+class TestSearchIntegration:
+    def test_search_avoids_failure_slab(self, rng):
+        """EI multiplied by P(feasible) should not propose deep inside a
+        known failure region."""
+        from repro.core import ExpectedImprovement, RealParameter, Space
+        from repro.core.optimizer import search_next
+
+        ok, fail = _slab_data(rng, n=300)
+        model = KnnFeasibility(ok, fail)
+        space = Space([RealParameter(f"x{i}", 0, 1) for i in range(3)])
+
+        # a model whose minimum sits deep in the failure slab
+        def predict(U):
+            return np.sum((U - np.array([0.95, 0.5, 0.5])) ** 2, axis=1), np.full(
+                U.shape[0], 0.05
+            )
+
+        cfg = search_next(
+            predict,
+            space,
+            ExpectedImprovement(),
+            rng,
+            X_obs=ok[:5],
+            p_feasible=model.predict_proba,
+        )
+        assert cfg["x0"] <= 0.85  # steered away from the slab interior

@@ -1,0 +1,146 @@
+"""Tests for repro.core.gp: fitting, prediction, serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBF, GaussianProcess, Matern52
+from repro.core.gp import cholesky_with_jitter
+
+
+def _train(rng, n=25, d=2, noise=0.0):
+    X = rng.random((n, d))
+    y = np.sin(3 * X[:, 0]) + 0.5 * X[:, 1] ** 2
+    if noise:
+        y = y + rng.normal(0, noise, n)
+    return X, y
+
+
+class TestCholeskyJitter:
+    def test_clean_matrix_no_jitter(self):
+        K = np.eye(4) * 2.0
+        L, jitter = cholesky_with_jitter(K)
+        assert jitter == 0.0
+        assert np.allclose(L @ L.T, K)
+
+    def test_singular_matrix_gets_jitter(self):
+        K = np.ones((5, 5))  # rank 1
+        L, jitter = cholesky_with_jitter(K)
+        assert jitter > 0
+        assert np.all(np.isfinite(L))
+
+
+class TestFitting:
+    def test_interpolates_noiseless_data(self, rng):
+        X, y = _train(rng)
+        gp = GaussianProcess(RBF(2), seed=0).fit(X, y)
+        mean, std = gp.predict(X)
+        assert np.allclose(mean, y, atol=1e-2)
+        assert np.all(std < 0.2)
+
+    def test_prediction_reverts_to_prior_far_away(self, rng):
+        X = rng.random((10, 1)) * 0.2  # all data in [0, 0.2]
+        y = np.sin(10 * X[:, 0])
+        gp = GaussianProcess(RBF(1), seed=0).fit(X, y)
+        _, std_near = gp.predict(np.array([[0.1]]))
+        _, std_far = gp.predict(np.array([[0.95]]))
+        assert std_far[0] > std_near[0]
+
+    def test_mean_reverts_to_data_mean(self, rng):
+        X = rng.random((15, 1)) * 0.1
+        y = 5.0 + rng.normal(0, 0.1, 15)
+        gp = GaussianProcess(RBF(1), seed=0).fit(X, y)
+        far = gp.predict_mean(np.array([[0.99]]))
+        assert far[0] == pytest.approx(np.mean(y), abs=0.5)
+
+    def test_constant_targets(self, rng):
+        X = rng.random((10, 2))
+        gp = GaussianProcess(seed=0).fit(X, np.full(10, 3.3))
+        mean = gp.predict_mean(rng.random((5, 2)))
+        assert np.allclose(mean, 3.3, atol=1e-6)
+
+    def test_single_point(self, rng):
+        gp = GaussianProcess(seed=0).fit(np.array([[0.5]]), np.array([2.0]))
+        assert gp.predict_mean(np.array([[0.5]]))[0] == pytest.approx(2.0, abs=1e-3)
+
+    def test_default_kernel_created(self, rng):
+        X, y = _train(rng, d=3)
+        gp = GaussianProcess(seed=0).fit(X, y)
+        assert gp.kernel is not None and gp.kernel.dim == 3
+
+    def test_dimension_mismatch(self, rng):
+        X, y = _train(rng, d=2)
+        with pytest.raises(ValueError):
+            GaussianProcess(RBF(3)).fit(X, y)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(rng.random((5, 2)), np.zeros(4))
+
+    def test_empty_data(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_matern_kernel_fit(self, rng):
+        X, y = _train(rng)
+        gp = GaussianProcess(Matern52(2), seed=0).fit(X, y)
+        assert np.allclose(gp.predict_mean(X), y, atol=0.05)
+
+    def test_noisy_data_smooths(self, rng):
+        X = np.linspace(0, 1, 40)[:, None]
+        y_true = np.sin(4 * X[:, 0])
+        y = y_true + rng.normal(0, 0.3, 40)
+        gp = GaussianProcess(RBF(1), seed=0).fit(X, y)
+        # learned noise should be substantial, and prediction closer to
+        # the true function than the noisy targets on average
+        assert gp.noise_variance > 1e-4
+        rms_pred = np.sqrt(np.mean((gp.predict_mean(X) - y_true) ** 2))
+        rms_noise = np.sqrt(np.mean((y - y_true) ** 2))
+        assert rms_pred < rms_noise
+
+    def test_optimize_off_keeps_hyperparameters(self, rng):
+        X, y = _train(rng)
+        k = RBF(2, variance=1.0, lengthscales=[0.5, 0.5])
+        theta0 = k.get_theta().copy()
+        GaussianProcess(k, optimize=False).fit(X, y)
+        assert np.allclose(k.get_theta(), theta0)
+
+    def test_log_marginal_likelihood_finite(self, rng):
+        X, y = _train(rng)
+        gp = GaussianProcess(seed=0).fit(X, y)
+        assert np.isfinite(gp.log_marginal_likelihood())
+
+    def test_n_train(self, rng):
+        gp = GaussianProcess(seed=0)
+        assert gp.n_train == 0 and not gp.fitted
+        X, y = _train(rng, n=13)
+        gp.fit(X, y)
+        assert gp.n_train == 13 and gp.fitted
+
+
+class TestSerialization:
+    def test_roundtrip_predictions(self, rng):
+        X, y = _train(rng)
+        gp = GaussianProcess(RBF(2), seed=0).fit(X, y)
+        clone = GaussianProcess.from_dict(gp.to_dict())
+        Xq = rng.random((10, 2))
+        m1, s1 = gp.predict(Xq)
+        m2, s2 = clone.predict(Xq)
+        assert np.allclose(m1, m2, atol=1e-8)
+        assert np.allclose(s1, s2, atol=1e-8)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().to_dict()
+
+    def test_dict_is_jsonable(self, rng):
+        import json
+
+        X, y = _train(rng, n=8)
+        gp = GaussianProcess(RBF(2), seed=0).fit(X, y)
+        json.dumps(gp.to_dict())

@@ -1,0 +1,114 @@
+"""Tests for repro.core.history: histories, trajectories, TaskData."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Evaluation, History, RealParameter, Space, TaskData
+
+
+@pytest.fixture
+def space():
+    return Space([RealParameter("x", 0.0, 1.0)])
+
+
+def _ev(x, y):
+    return Evaluation({"t": 1}, {"x": x}, y)
+
+
+class TestHistory:
+    def test_append_and_len(self, space):
+        h = History({"t": 1}, space)
+        h.append(_ev(0.1, 2.0))
+        h.extend([_ev(0.2, 1.0), _ev(0.3, None)])
+        assert len(h) == 3
+        assert h.n_successes == 2 and h.n_failures == 1
+
+    def test_arrays_exclude_failures(self, space):
+        h = History({"t": 1}, space)
+        h.extend([_ev(0.1, 2.0), _ev(0.2, None), _ev(0.3, 1.0)])
+        X, y = h.arrays()
+        assert X.shape == (2, 1)
+        assert list(y) == [2.0, 1.0]
+
+    def test_best(self, space):
+        h = History({"t": 1}, space)
+        h.extend([_ev(0.1, 2.0), _ev(0.2, 0.5), _ev(0.3, 1.0)])
+        assert h.best().output == 0.5
+        assert h.best_output() == 0.5
+
+    def test_best_requires_success(self, space):
+        h = History({"t": 1}, space)
+        h.append(_ev(0.1, None))
+        with pytest.raises(ValueError):
+            h.best()
+
+    def test_best_so_far_monotone(self, space):
+        h = History({"t": 1}, space)
+        for x, y in [(0.1, 3.0), (0.2, 5.0), (0.3, 1.0), (0.4, 2.0)]:
+            h.append(_ev(x, y))
+        assert h.best_so_far() == [3.0, 3.0, 1.0, 1.0]
+
+    def test_best_so_far_leading_failures_are_nan(self, space):
+        """Paper Fig. 5(c): points are not drawn until the first success."""
+        h = History({"t": 1}, space)
+        h.extend([_ev(0.1, None), _ev(0.2, None), _ev(0.3, 2.0)])
+        traj = h.best_so_far()
+        assert math.isnan(traj[0]) and math.isnan(traj[1])
+        assert traj[2] == 2.0
+
+    def test_as_task_data(self, space):
+        h = History({"t": 1}, space)
+        h.extend([_ev(0.1, 2.0), _ev(0.2, 1.0)])
+        data = h.as_task_data()
+        assert data.n == 2 and data.task == {"t": 1}
+
+    def test_serialization_roundtrip(self, space):
+        h = History({"t": 1}, space)
+        h.extend([_ev(0.1, 2.0), _ev(0.2, None)])
+        clone = History.from_dict(h.to_dict())
+        assert len(clone) == 2
+        assert clone.n_failures == 1
+        assert clone.task == {"t": 1}
+
+    def test_configs_include_failures(self, space):
+        h = History({"t": 1}, space)
+        h.extend([_ev(0.1, 1.0), _ev(0.2, None)])
+        assert len(h.configs()) == 2
+
+
+class TestTaskData:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TaskData({"t": 1}, np.zeros((3, 2)), np.zeros(2))
+
+    def test_best(self):
+        d = TaskData({"t": 1}, np.array([[0.1], [0.2]]), np.array([3.0, 1.0]))
+        x, y = d.best()
+        assert y == 1.0 and x[0] == pytest.approx(0.2)
+
+    def test_best_empty_raises(self):
+        d = TaskData({"t": 1}, np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            d.best()
+
+    def test_subsample_keeps_best(self, rng):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = np.arange(100.0)
+        y[42] = -5.0
+        d = TaskData({"t": 1}, X, y)
+        sub = d.subsample(10, rng)
+        assert sub.n == 10
+        assert -5.0 in sub.y
+
+    def test_subsample_noop_when_small(self, rng):
+        d = TaskData({"t": 1}, np.zeros((5, 1)), np.arange(5.0))
+        assert d.subsample(10, rng) is d
+
+    def test_1d_x_promoted_to_column(self):
+        d = TaskData({"t": 1}, np.array([0.1, 0.2, 0.3]), np.array([1.0, 2.0, 3.0]))
+        assert d.X.shape == (3, 1)
+        assert d.dim == 1 and d.n == 3

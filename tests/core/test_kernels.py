@@ -1,0 +1,124 @@
+"""Tests for repro.core.kernels: PSD-ness, gradients, hyperparameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RBF, Matern32, Matern52, kernel_from_name
+from repro.core.kernels import sq_dists
+
+ALL_KERNELS = [RBF, Matern52, Matern32]
+
+
+class TestSqDists:
+    def test_matches_bruteforce(self, rng):
+        X = rng.random((10, 3))
+        Y = rng.random((7, 3))
+        ls = np.array([0.5, 1.0, 2.0])
+        D = sq_dists(X, Y, ls)
+        for i in range(10):
+            for j in range(7):
+                expect = np.sum(((X[i] - Y[j]) / ls) ** 2)
+                assert D[i, j] == pytest.approx(expect, abs=1e-10)
+
+    def test_nonnegative(self, rng):
+        X = rng.random((50, 4))
+        assert np.all(sq_dists(X, X, np.ones(4)) >= 0)
+
+
+@pytest.mark.parametrize("cls", ALL_KERNELS)
+class TestKernelCommon:
+    def test_symmetry(self, cls, rng):
+        k = cls(3)
+        X = rng.random((12, 3))
+        K = k(X)
+        assert np.allclose(K, K.T)
+
+    def test_diagonal_is_variance(self, cls, rng):
+        k = cls(2, variance=2.5)
+        X = rng.random((6, 2))
+        assert np.allclose(np.diag(k(X)), 2.5)
+        assert np.allclose(k.diag(X), 2.5)
+
+    def test_psd(self, cls, rng):
+        k = cls(3)
+        X = rng.random((20, 3))
+        eigs = np.linalg.eigvalsh(k(X))
+        assert eigs.min() > -1e-8
+
+    def test_decay_with_distance(self, cls):
+        k = cls(1, lengthscales=[0.3])
+        near = k(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = k(np.array([[0.0]]), np.array([[0.9]]))[0, 0]
+        assert near > far
+
+    def test_theta_roundtrip(self, cls):
+        k = cls(3, variance=2.0, lengthscales=[0.1, 0.2, 0.3])
+        theta = k.get_theta()
+        k2 = cls(3)
+        k2.set_theta(theta)
+        assert k2.variance == pytest.approx(2.0)
+        assert np.allclose(k2.lengthscales, [0.1, 0.2, 0.3])
+
+    def test_theta_shape_check(self, cls):
+        with pytest.raises(ValueError):
+            cls(3).set_theta(np.zeros(2))
+
+    def test_bounds_cover_theta(self, cls):
+        k = cls(4)
+        bounds = k.bounds()
+        assert len(bounds) == k.n_params
+        theta = k.get_theta()
+        for v, (lo, hi) in zip(theta, bounds):
+            assert lo <= v <= hi
+
+    def test_invalid_params(self, cls):
+        with pytest.raises(ValueError):
+            cls(0)
+        with pytest.raises(ValueError):
+            cls(2, variance=-1.0)
+        with pytest.raises(ValueError):
+            cls(2, lengthscales=[0.5])
+
+    def test_clone_independent(self, cls):
+        k = cls(2)
+        c = k.clone()
+        c.set_theta(c.get_theta() + 1.0)
+        assert not np.allclose(c.get_theta(), k.get_theta())
+
+
+class TestRBFGradient:
+    def test_gradient_matches_finite_difference(self, rng):
+        k = RBF(3, variance=1.7, lengthscales=[0.2, 0.5, 1.1])
+        X = rng.random((8, 3))
+        G = k.gradient(X)
+        theta0 = k.get_theta()
+        eps = 1e-6
+        for i in range(k.n_params):
+            th = theta0.copy()
+            th[i] += eps
+            k.set_theta(th)
+            K_plus = k(X)
+            th[i] -= 2 * eps
+            k.set_theta(th)
+            K_minus = k(X)
+            k.set_theta(theta0)
+            fd = (K_plus - K_minus) / (2 * eps)
+            assert np.allclose(G[i], fd, atol=1e-5), f"param {i}"
+
+    def test_matern_has_no_gradient(self):
+        assert not Matern52(2).has_gradient
+        with pytest.raises(NotImplementedError):
+            Matern52(2).gradient(np.zeros((2, 2)))
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(kernel_from_name("rbf", 2), RBF)
+        assert isinstance(kernel_from_name("matern52", 2), Matern52)
+        assert isinstance(kernel_from_name("matern32", 2), Matern32)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            kernel_from_name("periodic", 2)

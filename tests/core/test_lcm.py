@@ -1,0 +1,127 @@
+"""Tests for repro.core.lcm: multitask GP with unequal samples per task."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LCM
+
+
+def _correlated_tasks(rng, n_per_task=(30, 20), shift=0.05):
+    """Two tasks sharing a sine landscape, the second shifted slightly."""
+    sets = []
+    for i, n in enumerate(n_per_task):
+        X = rng.random((n, 1))
+        y = np.sin(4.0 * (X[:, 0] + i * shift)) + 0.1 * i
+        sets.append((X, y))
+    return sets
+
+
+class TestConstruction:
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            LCM(0, 1)
+        with pytest.raises(ValueError):
+            LCM(2, 0)
+        with pytest.raises(ValueError):
+            LCM(2, 1, n_latent=0)
+
+    def test_n_params(self):
+        lcm = LCM(3, 4, n_latent=2)
+        # 2 * (4 + 2*3) + 3 = 23
+        assert lcm.n_params == 23
+
+    def test_dataset_count_checked(self, rng):
+        lcm = LCM(2, 1)
+        with pytest.raises(ValueError):
+            lcm.fit([(rng.random((5, 1)), rng.random(5))])
+
+    def test_dimension_checked(self, rng):
+        lcm = LCM(1, 2)
+        with pytest.raises(ValueError):
+            lcm.fit([(rng.random((5, 3)), rng.random(5))])
+
+    def test_needs_some_data(self):
+        lcm = LCM(2, 1)
+        with pytest.raises(ValueError):
+            lcm.fit([(np.zeros((0, 1)), np.zeros(0)), (np.zeros((0, 1)), np.zeros(0))])
+
+
+class TestFitPredict:
+    def test_interpolates_each_task(self, rng):
+        sets = _correlated_tasks(rng)
+        lcm = LCM(2, 1, max_fun=40, seed=0).fit(sets)
+        for i, (X, y) in enumerate(sets):
+            mean = lcm.predict(i, X, return_std=False)
+            assert np.sqrt(np.mean((mean - y) ** 2)) < 0.15
+
+    def test_unequal_samples_including_empty_target(self, rng):
+        """The Multitask(TS) cold start: sources full, target empty."""
+        sets = _correlated_tasks(rng)
+        empty = (np.zeros((0, 1)), np.zeros(0))
+        lcm = LCM(3, 1, max_fun=30, seed=0).fit(sets + [empty])
+        mean, std = lcm.predict(2, np.array([[0.3], [0.7]]))
+        assert np.all(np.isfinite(mean)) and np.all(std > 0)
+
+    def test_transfer_improves_sparse_task(self, rng):
+        """A 2-sample target task should borrow shape from a 40-sample
+        source when they are strongly correlated."""
+        X_src = rng.random((40, 1))
+        y_src = np.sin(4.0 * X_src[:, 0])
+        X_tgt = np.array([[0.1], [0.9]])
+        y_tgt = np.sin(4.0 * X_tgt[:, 0])
+        lcm = LCM(2, 1, max_fun=60, seed=0).fit([(X_src, y_src), (X_tgt, y_tgt)])
+        Xq = np.linspace(0.05, 0.95, 20)[:, None]
+        pred = lcm.predict(1, Xq, return_std=False)
+        rms = np.sqrt(np.mean((pred - np.sin(4.0 * Xq[:, 0])) ** 2))
+        assert rms < 0.4  # a 2-point GP alone would be far worse
+
+    def test_predict_task_range_checked(self, rng):
+        lcm = LCM(2, 1, max_fun=10, seed=0).fit(_correlated_tasks(rng))
+        with pytest.raises(ValueError):
+            lcm.predict(5, np.array([[0.5]]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LCM(2, 1).predict(0, np.array([[0.5]]))
+
+    def test_std_positive_and_grows_off_data(self, rng):
+        X = rng.random((20, 1)) * 0.3
+        y = np.sin(5 * X[:, 0])
+        lcm = LCM(1, 1, max_fun=40, seed=0).fit([(X, y)])
+        _, std_near = lcm.predict(0, np.array([[0.15]]))
+        _, std_far = lcm.predict(0, np.array([[0.95]]))
+        assert std_far[0] > std_near[0] > 0
+
+    def test_task_scales_respected(self, rng):
+        """Tasks with very different output scales predict in their own."""
+        X = rng.random((25, 1))
+        sets = [(X, np.sin(4 * X[:, 0])), (X, 100.0 * np.sin(4 * X[:, 0]) + 500.0)]
+        lcm = LCM(2, 1, max_fun=40, seed=0).fit(sets)
+        m0 = lcm.predict(0, X, return_std=False)
+        m1 = lcm.predict(1, X, return_std=False)
+        assert np.abs(m0).max() < 10
+        assert m1.mean() == pytest.approx(sets[1][1].mean(), abs=30)
+
+
+class TestUtilities:
+    def test_warm_start(self, rng):
+        sets = _correlated_tasks(rng)
+        a = LCM(2, 1, max_fun=40, seed=0).fit(sets)
+        b = LCM(2, 1, optimize=False)
+        b.warm_start_from(a)
+        b.fit(sets)
+        assert np.allclose(a._theta, b._theta)
+
+    def test_warm_start_shape_check(self):
+        with pytest.raises(ValueError):
+            LCM(2, 1).warm_start_from(LCM(3, 1))
+
+    def test_task_correlation_matrix(self, rng):
+        lcm = LCM(2, 1, max_fun=60, seed=0).fit(_correlated_tasks(rng, shift=0.0))
+        C = lcm.task_correlation()
+        assert C.shape == (2, 2)
+        assert np.allclose(np.diag(C), 1.0)
+        # identical tasks should be learned as positively correlated
+        assert C[0, 1] > 0.3

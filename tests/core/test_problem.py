@@ -1,0 +1,128 @@
+"""Tests for repro.core.problem: tuning problems and evaluations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    Evaluation,
+    IntegerParameter,
+    OutputParameter,
+    RealParameter,
+    Space,
+    SpaceError,
+    TuningProblem,
+    task_key,
+)
+
+
+def _mk(objective, constraint=None, name="p"):
+    return TuningProblem(
+        name=name,
+        input_space=Space([IntegerParameter("t", 0, 10)]),
+        parameter_space=Space([RealParameter("x", 0.0, 1.0)]),
+        output_space=Space([OutputParameter("y")]),
+        objective=objective,
+        constraint=constraint,
+    )
+
+
+class TestTaskKey:
+    def test_order_independent(self):
+        assert task_key({"a": 1, "b": 2}) == task_key({"b": 2, "a": 1})
+
+    def test_distinguishes_values(self):
+        assert task_key({"a": 1}) != task_key({"a": 2})
+
+    def test_hashable(self):
+        {task_key({"a": 1}): "ok"}
+
+
+class TestEvaluation:
+    def test_failed_flags(self):
+        assert Evaluation({}, {}, None).failed
+        assert Evaluation({}, {}, float("nan")).failed
+        assert Evaluation({}, {}, float("inf")).failed
+        assert not Evaluation({}, {}, 1.0).failed
+
+    def test_roundtrip(self):
+        ev = Evaluation({"t": 1}, {"x": 0.5}, 2.5, {"note": "hi"})
+        clone = Evaluation.from_dict(ev.to_dict())
+        assert clone.task == ev.task and clone.config == ev.config
+        assert clone.output == ev.output and clone.metadata == ev.metadata
+
+    def test_roundtrip_failure(self):
+        ev = Evaluation({"t": 1}, {"x": 0.5}, None)
+        assert Evaluation.from_dict(ev.to_dict()).failed
+
+
+class TestTuningProblem:
+    def test_requires_name(self):
+        with pytest.raises(SpaceError):
+            _mk(lambda t, c: 1.0, name="")
+
+    def test_rejects_overlapping_spaces(self):
+        with pytest.raises(SpaceError):
+            TuningProblem(
+                name="p",
+                input_space=Space([RealParameter("x", 0, 1)]),
+                parameter_space=Space([RealParameter("x", 0, 1)]),
+                output_space=Space([OutputParameter("y")]),
+                objective=lambda t, c: 1.0,
+            )
+
+    def test_evaluate_success(self):
+        p = _mk(lambda t, c: c["x"] * 2)
+        ev = p.evaluate({"t": 1}, {"x": 0.25})
+        assert not ev.failed and ev.output == pytest.approx(0.5)
+
+    def test_evaluate_validates_task_and_config(self):
+        p = _mk(lambda t, c: 1.0)
+        with pytest.raises(SpaceError):
+            p.evaluate({"t": 99}, {"x": 0.5})
+        with pytest.raises(SpaceError):
+            p.evaluate({"t": 1}, {"x": 5.0})
+
+    def test_objective_exception_becomes_failure(self):
+        def boom(t, c):
+            raise RuntimeError("crash")
+
+        ev = _mk(boom).evaluate({"t": 1}, {"x": 0.5})
+        assert ev.failed and "crash" in ev.metadata["failure"]
+
+    def test_none_output_is_failure(self):
+        ev = _mk(lambda t, c: None).evaluate({"t": 1}, {"x": 0.5})
+        assert ev.failed and ev.metadata["failure"] == "non-finite"
+
+    def test_nan_output_is_failure(self):
+        ev = _mk(lambda t, c: math.nan).evaluate({"t": 1}, {"x": 0.5})
+        assert ev.failed
+
+    def test_constraint_blocks_evaluation(self):
+        calls = []
+
+        def obj(t, c):
+            calls.append(c)
+            return 1.0
+
+        p = _mk(obj, constraint=lambda t, c: c["x"] < 0.5)
+        ev = p.evaluate({"t": 1}, {"x": 0.9})
+        assert ev.failed and ev.metadata["failure"] == "constraint"
+        assert not calls  # objective never ran
+
+    def test_feasible_defaults_true(self):
+        assert _mk(lambda t, c: 1.0).feasible({"t": 1}, {"x": 0.5})
+
+    def test_with_parameter_space(self):
+        p = _mk(lambda t, c: c["x"])
+        reduced = p.with_parameter_space(p.parameter_space.fix({}))
+        assert reduced.name == p.name
+        assert reduced.objective is p.objective
+
+    def test_describe_blocks(self):
+        desc = _mk(lambda t, c: 1.0).describe()
+        assert {e["name"] for e in desc["input_space"]} == {"t"}
+        assert {e["name"] for e in desc["parameter_space"]} == {"x"}
+        assert {e["name"] for e in desc["output_space"]} == {"y"}

@@ -1,0 +1,97 @@
+"""Tests for repro.core.samplers: initial designs, uniqueness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CategoricalParameter,
+    IntegerParameter,
+    RealParameter,
+    Space,
+    get_sampler,
+)
+from repro.core.samplers import (
+    LatinHypercubeSampler,
+    RandomSampler,
+    SobolSampler,
+    unique_configs,
+)
+
+
+@pytest.fixture
+def small_space():
+    return Space([IntegerParameter("k", 0, 3), CategoricalParameter("c", ["a", "b"])])
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_sampler("random"), RandomSampler)
+        assert isinstance(get_sampler("lhs"), LatinHypercubeSampler)
+        assert isinstance(get_sampler("sobol"), SobolSampler)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_sampler("nope")
+
+
+class TestUniqueConfigs:
+    def test_dedup_preserves_order(self):
+        configs = [{"a": 1}, {"a": 2}, {"a": 1}, {"a": 3}]
+        assert unique_configs(configs) == [{"a": 1}, {"a": 2}, {"a": 3}]
+
+    def test_exclude(self):
+        assert unique_configs([{"a": 1}, {"a": 2}], exclude=[{"a": 1}]) == [{"a": 2}]
+
+
+@pytest.mark.parametrize("name", ["random", "lhs", "sobol"])
+class TestSamplers:
+    def test_raw_shape_and_range(self, name, rng):
+        U = get_sampler(name).raw(64, 5, rng)
+        assert U.shape == (64, 5)
+        assert np.all((U >= 0) & (U < 1 + 1e-12))
+
+    def test_sample_returns_valid_unique(self, name, mixed_space, rng):
+        configs = get_sampler(name).sample(mixed_space, 30, rng)
+        assert len(configs) == 30
+        keys = {tuple(sorted((k, repr(v)) for k, v in c.items())) for c in configs}
+        assert len(keys) == 30
+        for c in configs:
+            assert mixed_space.contains(c)
+
+    def test_sample_respects_exclude(self, name, mixed_space, rng):
+        first = get_sampler(name).sample(mixed_space, 5, rng)
+        second = get_sampler(name).sample(mixed_space, 5, rng, exclude=first)
+        keys1 = {tuple(sorted((k, repr(v)) for k, v in c.items())) for c in first}
+        keys2 = {tuple(sorted((k, repr(v)) for k, v in c.items())) for c in second}
+        assert not keys1 & keys2
+
+    def test_exhausted_space_returns_fewer(self, name, small_space, rng):
+        # only 3 * 2 = 6 distinct configurations exist
+        configs = get_sampler(name).sample(small_space, 50, rng)
+        assert len(configs) == 6
+
+    def test_zero_request(self, name, mixed_space, rng):
+        assert get_sampler(name).sample(mixed_space, 0, rng) == []
+
+
+class TestLatinHypercube:
+    def test_stratification(self, rng):
+        n = 16
+        U = LatinHypercubeSampler().raw(n, 3, rng)
+        for j in range(3):
+            strata = np.floor(U[:, j] * n).astype(int)
+            assert sorted(strata) == list(range(n))
+
+
+class TestSobolSampler:
+    def test_scrambled_streams_differ(self):
+        r1 = np.random.default_rng(1)
+        r2 = np.random.default_rng(2)
+        s = SobolSampler()
+        assert not np.allclose(s.raw(16, 3, r1), s.raw(16, 3, r2))
+
+    def test_dimension_guard(self, rng):
+        with pytest.raises(ValueError):
+            SobolSampler().raw(8, 500, rng)

@@ -1,0 +1,327 @@
+"""Tests for repro.core.space: parameters, spaces, unit-cube mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.space import (
+    CategoricalParameter,
+    FixedSpace,
+    IntegerParameter,
+    OutputParameter,
+    Parameter,
+    RealParameter,
+    Space,
+    SpaceError,
+)
+
+
+# ---------------------------------------------------------------------------
+# RealParameter
+# ---------------------------------------------------------------------------
+class TestRealParameter:
+    def test_bounds_validation(self):
+        with pytest.raises(SpaceError):
+            RealParameter("x", 1.0, 1.0)
+        with pytest.raises(SpaceError):
+            RealParameter("x", 2.0, 1.0)
+        with pytest.raises(SpaceError):
+            RealParameter("x", 0.0, float("inf"))
+
+    def test_name_validation(self):
+        with pytest.raises(SpaceError):
+            RealParameter("", 0.0, 1.0)
+
+    def test_contains_half_open(self):
+        p = RealParameter("x", 0.0, 10.0)
+        assert p.contains(0.0)
+        assert p.contains(9.999)
+        assert not p.contains(10.0)
+        assert not p.contains(-0.1)
+        assert not p.contains("abc")
+
+    def test_unit_roundtrip_midpoint(self):
+        p = RealParameter("x", 2.0, 6.0)
+        assert p.to_unit(4.0) == pytest.approx(0.5)
+        assert p.from_unit(0.5) == pytest.approx(4.0)
+
+    def test_from_unit_clamps(self):
+        p = RealParameter("x", 0.0, 1.0)
+        assert p.contains(p.from_unit(-0.5))
+        assert p.contains(p.from_unit(1.5))
+
+    def test_from_unit_stays_inside_half_open(self):
+        p = RealParameter("x", 0.0, 1.0)
+        assert p.from_unit(1.0) < 1.0
+
+    def test_to_unit_rejects_out_of_range(self):
+        p = RealParameter("x", 0.0, 1.0)
+        with pytest.raises(SpaceError):
+            p.to_unit(2.0)
+
+    def test_sample_in_range(self, rng):
+        p = RealParameter("x", -3.0, 7.0)
+        for _ in range(50):
+            assert p.contains(p.sample(rng))
+
+    def test_grid(self):
+        p = RealParameter("x", 0.0, 1.0)
+        g = p.grid(10)
+        assert len(g) == 10
+        assert all(p.contains(v) for v in g)
+
+    def test_serialization_roundtrip(self):
+        p = RealParameter("x", -1.5, 2.5)
+        assert Parameter.from_dict(p.to_dict()) == p
+
+    @given(st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, u):
+        p = RealParameter("x", -5.0, 13.0)
+        v = p.from_unit(u)
+        assert p.contains(v)
+        assert p.to_unit(v) == pytest.approx(min(u, p.to_unit(v) + 1e-9), abs=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# IntegerParameter
+# ---------------------------------------------------------------------------
+class TestIntegerParameter:
+    def test_half_open_range(self):
+        p = IntegerParameter("k", 1, 16)
+        assert p.contains(1) and p.contains(15)
+        assert not p.contains(16) and not p.contains(0)
+
+    def test_rejects_non_integers(self):
+        p = IntegerParameter("k", 0, 5)
+        assert not p.contains(1.5)
+        assert not p.contains("2")
+
+    def test_bad_bounds(self):
+        with pytest.raises(SpaceError):
+            IntegerParameter("k", 5, 5)
+        with pytest.raises(SpaceError):
+            IntegerParameter("k", 1.5, 3)
+
+    def test_n_values(self):
+        assert IntegerParameter("k", 1, 16).n_values == 15
+
+    def test_roundtrip_every_value(self):
+        p = IntegerParameter("k", -3, 9)
+        for v in range(-3, 9):
+            assert p.from_unit(p.to_unit(v)) == v
+
+    def test_from_unit_covers_all_values(self):
+        p = IntegerParameter("k", 0, 4)
+        got = {p.from_unit(u) for u in np.linspace(0, 1, 101)}
+        assert got == {0, 1, 2, 3}
+
+    def test_single_value_range(self):
+        p = IntegerParameter("k", 7, 8)
+        assert p.to_unit(7) == 0.5
+        assert p.from_unit(0.0) == 7 and p.from_unit(1.0) == 7
+
+    def test_grid_small_and_large(self):
+        assert IntegerParameter("k", 0, 5).grid() == [0, 1, 2, 3, 4]
+        big = IntegerParameter("k", 0, 1000).grid(16)
+        assert len(big) <= 16 and all(0 <= v < 1000 for v in big)
+
+    def test_serialization_roundtrip(self):
+        p = IntegerParameter("k", 2, 31)
+        assert Parameter.from_dict(p.to_dict()) == p
+
+    @given(st.integers(-50, 49))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, v):
+        p = IntegerParameter("k", -50, 50)
+        assert p.from_unit(p.to_unit(v)) == v
+
+
+# ---------------------------------------------------------------------------
+# CategoricalParameter
+# ---------------------------------------------------------------------------
+class TestCategoricalParameter:
+    def test_requires_choices(self):
+        with pytest.raises(SpaceError):
+            CategoricalParameter("c", [])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SpaceError):
+            CategoricalParameter("c", ["a", "a"])
+
+    def test_roundtrip_every_category(self):
+        p = CategoricalParameter("c", ["x", "y", "z", "w"])
+        for cat in p.categories:
+            assert p.from_unit(p.to_unit(cat)) == cat
+
+    def test_contains(self):
+        p = CategoricalParameter("c", ["a", "b"])
+        assert p.contains("a") and not p.contains("z")
+
+    def test_from_unit_covers_all(self):
+        p = CategoricalParameter("c", ["a", "b", "c"])
+        got = {p.from_unit(u) for u in np.linspace(0, 1, 100)}
+        assert got == {"a", "b", "c"}
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(SpaceError):
+            CategoricalParameter("c", ["a"]).to_unit("b")
+
+    def test_sample(self, rng):
+        p = CategoricalParameter("c", ["a", "b", "c"])
+        seen = {p.sample(rng) for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_serialization_roundtrip(self):
+        p = CategoricalParameter("c", ["NATURAL", "COLAMD"])
+        assert Parameter.from_dict(p.to_dict()) == p
+
+
+# ---------------------------------------------------------------------------
+# OutputParameter
+# ---------------------------------------------------------------------------
+class TestOutputParameter:
+    def test_contains_finite_only(self):
+        p = OutputParameter("y")
+        assert p.contains(1.5) and p.contains(0)
+        assert not p.contains(float("nan")) and not p.contains(None)
+
+    def test_no_unit_embedding(self):
+        p = OutputParameter("y")
+        with pytest.raises(SpaceError):
+            p.to_unit(1.0)
+        with pytest.raises(SpaceError):
+            p.from_unit(0.5)
+
+    def test_serialization(self):
+        p = OutputParameter("runtime")
+        assert Parameter.from_dict(p.to_dict()) == p
+
+
+# ---------------------------------------------------------------------------
+# Space
+# ---------------------------------------------------------------------------
+class TestSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpaceError):
+            Space([RealParameter("x", 0, 1), IntegerParameter("x", 0, 2)])
+
+    def test_basic_introspection(self, mixed_space):
+        assert mixed_space.dim == 3
+        assert mixed_space.names == ["x", "k", "mode"]
+        assert "k" in mixed_space and "nope" not in mixed_space
+        assert mixed_space["k"].name == "k"
+        assert mixed_space[0].name == "x"
+        with pytest.raises(KeyError):
+            mixed_space["nope"]
+
+    def test_to_unit_shape_and_range(self, mixed_space):
+        u = mixed_space.to_unit({"x": 0.5, "k": 8, "mode": "b"})
+        assert u.shape == (3,)
+        assert np.all((u >= 0) & (u <= 1))
+
+    def test_to_unit_missing_param(self, mixed_space):
+        with pytest.raises(SpaceError):
+            mixed_space.to_unit({"x": 0.5})
+
+    def test_from_unit_shape_check(self, mixed_space):
+        with pytest.raises(SpaceError):
+            mixed_space.from_unit([0.5, 0.5])
+
+    def test_roundtrip(self, mixed_space):
+        cfg = {"x": 0.25, "k": 3, "mode": "c"}
+        assert mixed_space.from_unit(mixed_space.to_unit(cfg)) == pytest.approx(
+            cfg, abs=1e-9
+        ) or mixed_space.from_unit(mixed_space.to_unit(cfg)) == cfg
+
+    def test_array_roundtrip(self, mixed_space, rng):
+        configs = [mixed_space.sample(rng) for _ in range(20)]
+        U = mixed_space.to_unit_array(configs)
+        assert U.shape == (20, 3)
+        back = mixed_space.from_unit_array(U)
+        for c, b in zip(configs, back):
+            assert b["k"] == c["k"] and b["mode"] == c["mode"]
+            assert b["x"] == pytest.approx(c["x"], abs=1e-9)
+
+    def test_empty_array(self, mixed_space):
+        assert mixed_space.to_unit_array([]).shape == (0, 3)
+
+    def test_validate(self, mixed_space):
+        mixed_space.validate({"x": 0.1, "k": 1, "mode": "a"})
+        with pytest.raises(SpaceError):
+            mixed_space.validate({"x": 0.1, "k": 100, "mode": "a"})
+        with pytest.raises(SpaceError):
+            mixed_space.validate({"x": 0.1, "k": 1})
+
+    def test_sample_valid(self, mixed_space, rng):
+        for _ in range(30):
+            assert mixed_space.contains(mixed_space.sample(rng))
+
+    def test_subspace_and_drop(self, mixed_space):
+        sub = mixed_space.subspace(["mode", "x"])
+        assert sub.names == ["mode", "x"]
+        dropped = mixed_space.drop(["k"])
+        assert dropped.names == ["x", "mode"]
+        with pytest.raises(SpaceError):
+            mixed_space.subspace(["zzz"])
+        with pytest.raises(SpaceError):
+            mixed_space.drop(["zzz"])
+
+    def test_serialization_roundtrip(self, mixed_space):
+        clone = Space.from_list(mixed_space.to_list())
+        assert clone.names == mixed_space.names
+        assert clone.to_list() == mixed_space.to_list()
+
+    @given(st.lists(st.floats(0, 1), min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_from_unit_always_valid(self, coords):
+        space = Space(
+            [
+                RealParameter("x", 0.0, 1.0),
+                IntegerParameter("k", 1, 16),
+                CategoricalParameter("mode", ["a", "b", "c"]),
+            ]
+        )
+        assert space.contains(space.from_unit(coords))
+
+
+# ---------------------------------------------------------------------------
+# FixedSpace (reduced tuning, paper Fig. 6/7)
+# ---------------------------------------------------------------------------
+class TestFixedSpace:
+    def test_fix_validates(self, mixed_space):
+        with pytest.raises(SpaceError):
+            mixed_space.fix({"zzz": 1})
+        with pytest.raises(SpaceError):
+            mixed_space.fix({"k": 99})
+
+    def test_fixed_space_dim_shrinks(self, mixed_space):
+        fixed = mixed_space.fix({"k": 5})
+        assert isinstance(fixed, FixedSpace)
+        assert fixed.dim == 2
+        assert fixed.names == ["x", "mode"]
+
+    def test_from_unit_includes_pins(self, mixed_space):
+        fixed = mixed_space.fix({"k": 5, "mode": "b"})
+        cfg = fixed.from_unit([0.5])
+        assert cfg == {"x": pytest.approx(0.5), "k": 5, "mode": "b"}
+
+    def test_sample_includes_pins(self, mixed_space, rng):
+        fixed = mixed_space.fix({"mode": "c"})
+        for _ in range(10):
+            cfg = fixed.sample(rng)
+            assert cfg["mode"] == "c"
+            assert mixed_space.contains(cfg)
+
+    def test_to_unit_ignores_pins(self, mixed_space):
+        fixed = mixed_space.fix({"k": 5})
+        u = fixed.to_unit({"x": 0.5, "k": 5, "mode": "a"})
+        assert u.shape == (2,)
+
+    def test_contains_honors_pins(self, mixed_space):
+        fixed = mixed_space.fix({"k": 5})
+        assert fixed.contains({"x": 0.5, "k": 5, "mode": "a"})
+        assert not fixed.contains({"x": 0.5, "k": 6, "mode": "a"})

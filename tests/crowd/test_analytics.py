@@ -1,0 +1,124 @@
+"""Tests for performance-variability analytics (paper's future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crowd import PerformanceRecord
+from repro.crowd.analytics import (
+    detect_outliers,
+    group_repeats,
+    variability_report,
+)
+
+
+def _rec(output, cfg=None, task=None):
+    return PerformanceRecord(
+        problem_name="p",
+        task_parameters=task or {"t": 1},
+        tuning_parameters=cfg or {"x": 0.5},
+        output=output,
+    )
+
+
+def _noisy_records(rng, base, n, cv, cfg):
+    return [_rec(base * (1 + rng.normal(0, cv)), cfg=cfg) for _ in range(n)]
+
+
+class TestGroupRepeats:
+    def test_groups_by_task_and_config(self):
+        records = [
+            _rec(1.0, cfg={"x": 0.1}),
+            _rec(1.1, cfg={"x": 0.1}),
+            _rec(2.0, cfg={"x": 0.2}),
+            _rec(5.0, cfg={"x": 0.1}, task={"t": 2}),
+        ]
+        groups = group_repeats(records)
+        assert len(groups) == 1  # only x=0.1/t=1 has >= 2 repeats
+        assert groups[0].n == 2
+
+    def test_failures_ignored(self):
+        records = [_rec(1.0), _rec(None), _rec(1.2)]
+        groups = group_repeats(records)
+        assert groups[0].n == 2
+
+    def test_sorted_by_repeat_count(self):
+        records = [_rec(1.0, cfg={"x": 0.1})] * 0
+        records += [_rec(1.0 + i * 0.01, cfg={"x": 0.1}) for i in range(5)]
+        records += [_rec(2.0 + i * 0.01, cfg={"x": 0.2}) for i in range(3)]
+        groups = group_repeats(records)
+        assert [g.n for g in groups] == [5, 3]
+
+    def test_min_repeats(self):
+        records = [_rec(1.0), _rec(1.1)]
+        assert group_repeats(records, min_repeats=3) == []
+
+
+class TestGroupStatistics:
+    def test_basic_stats(self):
+        records = [_rec(v) for v in (1.0, 1.2, 0.8)]
+        g = group_repeats(records)[0]
+        assert g.mean == pytest.approx(1.0)
+        assert g.median == pytest.approx(1.0)
+        assert g.relative_std == pytest.approx(np.std([1.0, 1.2, 0.8], ddof=1), abs=1e-9)
+        assert g.spread == pytest.approx(1.5)
+
+    def test_single_like_group_zero_std(self):
+        g = group_repeats([_rec(2.0), _rec(2.0)])[0]
+        assert g.std == 0.0 and g.relative_std == 0.0
+
+    def test_modified_z_scores_flag_spike(self):
+        g = group_repeats([_rec(v) for v in (1.0, 1.02, 0.99, 1.01, 3.0)])[0]
+        z = g.modified_z_scores()
+        assert abs(z[-1]) > 3.5
+        assert all(abs(v) < 3.5 for v in z[:-1])
+
+
+class TestVariabilityReport:
+    def test_pooled_cv_recovers_injected_noise(self, rng):
+        records = []
+        for i in range(8):
+            records += _noisy_records(rng, base=10.0 + i, n=12, cv=0.05,
+                                      cfg={"x": i / 10})
+        report = variability_report(records, problem_name="p")
+        assert report.pooled_relative_std == pytest.approx(0.05, abs=0.02)
+        assert report.suggest_noise_model() == report.pooled_relative_std
+        assert report.n_repeat_groups == 8
+
+    def test_noisy_groups_flagged(self, rng):
+        quiet = _noisy_records(rng, 10.0, 10, 0.02, {"x": 0.1})
+        loud = _noisy_records(rng, 10.0, 10, 0.40, {"x": 0.9})
+        report = variability_report(quiet + loud, noisy_threshold=0.15)
+        assert len(report.noisy_groups) == 1
+        assert report.noisy_groups[0].tuning_parameters == {"x": 0.9}
+
+    def test_no_repeats(self):
+        report = variability_report([_rec(1.0, cfg={"x": i / 10}) for i in range(5)])
+        assert report.n_repeat_groups == 0
+        assert report.pooled_relative_std == 0.0
+
+    def test_table_and_summary(self, rng):
+        records = _noisy_records(rng, 5.0, 6, 0.1, {"x": 0.3})
+        report = variability_report(records, problem_name="demo")
+        assert "rel.std" in report.table()
+        assert report.summary()["problem"] == "demo"
+
+
+class TestOutlierDetection:
+    def test_finds_injected_outlier(self, rng):
+        records = _noisy_records(rng, 10.0, 15, 0.02, {"x": 0.5})
+        spike = _rec(30.0, cfg={"x": 0.5})
+        found = detect_outliers(records + [spike])
+        assert len(found) >= 1
+        assert found[0][0].uid == spike.uid
+        assert abs(found[0][1]) > 3.5
+
+    def test_clean_data_no_outliers(self, rng):
+        records = _noisy_records(rng, 10.0, 20, 0.03, {"x": 0.5})
+        assert detect_outliers(records) == []
+
+    def test_small_groups_cannot_convict(self):
+        # 2 samples can never exceed the threshold (need >= 3)
+        records = [_rec(1.0), _rec(100.0)]
+        assert detect_outliers(records) == []

@@ -1,0 +1,225 @@
+"""Tests for the crowd-tuning API: meta descriptions + utility functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import DemoFunction
+from repro.crowd import (
+    CrowdClient,
+    CrowdRepository,
+    MetaDescription,
+    PerformanceRecord,
+)
+from repro.crowd.users import AuthError
+from repro.tla import MultitaskTS
+
+
+@pytest.fixture
+def repo():
+    return CrowdRepository()
+
+
+@pytest.fixture
+def keys(repo):
+    _, a = repo.register_user("user_A", "a@lab.gov")
+    _, b = repo.register_user("user_B", "b@lab.gov")
+    return {"user_A": a, "user_B": b}
+
+
+@pytest.fixture
+def demo_problem():
+    return DemoFunction().make_problem(noisy=False)
+
+
+def _upload_source(repo, key, problem, task, n, seed=0):
+    rng = np.random.default_rng(seed)
+    space = problem.parameter_space
+    for _ in range(n):
+        cfg = space.sample(rng)
+        repo.upload(
+            PerformanceRecord(
+                problem_name=problem.name,
+                task_parameters=dict(task),
+                tuning_parameters=cfg,
+                output=problem.objective(task, cfg),
+            ),
+            key,
+        )
+
+
+def _meta(key, sync="no", **extra):
+    doc = {
+        "api_key": key,
+        "tuning_problem_name": "demo",
+        "problem_space": {
+            "input_space": [
+                {"name": "t", "type": "real", "lower_bound": 0, "upper_bound": 10}
+            ],
+            "parameter_space": [
+                {"name": "x", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0}
+            ],
+            "output_space": [{"name": "y", "type": "output"}],
+        },
+        "sync_crowd_repo": sync,
+    }
+    doc.update(extra)
+    return MetaDescription.from_dict(doc)
+
+
+class TestMetaDescription:
+    def test_requires_key_and_name(self):
+        with pytest.raises(ValueError):
+            MetaDescription.from_dict({"api_key": "k"})
+        with pytest.raises(ValueError):
+            MetaDescription.from_dict({"tuning_problem_name": "p"})
+
+    def test_sync_flag_parsing(self, keys):
+        assert _meta(keys["user_A"], sync="yes").sync_crowd_repo
+        assert not _meta(keys["user_A"], sync="no").sync_crowd_repo
+        assert _meta(keys["user_A"], sync=True).sync_crowd_repo
+
+    def test_malformed_space_rejected(self, keys):
+        with pytest.raises(Exception):
+            MetaDescription.from_dict(
+                {
+                    "api_key": keys["user_A"],
+                    "tuning_problem_name": "p",
+                    "problem_space": {"parameter_space": [{"type": "real"}]},
+                }
+            )
+
+    def test_parameter_space_built(self, keys):
+        space = _meta(keys["user_A"]).parameter_space()
+        assert space.names == ["x"]
+
+    def test_resolve_environment_spack_and_slurm(self, keys):
+        meta = _meta(
+            keys["user_A"],
+            machine_configuration={
+                "machine_name": "Cori",
+                "slurm": "yes",
+                "slurm_environment": {
+                    "SLURM_JOB_NUM_NODES": "8",
+                    "SLURM_JOB_PARTITION": "haswell",
+                },
+            },
+            software_configuration={"spack": "scalapack@2.1.0%gcc@9.3.0"},
+        )
+        machine, software = meta.resolve_environment()
+        assert machine["nodes"] == 8 and machine["partition"] == "haswell"
+        assert software["scalapack"]["version_split"] == [2, 1, 0]
+
+
+class TestCrowdClient:
+    def test_bad_key_fails_at_construction(self, repo, keys):
+        meta = _meta(keys["user_A"])
+        meta.api_key = "nope"
+        with pytest.raises(AuthError):
+            CrowdClient(repo, meta)
+
+    def test_query_function_evaluations(self, repo, keys, demo_problem):
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.8}, 10)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        assert len(client.query_function_evaluations()) == 10
+
+    def test_query_source_data_groups_by_task(self, repo, keys, demo_problem):
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.8}, 12, seed=0)
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 1.2}, 7, seed=1)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        sources = client.query_source_data()
+        assert len(sources) == 2
+        # sorted by sample count, largest first (stacking order)
+        assert sources[0].n == 12 and sources[1].n == 7
+        assert sources[0].task == {"t": 0.8}
+
+    def test_min_samples_filter(self, repo, keys, demo_problem):
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.8}, 3)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        assert client.query_source_data(min_samples=5) == []
+
+    def test_query_surrogate_model_predicts(self, repo, keys, demo_problem):
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.8}, 40)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        gp = client.query_surrogate_model(task={"t": 0.8})
+        x = np.array([[0.5]])
+        pred = gp.predict_mean(x)[0]
+        true = demo_problem.objective({"t": 0.8}, {"x": 0.5})
+        assert pred == pytest.approx(true, abs=0.3)
+
+    def test_query_surrogate_needs_data(self, repo, keys):
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        with pytest.raises(ValueError):
+            client.query_surrogate_model()
+
+    def test_query_predict_output(self, repo, keys, demo_problem):
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.8}, 40)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        preds = client.query_predict_output([{"x": 0.2}, {"x": 0.7}], task={"t": 0.8})
+        assert preds.shape == (2,)
+
+    def test_query_sensitivity_analysis(self, repo, keys, demo_problem):
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.8}, 60)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        report = client.query_sensitivity_analysis(
+            task={"t": 0.8}, n_base=128, seed=0
+        )
+        assert report.indices.names == ["x"]
+        # a 1-parameter problem: x explains everything
+        assert report.indices.ST[0] > 0.8
+
+    def test_sensitivity_needs_enough_data(self, repo, keys, demo_problem):
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.8}, 2)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        with pytest.raises(ValueError):
+            client.query_sensitivity_analysis()
+
+
+class TestEndToEndTuning:
+    def test_sync_uploads_evaluations(self, repo, keys, demo_problem):
+        client = CrowdClient(repo, _meta(keys["user_B"], sync="yes"))
+        client.tune(demo_problem, {"t": 1.0}, 4, seed=0)
+        assert repo.count() == 4
+
+    def test_no_sync_no_uploads(self, repo, keys, demo_problem):
+        client = CrowdClient(repo, _meta(keys["user_B"], sync="no"))
+        client.tune(demo_problem, {"t": 1.0}, 4, seed=0)
+        assert repo.count() == 0
+
+    def test_transfer_used_when_sources_exist(self, repo, keys, demo_problem):
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.8}, 30)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        res = client.tune(
+            demo_problem, {"t": 1.0}, 4, strategy=MultitaskTS(), seed=0
+        )
+        assert res.tuner_name == "Multitask (TS)"
+
+    def test_target_task_excluded_from_sources(self, repo, keys, demo_problem):
+        """Records for the target task itself must not be a TLA source."""
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 1.0}, 30)
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        res = client.tune(
+            demo_problem, {"t": 1.0}, 3, strategy=MultitaskTS(), seed=0
+        )
+        assert res.tuner_name == "NoTLA"  # no *other* task available
+
+    def test_falls_back_to_notla_without_sources(self, repo, keys, demo_problem):
+        client = CrowdClient(repo, _meta(keys["user_B"]))
+        res = client.tune(
+            demo_problem, {"t": 1.0}, 3, strategy=MultitaskTS(), seed=0
+        )
+        assert res.tuner_name == "NoTLA"
+
+    def test_crowd_accumulation_improves_later_users(self, repo, keys, demo_problem):
+        """The crowd story: user B tunes after user A's data exists and
+        immediately starts near the transferred optimum."""
+        _upload_source(repo, keys["user_A"], demo_problem, {"t": 0.9}, 60)
+        client = CrowdClient(repo, _meta(keys["user_B"], sync="yes"))
+        res = client.tune(
+            demo_problem, {"t": 1.0}, 5, strategy=MultitaskTS(), seed=0
+        )
+        notla = CrowdClient(repo, _meta(keys["user_B"])).tune(
+            demo_problem, {"t": 1.0}, 5, seed=0
+        )
+        assert res.best_output <= notla.best_output + 0.05

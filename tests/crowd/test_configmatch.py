@@ -1,0 +1,55 @@
+"""Tests for tag-name matching of machine/software configurations."""
+
+from __future__ import annotations
+
+from repro.crowd.configmatch import TagMatcher, default_matcher
+
+
+class TestTagMatcher:
+    def test_exact_canonical(self):
+        m = default_matcher()
+        assert m.match_machine("Cori") == "Cori"
+
+    def test_alias_hits(self):
+        m = default_matcher()
+        assert m.match_machine("cori-haswell") == "Cori"
+        assert m.match_machine("NERSC Cori") == "Cori"
+
+    def test_case_and_separator_insensitive(self):
+        m = default_matcher()
+        assert m.match_machine("CORI_HASWELL") == "Cori"
+        assert m.match_machine("cori haswell") == "Cori"
+
+    def test_fuzzy_near_miss(self):
+        m = default_matcher()
+        assert m.match_machine("corri-haswell") == "Cori"  # typo
+
+    def test_unknown_returns_none(self):
+        m = default_matcher()
+        assert m.match_machine("Fugaku") is None
+        assert m.match_machine("") is None
+
+    def test_software_aliases(self):
+        m = default_matcher()
+        assert m.match_software("SuperLU_DIST") == "superlu-dist"
+        assert m.match_software("ScaLAPACK") == "scalapack"
+        assert m.match_software("craympich") == "cray-mpich"
+
+    def test_custom_entries(self):
+        m = TagMatcher()
+        m.add_machine("MyCluster", aliases=["mc1"], site="here")
+        assert m.match_machine("mc1") == "MyCluster"
+        assert m.machine_info("MyCluster")["site"] == "here"
+        assert m.machines() == ["MyCluster"]
+
+    def test_normalize_machine_configuration(self):
+        m = default_matcher()
+        config = {"cori_knl": {"knl": {"nodes": 32}}, "Unknown9000": {"x": 1}}
+        out = m.normalize_machine_configuration(config)
+        assert "Cori" in out and out["Cori"] == {"knl": {"nodes": 32}}
+        assert "Unknown9000" in out  # unmatched names pass through
+
+    def test_default_matcher_knows_paper_software(self):
+        m = default_matcher()
+        for package in ("scalapack", "superlu-dist", "hypre", "nimrod", "gcc"):
+            assert m.match_software(package) == package

@@ -1,0 +1,236 @@
+"""Tests for the document store (MongoDB substitute)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crowd.database import Collection, DocumentStore, QuerySyntaxError
+
+
+@pytest.fixture
+def coll():
+    c = Collection("records")
+    c.insert_many(
+        [
+            {"name": "a", "value": 1, "meta": {"machine": "Cori", "nodes": 8}},
+            {"name": "b", "value": 5, "meta": {"machine": "Cori", "nodes": 32}},
+            {"name": "c", "value": 3, "meta": {"machine": "Summit", "nodes": 8}},
+            {"name": "d", "value": None},
+        ]
+    )
+    return c
+
+
+class TestInsertFind:
+    def test_ids_assigned_sequentially(self):
+        c = Collection("x")
+        assert c.insert({"a": 1}) == 1
+        assert c.insert({"a": 2}) == 2
+
+    def test_find_all(self, coll):
+        assert len(coll.find()) == 4
+
+    def test_equality_filter(self, coll):
+        assert [d["name"] for d in coll.find({"value": 3})] == ["c"]
+
+    def test_nested_path(self, coll):
+        found = coll.find({"meta.machine": "Cori"})
+        assert {d["name"] for d in found} == {"a", "b"}
+
+    def test_range_operators(self, coll):
+        assert {d["name"] for d in coll.find({"value": {"$gte": 3}})} == {"b", "c"}
+        assert {d["name"] for d in coll.find({"value": {"$lt": 3}})} == {"a"}
+        assert {d["name"] for d in coll.find({"value": {"$gt": 1, "$lte": 3}})} == {"c"}
+
+    def test_in_nin(self, coll):
+        assert {d["name"] for d in coll.find({"name": {"$in": ["a", "c"]}})} == {
+            "a",
+            "c",
+        }
+        assert {d["name"] for d in coll.find({"name": {"$nin": ["a", "b", "c"]}})} == {
+            "d"
+        }
+
+    def test_ne_and_none(self, coll):
+        assert {d["name"] for d in coll.find({"value": {"$ne": None}})} == {
+            "a",
+            "b",
+            "c",
+        }
+
+    def test_exists(self, coll):
+        assert {d["name"] for d in coll.find({"meta.nodes": {"$exists": True}})} == {
+            "a",
+            "b",
+            "c",
+        }
+
+    def test_regex(self, coll):
+        assert {d["name"] for d in coll.find({"meta.machine": {"$regex": "^Co"}})} == {
+            "a",
+            "b",
+        }
+
+    def test_and_or_not(self, coll):
+        flt = {"$or": [{"value": 1}, {"meta.machine": "Summit"}]}
+        assert {d["name"] for d in coll.find(flt)} == {"a", "c"}
+        flt = {"$and": [{"meta.machine": "Cori"}, {"value": {"$gt": 2}}]}
+        assert {d["name"] for d in coll.find(flt)} == {"b"}
+        assert {d["name"] for d in coll.find({"$not": {"value": None}})} == {
+            "a",
+            "b",
+            "c",
+        }
+
+    def test_sort_and_limit(self, coll):
+        names = [d["name"] for d in coll.find({"value": {"$ne": None}}, sort="value")]
+        assert names == ["a", "c", "b"]
+        names = [
+            d["name"]
+            for d in coll.find({"value": {"$ne": None}}, sort="value", descending=True, limit=2)
+        ]
+        assert names == ["b", "c"]
+
+    def test_find_one_and_count(self, coll):
+        assert coll.find_one({"name": "b"})["value"] == 5
+        assert coll.find_one({"name": "zzz"}) is None
+        assert coll.count({"meta.machine": "Cori"}) == 2
+
+    def test_type_mismatch_is_no_match(self, coll):
+        assert coll.find({"name": {"$gt": 5}}) == []
+
+    def test_bad_operator_raises(self, coll):
+        with pytest.raises(QuerySyntaxError):
+            coll.find({"value": {"$regexp": "x"}})
+        with pytest.raises(QuerySyntaxError):
+            coll.find({"$xor": [{"a": 1}]})
+        with pytest.raises(QuerySyntaxError):
+            coll.find({"$and": "not-a-list"})
+
+    def test_returned_docs_are_copies(self, coll):
+        doc = coll.find({"name": "a"})[0]
+        doc["meta"]["machine"] = "Hacked"
+        assert coll.find({"name": "a"})[0]["meta"]["machine"] == "Cori"
+
+    def test_inserted_docs_are_copied(self):
+        c = Collection("x")
+        src = {"nested": {"v": 1}}
+        c.insert(src)
+        src["nested"]["v"] = 99
+        assert c.find_one({})["nested"]["v"] == 1
+
+
+class TestUpdateDelete:
+    def test_update(self, coll):
+        n = coll.update({"meta.machine": "Cori"}, {"value": 0})
+        assert n == 2
+        assert coll.count({"value": 0}) == 2
+
+    def test_update_preserves_id(self, coll):
+        before = coll.find_one({"name": "a"})["_id"]
+        coll.update({"name": "a"}, {"_id": 999, "value": 7})
+        doc = coll.find_one({"name": "a"})
+        assert doc["_id"] == before and doc["value"] == 7
+
+    def test_delete(self, coll):
+        assert coll.delete({"value": None}) == 1
+        assert len(coll.find()) == 3
+
+
+class TestIndexes:
+    def test_indexed_equality_matches_scan(self, coll):
+        scan = {d["name"] for d in coll.find({"meta.machine": "Cori"})}
+        coll.create_index("meta.machine")
+        indexed = {d["name"] for d in coll.find({"meta.machine": "Cori"})}
+        assert indexed == scan
+
+    def test_index_maintained_by_insert_update_delete(self):
+        c = Collection("x")
+        c.create_index("k")
+        c.insert({"k": "a"})
+        c.insert({"k": "b"})
+        assert len(c.find({"k": "a"})) == 1
+        c.update({"k": "a"}, {"k": "b"})
+        assert len(c.find({"k": "b"})) == 2
+        c.delete({"k": "b"})
+        assert c.find({"k": "b"}) == []
+
+    def test_index_with_operator_falls_back_to_scan(self, coll):
+        coll.create_index("value")
+        assert {d["name"] for d in coll.find({"value": {"$gte": 3}})} == {"b", "c"}
+
+
+class TestStore:
+    def test_collection_creation(self):
+        store = DocumentStore()
+        c1 = store.collection("a")
+        assert store["a"] is c1
+        assert "a" in store and "b" not in store
+        assert store.collection_names() == ["a"]
+
+    def test_invalid_names(self):
+        store = DocumentStore()
+        with pytest.raises(ValueError):
+            store.collection("")
+        with pytest.raises(ValueError):
+            store.collection("a.b")
+
+    def test_drop(self):
+        store = DocumentStore()
+        store.collection("a")
+        store.drop("a")
+        assert "a" not in store
+
+    def test_persistence_roundtrip(self, tmp_path, coll):
+        store = DocumentStore()
+        store._collections["records"] = coll
+        coll.create_index("name")
+        path = tmp_path / "db.json"
+        store.save(path)
+        loaded = DocumentStore.load(path)
+        assert loaded["records"].count() == 4
+        assert loaded["records"].find_one({"name": "b"})["value"] == 5
+        # index survives and works
+        assert len(loaded["records"].find({"name": "a"})) == 1
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"something": "else"}')
+        with pytest.raises(ValueError):
+            DocumentStore.load(p)
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(-10, 10),
+                min_size=1,
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        st.integers(-10, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_find_eq_matches_python_filter(self, docs, needle):
+        c = Collection("x")
+        c.insert_many(docs)
+        got = {d["_id"] for d in c.find({"a": needle})}
+        expect = {
+            i + 1 for i, d in enumerate(docs) if d.get("a") == needle
+        }
+        assert got == expect
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_range_query_partition(self, values):
+        """$lt and $gte partition every finite value set."""
+        c = Collection("x")
+        c.insert_many([{"v": v} for v in values])
+        lo = c.count({"v": {"$lt": 0}})
+        hi = c.count({"v": {"$gte": 0}})
+        assert lo + hi == len(values)

@@ -1,0 +1,118 @@
+"""Tests for automatic environment parsing (Spack/Slurm/CK)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.environment import (
+    EnvironmentParseError,
+    parse_ck_meta,
+    parse_slurm_environment,
+    parse_spack_spec,
+    parse_version,
+)
+from repro.hpc import SlurmSim, cori_haswell
+
+
+class TestParseVersion:
+    def test_plain(self):
+        assert parse_version("7.2.0") == [7, 2, 0]
+
+    def test_suffixes_dropped(self):
+        assert parse_version("9.3.0rc1") == [9, 3, 0]
+
+    def test_partial(self):
+        assert parse_version("11") == [11]
+
+    def test_garbage(self):
+        with pytest.raises(EnvironmentParseError):
+            parse_version("abc")
+
+
+class TestParseSpackSpec:
+    def test_full_spec(self):
+        out = parse_spack_spec(
+            "superlu-dist@7.2.0%gcc@9.3.0+openmp~cuda arch=cray-cnl7-haswell"
+        )
+        assert out["name"] == "superlu-dist"
+        assert out["version_split"] == [7, 2, 0]
+        assert out["compiler"] == {"name": "gcc", "version_split": [9, 3, 0]}
+        assert out["variants"] == {"openmp": True, "cuda": False}
+        assert out["arch"] == "cray-cnl7-haswell"
+        assert out["source"] == "spack"
+
+    def test_name_only(self):
+        assert parse_spack_spec("hypre")["name"] == "hypre"
+
+    def test_name_and_version(self):
+        out = parse_spack_spec("scalapack@2.1.0")
+        assert out["version_split"] == [2, 1, 0]
+        assert "compiler" not in out
+
+    def test_compiler_without_version(self):
+        out = parse_spack_spec("hypre%intel")
+        assert out["compiler"] == {"name": "intel"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(EnvironmentParseError):
+            parse_spack_spec("")
+
+
+class TestParseSlurm:
+    def test_typical_environment(self):
+        env = {
+            "SLURM_JOB_ID": "123456",
+            "SLURM_JOB_NUM_NODES": "8",
+            "SLURM_NTASKS": "256",
+            "SLURM_CPUS_PER_TASK": "1",
+            "SLURM_JOB_PARTITION": "haswell",
+            "SLURM_JOB_NODELIST": "nid0[5000-5007]",
+        }
+        out = parse_slurm_environment(env)
+        assert out["nodes"] == 8 and out["ntasks"] == 256
+        assert out["partition"] == "haswell"
+        assert out["job_id"] == 123456
+        assert out["source"] == "slurm"
+
+    def test_nnodes_fallback(self):
+        assert parse_slurm_environment({"SLURM_NNODES": "4"})["nodes"] == 4
+
+    def test_no_slurm_vars(self):
+        with pytest.raises(EnvironmentParseError):
+            parse_slurm_environment({"PATH": "/bin"})
+
+    def test_roundtrip_with_scheduler_sim(self):
+        """SlurmSim's environment must parse back to the allocation."""
+        sim = SlurmSim(cori_haswell(16))
+        job = sim.salloc(8, ntasks_per_node=32)
+        out = parse_slurm_environment(job.environment())
+        assert out["nodes"] == 8
+        assert out["ntasks"] == 256
+        assert out["partition"] == "haswell"
+
+
+class TestParseCkMeta:
+    def test_typical_meta(self):
+        out = parse_ck_meta(
+            {"data_name": "hypre", "version": "2.24.0", "tags": ["solver", "amg"]}
+        )
+        assert out["name"] == "hypre"
+        assert out["version_split"] == [2, 24, 0]
+        assert out["tags"] == ["solver", "amg"]
+        assert out["source"] == "ck"
+
+    def test_alternate_name_keys(self):
+        assert parse_ck_meta({"soft_name": "x"})["name"] == "x"
+        assert parse_ck_meta({"package_name": "y"})["name"] == "y"
+
+    def test_nested_version(self):
+        out = parse_ck_meta({"data_name": "x", "customize": {"version": "1.2"}})
+        assert out["version_split"] == [1, 2]
+
+    def test_no_name(self):
+        with pytest.raises(EnvironmentParseError):
+            parse_ck_meta({"version": "1.0"})
+
+    def test_non_mapping(self):
+        with pytest.raises(EnvironmentParseError):
+            parse_ck_meta("not a dict")

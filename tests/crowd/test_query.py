@@ -1,0 +1,195 @@
+"""Tests for query building: meta-description filters + SQL-like parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.database import Collection
+from repro.crowd.query import SqlQuery, SqlSyntaxError, build_filter
+
+
+class TestBuildFilter:
+    def test_empty_query_downloads_everything(self):
+        """Paper: 'If these condition information is not given, a query
+        will download all data available to the user.'"""
+        assert build_filter(require_success=False) == {}
+
+    def test_problem_name_only(self):
+        flt = build_filter("demo", require_success=False)
+        assert flt == {"problem_name": "demo"}
+
+    def test_success_filter_default(self):
+        flt = build_filter("demo")
+        assert {"output": {"$ne": None}} in flt["$and"]
+
+    def test_input_space_bounds(self):
+        ps = {"input_space": [{"name": "t", "lower_bound": 1, "upper_bound": 10}]}
+        flt = build_filter(problem_space=ps, require_success=False)
+        assert flt == {"task_parameters.t": {"$gte": 1, "$lt": 10}}
+
+    def test_parameter_space_categories(self):
+        ps = {"parameter_space": [{"name": "COLPERM", "categories": ["COLAMD"]}]}
+        flt = build_filter(problem_space=ps, require_success=False)
+        assert flt == {"tuning_parameters.COLPERM": {"$in": ["COLAMD"]}}
+
+    def test_machine_configuration_block(self):
+        """The paper's example: Cori, one Haswell node, 32 cores."""
+        cs = {
+            "machine_configurations": [
+                {"Cori": {"haswell": {"nodes": 1, "cores": 32}}}
+            ]
+        }
+        flt = build_filter(configuration_space=cs, require_success=False)
+        clause = flt["$or"][0]
+        assert clause["machine_configuration.machine_name"] == "Cori"
+        assert clause["machine_configuration.partition"] == "haswell"
+        assert clause["machine_configuration.nodes"] == 1
+        assert clause["machine_configuration.cores"] == 32
+
+    def test_multiple_machines_or(self):
+        cs = {"machine_configurations": [{"Cori": {}}, {"Summit": {}}]}
+        flt = build_filter(configuration_space=cs, require_success=False)
+        assert len(flt["$or"]) == 2
+
+    def test_software_version_range(self):
+        """The paper's example: gcc between 8.0.0 and 9.0.0."""
+        cs = {
+            "software_configurations": [
+                {"gcc": {"version_from": [8, 0, 0], "version_to": [9, 0, 0]}}
+            ]
+        }
+        flt = build_filter(configuration_space=cs, require_success=False)
+        assert flt == {
+            "software_configuration.gcc.version_split": {
+                "$gte": [8, 0, 0],
+                "$lt": [9, 0, 0],
+            }
+        }
+
+    def test_software_presence_only(self):
+        cs = {"software_configurations": [{"scalapack": {}}]}
+        flt = build_filter(configuration_space=cs, require_success=False)
+        assert flt == {"software_configuration.scalapack": {"$exists": True}}
+
+    def test_user_configurations(self):
+        cs = {"user_configurations": ["user_A", "user_B"]}
+        flt = build_filter(configuration_space=cs, require_success=False)
+        assert flt == {"owner": {"$in": ["user_A", "user_B"]}}
+
+    def test_version_range_filters_documents(self):
+        """End-to-end: the version filter works through the store."""
+        c = Collection("r")
+        for v in ([7, 5, 0], [8, 3, 0], [9, 1, 0]):
+            c.insert({"software_configuration": {"gcc": {"version_split": v}}})
+        cs = {
+            "software_configurations": [
+                {"gcc": {"version_from": [8, 0, 0], "version_to": [9, 0, 0]}}
+            ]
+        }
+        flt = build_filter(configuration_space=cs, require_success=False)
+        found = c.find(flt)
+        assert len(found) == 1
+        assert found[0]["software_configuration"]["gcc"]["version_split"] == [8, 3, 0]
+
+    def test_space_entry_needs_name(self):
+        with pytest.raises(ValueError):
+            build_filter(problem_space={"input_space": [{"lower_bound": 1}]})
+
+
+class TestSqlParser:
+    def test_select_all(self):
+        q = SqlQuery.parse("SELECT *")
+        assert q.filter == {} and q.limit is None
+
+    def test_simple_comparison(self):
+        q = SqlQuery.parse("SELECT * WHERE output < 3.5")
+        assert q.filter == {"output": {"$lt": 3.5}}
+
+    def test_all_operators(self):
+        ops = {"=": "$eq", "!=": "$ne", "<>": "$ne", "<": "$lt",
+               "<=": "$lte", ">": "$gt", ">=": "$gte"}
+        for sql_op, mongo_op in ops.items():
+            q = SqlQuery.parse(f"SELECT * WHERE v {sql_op} 1")
+            assert q.filter == {"v": {mongo_op: 1}}
+
+    def test_string_literals(self):
+        q = SqlQuery.parse("SELECT * WHERE owner = 'user_A'")
+        assert q.filter == {"owner": {"$eq": "user_A"}}
+
+    def test_escaped_quote(self):
+        q = SqlQuery.parse(r"SELECT * WHERE name = 'O\'Brien'")
+        assert q.filter == {"name": {"$eq": "O'Brien"}}
+
+    def test_dotted_paths(self):
+        q = SqlQuery.parse("SELECT * WHERE task_parameters.m >= 5000")
+        assert q.filter == {"task_parameters.m": {"$gte": 5000}}
+
+    def test_and_or_precedence(self):
+        q = SqlQuery.parse("SELECT * WHERE a = 1 OR b = 2 AND c = 3")
+        # AND binds tighter than OR
+        assert q.filter == {
+            "$or": [
+                {"a": {"$eq": 1}},
+                {"$and": [{"b": {"$eq": 2}}, {"c": {"$eq": 3}}]},
+            ]
+        }
+
+    def test_parentheses_override(self):
+        q = SqlQuery.parse("SELECT * WHERE (a = 1 OR b = 2) AND c = 3")
+        assert q.filter == {
+            "$and": [
+                {"$or": [{"a": {"$eq": 1}}, {"b": {"$eq": 2}}]},
+                {"c": {"$eq": 3}},
+            ]
+        }
+
+    def test_not(self):
+        q = SqlQuery.parse("SELECT * WHERE NOT output = null")
+        assert q.filter == {"$not": {"output": {"$eq": None}}}
+
+    def test_in_list(self):
+        q = SqlQuery.parse("SELECT * WHERE owner IN ('a', 'b', 'c')")
+        assert q.filter == {"owner": {"$in": ["a", "b", "c"]}}
+
+    def test_booleans_and_null(self):
+        q = SqlQuery.parse("SELECT * WHERE flag = true AND other = false")
+        assert q.filter == {
+            "$and": [{"flag": {"$eq": True}}, {"other": {"$eq": False}}]
+        }
+
+    def test_order_by_and_limit(self):
+        q = SqlQuery.parse("SELECT * WHERE v > 0 ORDER BY output DESC LIMIT 5")
+        assert q.order_by == "output" and q.descending and q.limit == 5
+
+    def test_order_by_asc_default(self):
+        q = SqlQuery.parse("SELECT * ORDER BY output ASC")
+        assert not q.descending
+
+    def test_case_insensitive_keywords(self):
+        q = SqlQuery.parse("select * where v = 1 order by v limit 2")
+        assert q.limit == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "WHERE v = 1",  # missing SELECT
+            "SELECT v",  # only * supported
+            "SELECT * WHERE",  # dangling WHERE
+            "SELECT * WHERE v =",  # missing value
+            "SELECT * WHERE = 3",  # missing field
+            "SELECT * WHERE v ~ 3",  # bad operator char
+            "SELECT * LIMIT 'five'",  # non-integer limit
+            "SELECT * WHERE v IN ()",  # empty IN
+            "SELECT * WHERE v = 1 garbage",  # trailing tokens
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            SqlQuery.parse(bad)
+
+    def test_parsed_filter_executes(self):
+        c = Collection("r")
+        c.insert_many([{"v": i, "tag": "x" if i % 2 else "y"} for i in range(10)])
+        q = SqlQuery.parse("SELECT * WHERE v >= 3 AND tag = 'x' ORDER BY v DESC")
+        found = c.find(q.filter, sort=q.order_by, descending=q.descending)
+        assert [d["v"] for d in found] == [9, 7, 5, 3]

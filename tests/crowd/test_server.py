@@ -1,0 +1,187 @@
+"""Tests for the request/response API service."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianProcess
+from repro.crowd.server import CrowdServer
+
+
+@pytest.fixture
+def server():
+    return CrowdServer()
+
+
+@pytest.fixture
+def key(server):
+    resp = server.handle(
+        {"route": "register", "username": "alice", "email": "a@lab.gov"}
+    )
+    assert resp["ok"]
+    return resp["api_key"]
+
+
+def _upload(server, key, out=1.0, task=None, cfg=None, **extra):
+    req = {
+        "route": "upload",
+        "api_key": key,
+        "problem_name": "p",
+        "task_parameters": task or {"m": 1},
+        "tuning_parameters": cfg or {"x": 0.5},
+        "output": out,
+    }
+    req.update(extra)
+    return server.handle(req)
+
+
+class TestDispatch:
+    def test_unknown_route(self, server):
+        resp = server.handle({"route": "teleport"})
+        assert not resp["ok"] and resp["error"] == "not_found"
+
+    def test_non_mapping_request(self, server):
+        resp = server.handle("garbage")
+        assert not resp["ok"] and resp["error"] == "bad_request"
+
+    def test_missing_fields_are_bad_request(self, server, key):
+        resp = server.handle({"route": "upload", "api_key": key})
+        assert not resp["ok"] and resp["error"] == "bad_request"
+
+    def test_bad_key_is_auth_error(self, server):
+        resp = server.handle({"route": "problems", "api_key": "nope"})
+        assert not resp["ok"] and resp["error"] == "auth"
+
+    def test_never_raises(self, server):
+        for req in ({}, {"route": None}, {"route": "query"}, 42, None):
+            resp = server.handle(req)  # type: ignore[arg-type]
+            assert resp["ok"] is False
+
+    def test_routes_listing(self, server):
+        assert "upload" in server.routes() and "register" in server.routes()
+
+
+class TestJsonTransport:
+    def test_json_roundtrip(self, server, key):
+        payload = json.dumps(
+            {
+                "route": "upload",
+                "api_key": key,
+                "problem_name": "p",
+                "task_parameters": {"m": 1},
+                "tuning_parameters": {"x": 0.5},
+                "output": 2.0,
+            }
+        )
+        resp = json.loads(server.handle_json(payload))
+        assert resp["ok"]
+
+    def test_invalid_json(self, server):
+        resp = json.loads(server.handle_json("{not json"))
+        assert not resp["ok"] and resp["error"] == "bad_request"
+
+
+class TestAccountRoutes:
+    def test_register_and_reuse_key(self, server):
+        resp = server.handle(
+            {"route": "register", "username": "bob", "email": "b@lab.gov"}
+        )
+        assert resp["ok"]
+        probe = server.handle({"route": "problems", "api_key": resp["api_key"]})
+        assert probe["ok"] and probe["problems"] == []
+
+    def test_duplicate_registration(self, server, key):
+        resp = server.handle(
+            {"route": "register", "username": "alice", "email": "x@lab.gov"}
+        )
+        assert not resp["ok"] and resp["error"] == "bad_request"
+
+    def test_issue_additional_key(self, server, key):
+        resp = server.handle({"route": "issue_key", "api_key": key})
+        assert resp["ok"]
+        assert server.handle({"route": "problems", "api_key": resp["api_key"]})["ok"]
+
+
+class TestRecordRoutes:
+    def test_upload_and_query(self, server, key):
+        assert _upload(server, key, out=3.0)["ok"]
+        assert _upload(server, key, out=1.5, cfg={"x": 0.7})["ok"]
+        resp = server.handle(
+            {"route": "query", "api_key": key, "problem_name": "p"}
+        )
+        assert resp["ok"] and len(resp["records"]) == 2
+
+    def test_query_sql(self, server, key):
+        for out in (3.0, 1.0, 2.0):
+            _upload(server, key, out=out, cfg={"x": out})
+        resp = server.handle(
+            {
+                "route": "query_sql",
+                "api_key": key,
+                "sql": "SELECT * WHERE output < 2.5 ORDER BY output",
+            }
+        )
+        assert [r["output"] for r in resp["records"]] == [1.0, 2.0]
+
+    def test_sql_syntax_error_is_bad_request(self, server, key):
+        resp = server.handle(
+            {"route": "query_sql", "api_key": key, "sql": "DROP TABLE users"}
+        )
+        assert not resp["ok"] and resp["error"] == "bad_request"
+
+    def test_problems_listing(self, server, key):
+        _upload(server, key)
+        resp = server.handle({"route": "problems", "api_key": key})
+        assert resp["problems"] == ["p"]
+
+
+class TestModelRoutes:
+    def test_model_roundtrip_over_protocol(self, server, key):
+        rng = np.random.default_rng(0)
+        X = rng.random((20, 2))
+        gp = GaussianProcess(seed=0).fit(X, X[:, 0] + X[:, 1])
+        up = server.handle(
+            {
+                "route": "upload_model",
+                "api_key": key,
+                "problem_name": "p",
+                "task_parameters": {"m": 1},
+                "model": gp.to_dict(),
+            }
+        )
+        assert up["ok"]
+        down = server.handle(
+            {"route": "query_models", "api_key": key, "problem_name": "p"}
+        )
+        assert down["ok"] and len(down["models"]) == 1
+        clone = GaussianProcess.from_dict(down["models"][0]["model"])
+        Xq = rng.random((5, 2))
+        assert np.allclose(clone.predict_mean(Xq), gp.predict_mean(Xq), atol=1e-8)
+
+
+class TestBrowseRoutes:
+    def test_leaderboard_route(self, server, key):
+        _upload(server, key, out=5.0)
+        _upload(server, key, out=2.0, cfg={"x": 0.9})
+        resp = server.handle(
+            {"route": "leaderboard", "api_key": key, "problem_name": "p"}
+        )
+        assert resp["ok"]
+        assert resp["rows"][0]["best_output"] == 2.0
+
+    def test_contributors_route(self, server, key):
+        _upload(server, key)
+        resp = server.handle(
+            {"route": "contributors", "api_key": key, "problem_name": "p"}
+        )
+        assert resp["contributors"][0]["user"] == "alice"
+
+    def test_browse_html_route(self, server, key):
+        _upload(server, key)
+        resp = server.handle(
+            {"route": "browse_html", "api_key": key, "problem_name": "p"}
+        )
+        assert resp["ok"] and resp["html"].startswith("<!DOCTYPE html>")

@@ -1,0 +1,111 @@
+"""Tests for the user registry: registration, keys, authentication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.users import AuthError, UserRegistry
+
+
+@pytest.fixture
+def registry():
+    r = UserRegistry()
+    r.register("alice", "alice@lab.gov")
+    r.register("bob", "bob@lab.gov")
+    return r
+
+
+class TestRegistration:
+    def test_register_and_get(self, registry):
+        assert registry.get("alice").email == "alice@lab.gov"
+        assert registry.usernames() == ["alice", "bob"]
+
+    def test_lookup_email(self, registry):
+        assert registry.lookup_email("bob@lab.gov").username == "bob"
+        with pytest.raises(KeyError):
+            registry.lookup_email("nobody@x.y")
+
+    def test_duplicate_username_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.register("alice", "other@lab.gov")
+
+    def test_duplicate_email_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.register("carol", "alice@lab.gov")
+
+    def test_invalid_email(self, registry):
+        with pytest.raises(ValueError):
+            registry.register("x", "not-an-email")
+
+    def test_unknown_user(self, registry):
+        with pytest.raises(KeyError):
+            registry.get("nobody")
+
+
+class TestApiKeys:
+    def test_key_format(self, registry):
+        key = registry.issue_api_key("alice")
+        assert len(key) == 20 and key.isalnum()
+
+    def test_key_authenticates(self, registry):
+        key = registry.issue_api_key("alice")
+        assert registry.authenticate(key).username == "alice"
+
+    def test_keys_are_unique_per_issue(self, registry):
+        keys = {registry.issue_api_key("alice") for _ in range(10)}
+        assert len(keys) == 10
+
+    def test_key_not_stored_in_clear(self, registry):
+        key = registry.issue_api_key("alice")
+        user = registry.get("alice")
+        assert key not in user.key_hashes
+
+    def test_bad_key_rejected(self, registry):
+        registry.issue_api_key("alice")
+        with pytest.raises(AuthError):
+            registry.authenticate("wrong-key-entirely!!")
+        with pytest.raises(AuthError):
+            registry.authenticate("")
+
+    def test_revoke(self, registry):
+        key = registry.issue_api_key("alice")
+        assert registry.revoke_key("alice", key)
+        with pytest.raises(AuthError):
+            registry.authenticate(key)
+        assert not registry.revoke_key("alice", key)  # already gone
+
+
+class TestKeyPairs:
+    def test_keypair_authenticates_with_private(self, registry):
+        pair = registry.issue_keypair("bob")
+        assert registry.authenticate(pair.private).username == "bob"
+
+    def test_registry_stores_only_public(self, registry):
+        pair = registry.issue_keypair("bob")
+        user = registry.get("bob")
+        assert pair.public in user.public_keys
+        assert pair.private not in user.public_keys
+
+    def test_public_key_does_not_authenticate(self, registry):
+        """Knowing the stored public half must not grant access."""
+        pair = registry.issue_keypair("bob")
+        with pytest.raises(AuthError):
+            registry.authenticate(pair.public)
+
+    def test_revoke_keypair(self, registry):
+        pair = registry.issue_keypair("bob")
+        assert registry.revoke_key("bob", pair.private)
+        with pytest.raises(AuthError):
+            registry.authenticate(pair.private)
+
+
+class TestGroups:
+    def test_add_remove(self, registry):
+        registry.add_to_group("alice", "ecp")
+        assert "ecp" in registry.get("alice").groups
+        registry.remove_from_group("alice", "ecp")
+        assert "ecp" not in registry.get("alice").groups
+
+    def test_empty_group_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.add_to_group("alice", "")

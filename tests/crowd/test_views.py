@@ -1,0 +1,122 @@
+"""Tests for the repository browse views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd import Accessibility, CrowdRepository, PerformanceRecord
+from repro.crowd.views import (
+    contributor_stats,
+    leaderboard,
+    machine_breakdown,
+    render_html,
+    render_text,
+)
+
+
+@pytest.fixture
+def repo_with_data():
+    repo = CrowdRepository()
+    _, key_a = repo.register_user("alice", "a@lab.gov")
+    _, key_b = repo.register_user("bob", "b@lab.gov")
+
+    def rec(task, cfg, out, machine=None, access=None):
+        return PerformanceRecord(
+            problem_name="p",
+            task_parameters=task,
+            tuning_parameters=cfg,
+            output=out,
+            machine_configuration=machine or {"machine_name": "Cori", "partition": "haswell"},
+            accessibility=access or Accessibility(),
+        )
+
+    # task A: alice has 3 samples (one failure), bob has the best
+    repo.upload(rec({"m": 1}, {"x": 1}, 5.0), key_a)
+    repo.upload(rec({"m": 1}, {"x": 2}, None), key_a)
+    repo.upload(rec({"m": 1}, {"x": 3}, 7.0), key_a)
+    repo.upload(rec({"m": 1}, {"x": 4}, 3.0), key_b)
+    # task B: alice only, on KNL
+    repo.upload(
+        rec({"m": 2}, {"x": 5}, 11.0,
+            machine={"machine_name": "Cori", "partition": "knl"}),
+        key_a,
+    )
+    # a private record bob can't see
+    repo.upload(
+        rec({"m": 3}, {"x": 6}, 1.0, access=Accessibility("private")), key_a
+    )
+    return repo, key_a, key_b
+
+
+class TestLeaderboard:
+    def test_best_per_task(self, repo_with_data):
+        repo, key_a, _ = repo_with_data
+        rows = leaderboard(repo, key_a, "p")
+        by_task = {tuple(r.task_parameters.items()): r for r in rows}
+        row_a = by_task[(("m", 1),)]
+        assert row_a.best_output == 3.0
+        assert row_a.best_owner == "bob"
+        assert row_a.n_samples == 4
+        assert row_a.n_failures == 1
+        assert row_a.contributors == ["alice", "bob"]
+
+    def test_sorted_by_samples(self, repo_with_data):
+        repo, key_a, _ = repo_with_data
+        rows = leaderboard(repo, key_a, "p")
+        assert rows[0].n_samples >= rows[-1].n_samples
+
+    def test_access_control(self, repo_with_data):
+        repo, key_a, key_b = repo_with_data
+        tasks_a = {tuple(r.task_parameters.items()) for r in leaderboard(repo, key_a, "p")}
+        tasks_b = {tuple(r.task_parameters.items()) for r in leaderboard(repo, key_b, "p")}
+        assert (("m", 3),) in tasks_a
+        assert (("m", 3),) not in tasks_b
+
+    def test_empty_problem(self, repo_with_data):
+        repo, key_a, _ = repo_with_data
+        assert leaderboard(repo, key_a, "nothing") == []
+
+
+class TestStats:
+    def test_contributor_stats(self, repo_with_data):
+        repo, key_a, _ = repo_with_data
+        stats = {e["user"]: e for e in contributor_stats(repo, key_a, "p")}
+        assert stats["alice"]["samples"] == 5
+        assert stats["alice"]["failures"] == 1
+        assert stats["alice"]["best"] == 1.0
+        assert stats["bob"]["samples"] == 1 and stats["bob"]["best"] == 3.0
+
+    def test_machine_breakdown(self, repo_with_data):
+        repo, key_a, _ = repo_with_data
+        counts = machine_breakdown(repo, key_a, "p")
+        assert counts["Cori/haswell"] == 5
+        assert counts["Cori/knl"] == 1
+
+
+class TestRendering:
+    def test_text_view(self, repo_with_data):
+        repo, key_a, _ = repo_with_data
+        text = render_text(repo, key_a, "p")
+        assert "=== p ===" in text
+        assert "Cori/haswell" in text
+        assert "bob" in text
+
+    def test_html_view_escapes_user_content(self, repo_with_data):
+        repo, key_a, _ = repo_with_data
+        evil = PerformanceRecord(
+            problem_name="p",
+            task_parameters={"m": "<script>alert(1)</script>"},
+            tuning_parameters={"x": 1},
+            output=2.0,
+        )
+        repo.upload(evil, key_a)
+        html = render_html(repo, key_a, "p")
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_html_contains_leaderboard(self, repo_with_data):
+        repo, key_a, _ = repo_with_data
+        html = render_html(repo, key_a, "p")
+        assert "Leaderboard" in html and "Contributors" in html
+        assert "bob" in html

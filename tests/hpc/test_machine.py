@@ -1,0 +1,66 @@
+"""Tests for machine presets and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpc import Machine, cori_haswell, cori_knl, get_machine
+
+_GiB = 1024.0**3
+
+
+class TestPresets:
+    def test_haswell_matches_paper(self):
+        """Paper Sec. VI-B: two 16-core Xeon E5-2698v3, 128 GB per node."""
+        m = cori_haswell(8)
+        assert m.cores_per_node == 32
+        assert m.nodes == 8
+        assert m.total_cores == 256
+        assert m.mem_per_node == pytest.approx(128 * _GiB)
+        assert m.partition == "haswell"
+
+    def test_knl_matches_paper(self):
+        """Paper Sec. VI-C: Xeon Phi 7250, 96 GB DDR4 + 16 GB MCDRAM."""
+        m = cori_knl(32)
+        assert m.cores_per_node == 68
+        assert m.mem_per_node == pytest.approx(112 * _GiB)
+        assert m.partition == "knl"
+
+    def test_knl_slower_per_core_for_sparse(self):
+        assert cori_knl().sparse_flops_per_core < cori_haswell().sparse_flops_per_core
+
+    def test_get_machine(self):
+        assert get_machine("cori-haswell", 4).nodes == 4
+        with pytest.raises(ValueError):
+            get_machine("fugaku")
+
+
+class TestMachine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cori_haswell(0)
+        with pytest.raises(ValueError):
+            Machine("m", "p", 1, 1, -1.0, 1.0, 1.0, 1.0)
+
+    def test_with_nodes(self):
+        m = cori_haswell(8).with_nodes(64)
+        assert m.nodes == 64
+        assert m.cores_per_node == 32  # everything else preserved
+
+    def test_dense_rate_monotone_and_bounded(self):
+        m = cori_haswell(2)
+        r1 = m.dense_rate(1)
+        r32 = m.dense_rate(32)
+        r64 = m.dense_rate(64)
+        assert r1 < r32 < r64
+        assert r64 <= m.total_flops
+
+    def test_dense_rate_clamps(self):
+        m = cori_haswell(1)
+        assert m.dense_rate(0) == m.dense_rate(1)
+        assert m.dense_rate(9999) == m.dense_rate(m.total_cores)
+
+    def test_describe_block_shape(self):
+        """The crowd-record machine_configurations block (Sec. IV-A)."""
+        d = cori_haswell(8).describe()
+        assert d == {"Cori": {"haswell": {"nodes": 8, "cores": 32}}}

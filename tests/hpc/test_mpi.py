@@ -1,0 +1,76 @@
+"""Tests for the MPI cost-accounting communicator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpc import CostComm, cori_haswell
+
+
+@pytest.fixture
+def machine():
+    return cori_haswell(4)  # 128 cores
+
+
+class TestConstruction:
+    def test_defaults_pack_full_nodes(self, machine):
+        comm = CostComm(machine, 128)
+        assert comm.ranks_per_node == 32
+
+    def test_too_many_ranks_rejected(self, machine):
+        with pytest.raises(ValueError):
+            CostComm(machine, 129)
+
+    def test_sparse_placement(self, machine):
+        comm = CostComm(machine, 16, ranks_per_node=4)
+        assert comm.ranks_per_node == 4
+
+    def test_oversubscription_rejected(self, machine):
+        with pytest.raises(ValueError):
+            CostComm(machine, 8, ranks_per_node=64)
+
+    def test_sparse_placement_needs_enough_nodes(self, machine):
+        with pytest.raises(ValueError):
+            CostComm(machine, 128, ranks_per_node=16)  # needs 8 nodes, have 4
+
+    def test_validation(self, machine):
+        with pytest.raises(ValueError):
+            CostComm(machine, 0)
+        with pytest.raises(ValueError):
+            CostComm(machine, 4, ranks_per_node=0)
+
+
+class TestCosts:
+    def test_ops_return_positive_times(self, machine):
+        comm = CostComm(machine, 64)
+        assert comm.send(1024) > 0
+        assert comm.bcast(1024) > 0
+        assert comm.allreduce(1024) > 0
+        assert comm.allgather(1024) > 0
+        assert comm.alltoall(1024) > 0
+        assert comm.reduce(1024) > 0
+
+    def test_single_rank_collectives_free(self, machine):
+        comm = CostComm(machine, 1)
+        assert comm.bcast(1024) == 0.0
+        assert comm.allreduce(1024) == 0.0
+
+    def test_group_size_override(self, machine):
+        comm = CostComm(machine, 64)
+        assert comm.bcast(1024, group_size=4) < comm.bcast(1024, group_size=64)
+
+    def test_intranode_cheaper(self, machine):
+        """All ranks on one node should communicate faster than spread."""
+        packed = CostComm(machine, 32, ranks_per_node=32)
+        spread = CostComm(machine, 32, ranks_per_node=8)
+        assert packed.bcast(1e6) < spread.bcast(1e6)
+
+    def test_stats_accumulate(self, machine):
+        comm = CostComm(machine, 64)
+        comm.bcast(1000)
+        comm.bcast(1000)
+        comm.allreduce(500)
+        assert comm.stats.messages == 3
+        assert comm.stats.seconds > 0
+        assert set(comm.stats.by_op) == {"bcast", "allreduce"}
+        assert comm.stats.bytes_moved > 0

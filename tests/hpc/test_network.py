@@ -1,0 +1,75 @@
+"""Tests for the alpha-beta network model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hpc import CORI_ARIES, SHARED_MEMORY, NetworkModel
+
+
+@pytest.fixture
+def net():
+    return NetworkModel("test", alpha=1e-6, beta=1e-9)
+
+
+class TestP2P:
+    def test_latency_plus_bandwidth(self, net):
+        assert net.p2p(0) == pytest.approx(1e-6)
+        assert net.p2p(1e6) == pytest.approx(1e-6 + 1e-3)
+
+    def test_negative_bytes_clamped(self, net):
+        assert net.p2p(-5) == pytest.approx(net.alpha)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel("bad", alpha=-1, beta=0)
+
+
+class TestCollectives:
+    def test_single_rank_free(self, net):
+        for op in (net.bcast, net.reduce, net.allreduce, net.allgather, net.alltoall):
+            assert op(1000, 1) == 0.0
+
+    def test_bcast_log_scaling(self, net):
+        t4 = net.bcast(1000, 4)
+        t16 = net.bcast(1000, 16)
+        assert t16 == pytest.approx(t4 * 2)  # log2(16)/log2(4)
+
+    def test_bcast_nonpow2_ceil(self, net):
+        assert net.bcast(8, 5) == pytest.approx(3 * net.p2p(8))
+
+    def test_reduce_equals_bcast(self, net):
+        assert net.reduce(512, 8) == pytest.approx(net.bcast(512, 8))
+
+    def test_allreduce_bandwidth_term(self, net):
+        """For large messages, allreduce ~ 2 * (p-1)/p * n * beta."""
+        n = 1e8
+        t = net.allreduce(n, 16)
+        assert t == pytest.approx(2 * 15 / 16 * n * net.beta, rel=0.01)
+
+    def test_allgather_ring(self, net):
+        assert net.allgather(100, 8) == pytest.approx(7 * net.p2p(100))
+
+    def test_alltoall_pairwise(self, net):
+        assert net.alltoall(100, 8) == pytest.approx(7 * net.p2p(100))
+
+    def test_monotone_in_ranks(self, net):
+        for op in (net.bcast, net.allreduce, net.allgather):
+            prev = 0.0
+            for p in (2, 4, 8, 16, 64):
+                cur = op(1000, p)
+                assert cur >= prev
+                prev = cur
+
+
+class TestPresets:
+    def test_aries_slower_than_shm(self):
+        assert CORI_ARIES.alpha > SHARED_MEMORY.alpha
+        assert CORI_ARIES.beta > SHARED_MEMORY.beta
+
+    def test_realistic_magnitudes(self):
+        # 1 MB broadcast over 256 ranks should take ~ms, not seconds
+        t = CORI_ARIES.bcast(1e6, 256)
+        assert 1e-5 < t < 0.1

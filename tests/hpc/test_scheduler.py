@@ -1,0 +1,87 @@
+"""Tests for the Slurm-like allocation simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hpc import AllocationError, SlurmSim, cori_haswell
+from repro.hpc.scheduler import _compress_nodelist
+
+
+@pytest.fixture
+def sim():
+    return SlurmSim(cori_haswell(16))
+
+
+class TestAllocation:
+    def test_basic_salloc(self, sim):
+        job = sim.salloc(8, ntasks_per_node=32)
+        assert job.nodes == 8 and job.ntasks == 256
+        assert job.partition == "haswell"
+        assert len(job.nodelist) == 8
+        assert sim.free_nodes == 8
+
+    def test_default_tasks_fill_cores(self, sim):
+        job = sim.salloc(2)
+        assert job.ntasks == 64
+
+    def test_cpus_per_task(self, sim):
+        job = sim.salloc(1, cpus_per_task=4)
+        assert job.ntasks == 8  # 32 cores / 4 cpus
+
+    def test_overallocation_rejected(self, sim):
+        with pytest.raises(AllocationError):
+            sim.salloc(17)
+        sim.salloc(16)
+        with pytest.raises(AllocationError):
+            sim.salloc(1)
+
+    def test_oversubscription_rejected(self, sim):
+        with pytest.raises(AllocationError):
+            sim.salloc(1, ntasks_per_node=64)
+
+    def test_invalid_request(self, sim):
+        with pytest.raises(ValueError):
+            sim.salloc(0)
+
+    def test_release_returns_nodes(self, sim):
+        job = sim.salloc(8)
+        sim.release(job)
+        assert sim.free_nodes == 16
+        with pytest.raises(KeyError):
+            sim.release(job)
+
+    def test_job_ids_unique(self, sim):
+        a = sim.salloc(1)
+        b = sim.salloc(1)
+        assert a.job_id != b.job_id
+
+    def test_disjoint_allocations(self, sim):
+        a = sim.salloc(4)
+        b = sim.salloc(4)
+        assert not set(a.nodelist) & set(b.nodelist)
+
+
+class TestEnvironment:
+    def test_environment_variables(self, sim):
+        env = sim.salloc(8, ntasks_per_node=16).environment()
+        assert env["SLURM_JOB_NUM_NODES"] == "8"
+        assert env["SLURM_NTASKS"] == "128"
+        assert env["SLURM_JOB_PARTITION"] == "haswell"
+        assert env["SLURM_JOB_NODELIST"].startswith("nid")
+
+
+class TestNodelistCompression:
+    def test_single_node(self):
+        assert _compress_nodelist(["nid05000"]) == "nid05000"
+
+    def test_contiguous_range(self):
+        names = [f"nid{5000 + i:05d}" for i in range(4)]
+        assert _compress_nodelist(names) == "nid[05000-05003]"
+
+    def test_split_ranges(self):
+        names = ["nid05000", "nid05001", "nid05005"]
+        assert _compress_nodelist(names) == "nid[05000-05001,05005]"
+
+    def test_empty(self):
+        assert _compress_nodelist([]) == ""

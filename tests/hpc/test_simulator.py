@@ -1,0 +1,192 @@
+"""Tests for the virtual-time SPMD simulator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hpc import DeadlockError, NetworkModel, SpmdSimulator
+
+
+@pytest.fixture
+def net():
+    return NetworkModel("t", alpha=1e-6, beta=1e-9)
+
+
+class TestComputeOnly:
+    def test_independent_clocks(self, net):
+        def program(rank, size):
+            yield ("compute", float(rank))
+
+        clocks = SpmdSimulator(4, net).run(program)
+        assert clocks == [0.0, 1.0, 2.0, 3.0]
+
+    def test_single_rank(self, net):
+        def program(rank, size):
+            yield ("compute", 2.5)
+
+        assert SpmdSimulator(1, net).run(program) == [2.5]
+
+
+class TestPointToPoint:
+    def test_receiver_waits_for_sender(self, net):
+        def program(rank, size):
+            if rank == 0:
+                yield ("compute", 1.0)  # slow sender
+                yield ("send", 1, 1000, 0)
+            else:
+                yield ("recv", 0, 1000, 0)
+
+        clocks = SpmdSimulator(2, net).run(program)
+        expected_arrival = 1.0 + net.p2p(1000)
+        assert clocks[1] == pytest.approx(expected_arrival)
+
+    def test_fast_receiver_charged_transfer_time(self, net):
+        def program(rank, size):
+            if rank == 0:
+                yield ("send", 1, 1e6, 0)
+            else:
+                yield ("compute", 5.0)
+                yield ("recv", 0, 1e6, 0)
+
+        clocks = SpmdSimulator(2, net).run(program)
+        # message arrived long before the receiver posted the recv
+        assert clocks[1] == pytest.approx(5.0)
+
+    def test_message_ordering_fifo(self, net):
+        """Two sends with the same tag match receives in order."""
+
+        def program(rank, size):
+            if rank == 0:
+                yield ("compute", 1.0)
+                yield ("send", 1, 10, 7)
+                yield ("compute", 1.0)
+                yield ("send", 1, 20, 7)
+            else:
+                yield ("recv", 0, 10, 7)
+                t_first = yield ("compute", 0.0)
+                del t_first
+                yield ("recv", 0, 20, 7)
+
+        clocks = SpmdSimulator(2, net).run(program)
+        assert clocks[1] >= 2.0
+
+    def test_tags_disambiguate(self, net):
+        def program(rank, size):
+            if rank == 0:
+                yield ("send", 1, 10, "a")
+                yield ("send", 1, 20, "b")
+            else:
+                yield ("recv", 0, 20, "b")
+                yield ("recv", 0, 10, "a")
+
+        SpmdSimulator(2, net).run(program)  # must not deadlock
+
+    def test_invalid_destination(self, net):
+        def program(rank, size):
+            yield ("send", 99, 10, 0)
+
+        with pytest.raises(ValueError):
+            SpmdSimulator(2, net).run(program)
+
+    def test_unknown_action(self, net):
+        def program(rank, size):
+            yield ("warp", 1)
+
+        with pytest.raises(ValueError):
+            SpmdSimulator(1, net).run(program)
+
+
+class TestDeadlock:
+    def test_recv_without_send_deadlocks(self, net):
+        def program(rank, size):
+            if rank == 1:
+                yield ("recv", 0, 10, 0)
+
+        with pytest.raises(DeadlockError):
+            SpmdSimulator(2, net).run(program)
+
+    def test_crossed_recvs_deadlock(self, net):
+        def program(rank, size):
+            other = 1 - rank
+            yield ("recv", other, 10, 0)
+            yield ("send", other, 10, 0)
+
+        with pytest.raises(DeadlockError):
+            SpmdSimulator(2, net).run(program)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_clocks(self, net):
+        def program(rank, size):
+            yield ("compute", float(rank))
+            yield ("barrier",)
+            yield ("compute", 0.5)
+
+        clocks = SpmdSimulator(4, net).run(program)
+        # all ranks leave the barrier at the max clock, then add 0.5
+        assert max(clocks) == min(clocks)
+        assert clocks[0] >= 3.5
+
+
+class TestBroadcastProgram:
+    @pytest.mark.parametrize("size", [2, 4, 7, 8])
+    def test_bcast_completes(self, net, size):
+        prog = SpmdSimulator.bcast_program(0, 1000)
+        clocks = SpmdSimulator(size, net).run(prog)
+        assert all(c > 0 for c in clocks[1:])
+
+    def test_bcast_matches_alpha_beta_bound(self, net):
+        """The simulated binomial tree must land within ~2x of the
+        closed-form model used by CostComm."""
+        size, nbytes = 16, 1e5
+        prog = SpmdSimulator.bcast_program(0, nbytes)
+        clocks = SpmdSimulator(size, net).run(prog)
+        simulated = max(clocks)
+        model = net.bcast(nbytes, size)
+        assert model / 2 <= simulated <= model * 2
+
+    def test_bcast_scales_logarithmically(self, net):
+        t4 = max(SpmdSimulator(4, net).run(SpmdSimulator.bcast_program(0, 1e6)))
+        t16 = max(SpmdSimulator(16, net).run(SpmdSimulator.bcast_program(0, 1e6)))
+        assert t16 < t4 * 3  # log growth, nowhere near linear (4x)
+
+    def test_nonzero_root(self, net):
+        prog = SpmdSimulator.bcast_program(2, 500)
+        clocks = SpmdSimulator(5, net).run(prog)
+        assert math.isfinite(max(clocks))
+
+
+class TestRingAllreduce:
+    """A hand-written ring all-reduce validates the allreduce bound."""
+
+    @staticmethod
+    def _ring(nbytes):
+        def program(rank: int, size: int):
+            for step in range(size - 1):
+                yield ("send", (rank + 1) % size, nbytes, step)
+                yield ("recv", (rank - 1) % size, nbytes, step)
+
+        return program
+
+    def test_completes_for_various_sizes(self, net):
+        for size in (2, 3, 5, 8):
+            clocks = SpmdSimulator(size, net).run(self._ring(1024))
+            assert all(c > 0 for c in clocks)
+
+    def test_ring_cost_scales_linearly_in_ranks(self, net):
+        t4 = max(SpmdSimulator(4, net).run(self._ring(1e6)))
+        t8 = max(SpmdSimulator(8, net).run(self._ring(1e6)))
+        # (p-1) rounds: 8 ranks do 7 rounds vs 3 rounds for 4 ranks
+        assert t8 == pytest.approx(t4 * 7 / 3, rel=0.2)
+
+    def test_ring_within_factor_of_allreduce_model(self, net):
+        """The closed-form allreduce (Rabenseifner) should not be wildly
+        cheaper than a plain ring for large messages."""
+        size, nbytes = 8, 1e6
+        simulated = max(SpmdSimulator(size, net).run(self._ring(nbytes)))
+        model = net.allreduce(nbytes, size)
+        # ring moves (p-1)*n bytes per rank vs ~2n for Rabenseifner:
+        # expect the same order of magnitude, ring a few times costlier
+        assert model < simulated < model * 10

@@ -1,0 +1,114 @@
+"""Tests for the surrogate-based analyzer and space reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CategoricalParameter,
+    IntegerParameter,
+    RealParameter,
+    Space,
+    TaskData,
+)
+from repro.core.space import FixedSpace
+from repro.sensitivity import SensitivityAnalyzer, reduce_space
+
+
+@pytest.fixture
+def space():
+    return Space(
+        [
+            RealParameter("big", 0.0, 1.0),
+            RealParameter("small", 0.0, 1.0),
+            RealParameter("dead", 0.0, 1.0),
+        ]
+    )
+
+
+def _data(space, n=150, seed=0):
+    """big has 10x the effect of small; dead has none."""
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, space.dim))
+    y = 10.0 * X[:, 0] ** 2 + 1.0 * X[:, 1] + 0.0 * X[:, 2]
+    return TaskData({}, X, y)
+
+
+class TestAnalyzer:
+    def test_recovers_importance_ranking(self, space):
+        report = SensitivityAnalyzer(space).analyze(
+            _data(space), n_base=512, seed=0
+        )
+        assert report.indices.ranking("ST") == ["big", "small", "dead"]
+        assert report.indices.ST[0] > 0.5
+        assert report.indices.ST[2] < 0.05
+
+    def test_report_table_format(self, space):
+        report = SensitivityAnalyzer(space).analyze(_data(space), n_base=128, seed=0)
+        table = report.table()
+        assert "Parameter" in table and "big" in table and "ST" in table
+
+    def test_top_k(self, space):
+        report = SensitivityAnalyzer(space).analyze(_data(space), n_base=256, seed=0)
+        assert report.top_k(2) == ["big", "small"]
+
+    def test_sensitive_parameters(self, space):
+        report = SensitivityAnalyzer(space).analyze(_data(space), n_base=512, seed=0)
+        keep = report.sensitive_parameters(s1_threshold=0.05, st_threshold=0.2)
+        assert "big" in keep and "dead" not in keep
+
+    def test_dimension_mismatch(self, space):
+        data = TaskData({}, np.random.default_rng(0).random((10, 2)), np.zeros(10))
+        with pytest.raises(ValueError):
+            SensitivityAnalyzer(space).analyze(data)
+
+    def test_n_samples_recorded(self, space):
+        report = SensitivityAnalyzer(space).analyze(_data(space, n=77), n_base=64, seed=0)
+        assert report.n_samples == 77
+
+
+class TestReduceSpace:
+    @pytest.fixture
+    def full(self):
+        return Space(
+            [
+                CategoricalParameter("COLPERM", ["NATURAL", "COLAMD"]),
+                IntegerParameter("LOOKAHEAD", 5, 20),
+                IntegerParameter("nprows", 1, 129),
+                IntegerParameter("NSUP", 30, 300),
+                IntegerParameter("NREL", 10, 40),
+            ]
+        )
+
+    def test_paper_fig6_reduction(self, full):
+        """Fig. 6: keep COLPERM/nprows/NSUP, pin LOOKAHEAD/NREL to
+        defaults."""
+        reduced = reduce_space(
+            full,
+            keep=["COLPERM", "nprows", "NSUP"],
+            defaults={"LOOKAHEAD": 10, "NREL": 20},
+        )
+        assert isinstance(reduced, FixedSpace)
+        assert reduced.names == ["COLPERM", "nprows", "NSUP"]
+        assert reduced.fixed == {"LOOKAHEAD": 10, "NREL": 20}
+
+    def test_unknown_default_gets_random_legal_value(self, full):
+        """Fig. 7 caption: random values for parameters without known
+        defaults."""
+        rng = np.random.default_rng(0)
+        reduced = reduce_space(full, keep=["COLPERM"], defaults={}, rng=rng)
+        for name, value in reduced.fixed.items():
+            assert full[name].contains(value)
+
+    def test_unknown_keep_rejected(self, full):
+        with pytest.raises(ValueError):
+            reduce_space(full, keep=["zzz"], defaults={})
+
+    def test_reduced_configs_validate_in_full_space(self, full, rng):
+        reduced = reduce_space(
+            full, keep=["COLPERM", "NSUP"], defaults={"LOOKAHEAD": 10, "NREL": 20}
+        )
+        for _ in range(10):
+            cfg = reduced.sample(rng)
+            full.validate(cfg)

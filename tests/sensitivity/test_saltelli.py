@@ -1,0 +1,78 @@
+"""Tests for the Saltelli cross-sampling design."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sensitivity.saltelli import SaltelliDesign, saltelli_sample
+
+
+class TestDesignConstruction:
+    def test_shapes(self):
+        d = saltelli_sample(64, 5)
+        assert d.A.shape == (64, 5)
+        assert d.B.shape == (64, 5)
+        assert d.AB.shape == (5, 64, 5)
+        assert d.n_base == 64 and d.dim == 5
+
+    def test_ab_matrices_definition(self):
+        d = saltelli_sample(32, 4)
+        for i in range(4):
+            for j in range(4):
+                col_src = d.B if j == i else d.A
+                assert np.allclose(d.AB[i][:, j], col_src[:, j])
+
+    def test_a_b_independent(self):
+        d = saltelli_sample(128, 3)
+        assert not np.allclose(d.A, d.B)
+        # correlation between A and B columns should be small
+        for j in range(3):
+            r = np.corrcoef(d.A[:, j], d.B[:, j])[0, 1]
+            assert abs(r) < 0.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            saltelli_sample(1, 3)
+        with pytest.raises(ValueError):
+            saltelli_sample(8, 0)
+
+    def test_high_dimension_fallback(self):
+        """Dimensions beyond the joint-sequence limit still work."""
+        d = saltelli_sample(16, 30, seed=0)
+        assert d.A.shape == (16, 30)
+        assert not np.allclose(d.A, d.B)
+
+    def test_scramble_reproducible(self):
+        a = saltelli_sample(16, 3, scramble=True, seed=5)
+        b = saltelli_sample(16, 3, scramble=True, seed=5)
+        assert np.allclose(a.A, b.A) and np.allclose(a.B, b.B)
+
+
+class TestStackSplit:
+    def test_stacked_layout(self):
+        d = saltelli_sample(8, 3)
+        S = d.stacked()
+        assert S.shape == (8 * 5, 3)
+        assert np.allclose(S[:8], d.A)
+        assert np.allclose(S[8:16], d.B)
+        assert np.allclose(S[16:24], d.AB[0])
+
+    def test_split_roundtrip(self):
+        d = saltelli_sample(8, 3)
+        values = np.arange(8 * 5, dtype=float)
+        f_A, f_B, f_AB = d.split(values)
+        assert np.allclose(f_A, values[:8])
+        assert np.allclose(f_B, values[8:16])
+        assert f_AB.shape == (3, 8)
+        assert np.allclose(f_AB[2], values[32:40])
+
+    def test_split_shape_check(self):
+        d = saltelli_sample(8, 3)
+        with pytest.raises(ValueError):
+            d.split(np.zeros(10))
+
+    def test_evaluation_count_formula(self):
+        """The paper-relevant cost: N * (d + 2) model evaluations."""
+        for n, dim in [(16, 4), (32, 12)]:
+            assert saltelli_sample(n, dim).stacked().shape[0] == n * (dim + 2)

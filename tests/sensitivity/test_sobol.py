@@ -1,0 +1,124 @@
+"""Tests for Sobol' index estimation, validated on analytic cases."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sensitivity import saltelli_sample, sobol_analyze_function, sobol_indices
+
+
+def ishigami(U, a=7.0, b=0.1):
+    X = -math.pi + 2 * math.pi * U
+    return np.sin(X[:, 0]) + a * np.sin(X[:, 1]) ** 2 + b * X[:, 2] ** 4 * np.sin(X[:, 0])
+
+
+def ishigami_analytic(a=7.0, b=0.1):
+    V = a**2 / 8 + b * math.pi**4 / 5 + b**2 * math.pi**8 / 18 + 0.5
+    S1_1 = 0.5 * (1 + b * math.pi**4 / 5) ** 2 / V
+    S1_2 = (a**2 / 8) / V
+    ST_3 = (8 * b**2 * math.pi**8 / 225) / V
+    return [S1_1, S1_2, 0.0], [S1_1 + ST_3, S1_2, ST_3]
+
+
+class TestIshigamiValidation:
+    """The standard SA benchmark with exactly known indices."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sobol_analyze_function(
+            ishigami, 3, n_base=4096, names=["x1", "x2", "x3"], seed=0
+        )
+
+    def test_first_order(self, result):
+        S1_true, _ = ishigami_analytic()
+        assert np.allclose(result.S1, S1_true, atol=0.02)
+
+    def test_total_effect(self, result):
+        _, ST_true = ishigami_analytic()
+        assert np.allclose(result.ST, ST_true, atol=0.02)
+
+    def test_confidence_brackets_truth(self, result):
+        S1_true, ST_true = ishigami_analytic()
+        for est, conf, true in zip(result.S1, result.S1_conf, S1_true):
+            assert abs(est - true) < max(conf * 2, 0.02)
+
+    def test_ranking(self, result):
+        assert result.ranking("ST") == ["x1", "x2", "x3"]
+        assert result.ranking("S1") == ["x2", "x1", "x3"]
+
+
+class TestAdditiveFunction:
+    def test_linear_function_s1_equals_st(self):
+        """Purely additive => no interactions => S1 == ST, proportional
+        to each coefficient's variance share."""
+        coeffs = np.array([1.0, 2.0, 4.0])
+
+        def f(U):
+            return U @ coeffs
+
+        res = sobol_analyze_function(f, 3, n_base=4096, seed=1)
+        shares = coeffs**2 / np.sum(coeffs**2)
+        assert np.allclose(res.S1, shares, atol=0.03)
+        assert np.allclose(res.ST, shares, atol=0.03)
+
+    def test_pure_interaction_s1_zero_st_one(self):
+        """f = (x1-.5)(x2-.5): all variance is the interaction."""
+
+        def f(U):
+            return (U[:, 0] - 0.5) * (U[:, 1] - 0.5)
+
+        res = sobol_analyze_function(f, 2, n_base=4096, seed=2)
+        assert np.allclose(res.S1, 0.0, atol=0.03)
+        assert np.allclose(res.ST, 1.0, atol=0.05)
+
+    def test_dead_parameter_zero_everywhere(self):
+        def f(U):
+            return U[:, 0] ** 2
+
+        res = sobol_analyze_function(f, 3, n_base=2048, seed=3)
+        assert res.S1[1] == pytest.approx(0.0, abs=0.02)
+        assert res.ST[1] == pytest.approx(0.0, abs=0.02)
+        assert res.ST[2] == pytest.approx(0.0, abs=0.02)
+
+    def test_constant_function(self):
+        res = sobol_analyze_function(lambda U: np.ones(U.shape[0]), 3, n_base=256)
+        assert np.allclose(res.S1, 0.0) and np.allclose(res.ST, 0.0)
+        assert res.variance == 0.0
+
+
+class TestResultObject:
+    @pytest.fixture
+    def result(self):
+        return sobol_analyze_function(
+            ishigami, 3, n_base=512, names=["a", "b", "c"], seed=0
+        )
+
+    def test_rows_layout(self, result):
+        rows = result.as_rows()
+        assert [r["parameter"] for r in rows] == ["a", "b", "c"]
+        for r in rows:
+            assert set(r) == {"parameter", "S1", "S1_conf", "ST", "ST_conf"}
+
+    def test_select_thresholds(self, result):
+        # x3 has S1~0 but ST~0.24: the ST threshold keeps it
+        keep = result.select(s1_threshold=0.05, st_threshold=0.2)
+        assert keep == ["a", "b", "c"]
+        keep_strict = result.select(s1_threshold=0.3, st_threshold=0.5)
+        assert "c" not in keep_strict
+
+    def test_name_count_checked(self):
+        design = saltelli_sample(16, 3)
+        with pytest.raises(ValueError):
+            sobol_indices(design, np.zeros(16 * 5), names=["only", "two"])
+
+    def test_no_bootstrap(self):
+        res = sobol_analyze_function(ishigami, 3, n_base=256, n_bootstrap=0)
+        assert np.allclose(res.S1_conf, 0.0) and np.allclose(res.ST_conf, 0.0)
+
+    def test_bootstrap_reproducible(self):
+        a = sobol_analyze_function(ishigami, 3, n_base=256, seed=11)
+        b = sobol_analyze_function(ishigami, 3, n_base=256, seed=11)
+        assert np.allclose(a.S1_conf, b.S1_conf)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_app, main
+
+
+class TestBuildApp:
+    def test_machine_apps_get_machines(self):
+        app = build_app("pdgeqrf", "cori-haswell", 8)
+        assert app.machine.nodes == 8
+
+    def test_synthetic_apps_ignore_machine(self):
+        app = build_app("demo", None, 8)
+        assert not hasattr(app, "machine")
+
+    def test_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_app("quantum", None, 1)
+
+
+class TestCommands:
+    def test_apps_listing(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "pdgeqrf" in out and "cori-knl" in out and "ensemble-proposed" in out
+
+    def test_pool_table(self, capsys):
+        assert main(["pool"]) == 0
+        out = capsys.readouterr().out
+        assert "Multitask (TS)" in out and "GPTuneCrowd" in out
+        assert "[6]" in out and "[12]" in out
+
+    def test_tune_demo(self, capsys):
+        rc = main(["tune", "--app", "demo", "--samples", "4", "--seed", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[: out.index("best-so-far")])
+        assert payload["n_evaluations"] == 4
+        assert payload["tuner"] == "NoTLA"
+
+    def test_tune_with_tla(self, capsys):
+        rc = main(
+            [
+                "tune",
+                "--app",
+                "demo",
+                "--samples",
+                "3",
+                "--tla",
+                "stacking",
+                "--source-task",
+                '{"t": 0.8}',
+                "--source-samples",
+                "15",
+            ]
+        )
+        assert rc == 0
+        assert '"tuner": "Stacking"' in capsys.readouterr().out
+
+    def test_tune_custom_task(self, capsys):
+        rc = main(
+            ["tune", "--app", "demo", "--samples", "2", "--task", '{"t": 2.5}']
+        )
+        assert rc == 0
+        assert '"t": 2.5' in capsys.readouterr().out
+
+    def test_tune_invalid_task_rejected(self):
+        with pytest.raises(Exception):
+            main(["tune", "--app", "demo", "--samples", "2", "--task", '{"t": 99}'])
+
+    def test_sensitivity_demo(self, capsys):
+        rc = main(
+            [
+                "sensitivity",
+                "--app",
+                "demo",
+                "--samples",
+                "40",
+                "--n-base",
+                "64",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Sobol sensitivity" in out and "x" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_required_app(self):
+        with pytest.raises(SystemExit):
+            main(["tune"])

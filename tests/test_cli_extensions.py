@@ -1,0 +1,74 @@
+"""Tests for the variability and bandit CLI subcommands."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVariabilityCommand:
+    def test_runs_and_reports(self, capsys):
+        rc = main(
+            [
+                "variability",
+                "--app",
+                "nimrod",
+                "--machine",
+                "cori-haswell",
+                "--nodes",
+                "4",
+                "--configs",
+                "3",
+                "--repeats",
+                "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pooled relative std" in out
+        assert "outliers" in out
+
+    def test_noiseless_app_zero_variability(self, capsys):
+        rc = main(
+            ["variability", "--app", "demo", "--configs", "3", "--repeats", "4"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pooled relative std: 0.0000" in out
+
+
+class TestBanditCommand:
+    def test_runs_and_reports_json(self, capsys):
+        rc = main(["bandit", "--app", "demo", "--budget", "4"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "demo"
+        assert payload["configs_screened"] > 4
+        assert payload["best_config"] is not None
+
+    def test_machine_app(self, capsys):
+        rc = main(
+            [
+                "bandit",
+                "--app",
+                "nimrod",
+                "--machine",
+                "cori-haswell",
+                "--nodes",
+                "8",
+                "--budget",
+                "3",
+                "--rungs",
+                "2",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cost_spent"] >= 3.0
+
+    def test_bad_app(self):
+        with pytest.raises(SystemExit):
+            main(["bandit", "--app", "nope"])

@@ -1,0 +1,71 @@
+"""Tests for repro.tla.base: source GPs, weighted combination, fallbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TaskData
+from repro.tla.base import combine_weighted, equal_weight_model, fit_source_gps
+
+
+def _linear_source(slope, n=25, seed=0, d=1):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = slope * X[:, 0]
+    return TaskData({"s": slope}, X, y, label=f"slope={slope}")
+
+
+class TestFitSourceGPs:
+    def test_one_gp_per_source(self, rng):
+        gps = fit_source_gps([_linear_source(1.0), _linear_source(2.0)], rng)
+        assert len(gps) == 2
+        for gp, slope in zip(gps, (1.0, 2.0)):
+            pred = gp.predict_mean(np.array([[0.5]]))
+            assert pred[0] == pytest.approx(0.5 * slope, abs=0.1)
+
+    def test_empty_source_rejected(self, rng):
+        empty = TaskData({"s": 0}, np.zeros((0, 1)), np.zeros(0))
+        with pytest.raises(ValueError):
+            fit_source_gps([empty], rng)
+
+
+class TestCombineWeighted:
+    def test_weight_count_checked(self):
+        with pytest.raises(ValueError):
+            combine_weighted([lambda X: (X[:, 0], X[:, 0])], np.array([1.0, 2.0]))
+
+    def test_mean_is_weighted_sum(self):
+        m1 = lambda X: (np.full(X.shape[0], 2.0), np.full(X.shape[0], 1.0))
+        m2 = lambda X: (np.full(X.shape[0], 4.0), np.full(X.shape[0], 1.0))
+        combined = combine_weighted([m1, m2], np.array([0.5, 2.0]))
+        mean, _ = combined(np.zeros((3, 1)))
+        assert np.allclose(mean, 0.5 * 2.0 + 2.0 * 4.0)
+
+    def test_std_is_weighted_geometric_mean(self):
+        """Eq. (2): sigma = prod sigma_i^{w_i}."""
+        m1 = lambda X: (np.zeros(X.shape[0]), np.full(X.shape[0], 4.0))
+        m2 = lambda X: (np.zeros(X.shape[0]), np.full(X.shape[0], 1.0))
+        combined = combine_weighted([m1, m2], np.array([0.5, 1.0]))
+        _, std = combined(np.zeros((2, 1)))
+        assert np.allclose(std, 4.0**0.5 * 1.0**1.0)
+
+    def test_zero_std_guarded(self):
+        m = lambda X: (np.zeros(X.shape[0]), np.zeros(X.shape[0]))
+        combined = combine_weighted([m], np.array([1.0]))
+        _, std = combined(np.zeros((2, 1)))
+        assert np.all(np.isfinite(std)) and np.all(std >= 0)
+
+
+class TestEqualWeightModel:
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            equal_weight_model([])
+
+    def test_averages_sources(self, rng):
+        gps = fit_source_gps([_linear_source(2.0), _linear_source(4.0)], rng)
+        model = equal_weight_model(gps)
+        mean, std = model(np.array([[0.5]]))
+        # equal weights 1 each: sum of means = 1.0 + 2.0
+        assert mean[0] == pytest.approx(3.0, abs=0.3)
+        assert std[0] > 0

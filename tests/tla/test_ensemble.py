@@ -1,0 +1,176 @@
+"""Tests for the ensemble strategies (paper Sec. V-E, Algorithm 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import TaskData
+from repro.tla import (
+    EnsembleProb,
+    EnsembleProposed,
+    EnsembleToggling,
+    exploration_rate,
+)
+from repro.tla.base import TLAStrategy
+
+
+class _StubStrategy(TLAStrategy):
+    """A controllable pool member for selector tests."""
+
+    provenance = "test"
+
+    def __init__(self, name):
+        super().__init__()
+        self.name = name
+        self.model_calls = 0
+
+    def prepare(self, sources, rng):
+        self.sources = sources  # skip GP fitting entirely
+
+    def model(self, target, rng):
+        self.model_calls += 1
+        return lambda X: (np.zeros(X.shape[0]), np.ones(X.shape[0]))
+
+
+def _sources():
+    rng = np.random.default_rng(0)
+    X = rng.random((10, 2))
+    return [TaskData({"t": 0}, X, X[:, 0])]
+
+
+def _target(n=3):
+    rng = np.random.default_rng(1)
+    X = rng.random((n, 2))
+    return TaskData({"t": 1}, X, X[:, 0])
+
+
+def _make(cls, n=3):
+    pool = [_StubStrategy(f"s{i}") for i in range(n)]
+    ens = cls(pool=pool)
+    ens.prepare(_sources(), np.random.default_rng(0))
+    return ens, pool
+
+
+class TestExplorationRate:
+    def test_eq4_values(self):
+        # |T|=3, n_params=5, n_samples=10 -> ratio 1.5 -> 0.6
+        assert exploration_rate(3, 5, 10) == pytest.approx(1.5 / 2.5)
+
+    def test_zero_samples_full_exploration(self):
+        assert exploration_rate(3, 5, 0) == 1.0
+
+    def test_decreases_with_samples(self):
+        rates = [exploration_rate(3, 5, n) for n in (1, 5, 20, 100)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_increases_with_parameters(self):
+        assert exploration_rate(3, 10, 10) > exploration_rate(3, 2, 10)
+
+    def test_increases_with_pool_size(self):
+        assert exploration_rate(5, 5, 10) > exploration_rate(2, 5, 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exploration_rate(0, 5, 1)
+
+
+class TestProbabilities:
+    def test_uniform_before_any_result(self):
+        ens, _ = _make(EnsembleProb)
+        assert np.allclose(ens._probabilities(), 1.0 / 3.0)
+
+    def test_eq3_inverse_best_output(self):
+        ens, _ = _make(EnsembleProb)
+        ens.best_outputs = [1.0, 2.0, math.inf]
+        p = ens._probabilities()
+        # prob ~ 1/best over seen algorithms: (1, 0.5) normalized
+        assert p[0] == pytest.approx(2.0 / 3.0)
+        assert p[1] == pytest.approx(1.0 / 3.0)
+        assert p[2] == 0.0
+
+    def test_nonpositive_outputs_shifted(self):
+        ens, _ = _make(EnsembleProb)
+        ens.best_outputs = [-2.0, 1.0, math.inf]
+        p = ens._probabilities()
+        assert np.all(p >= 0) and p.sum() == pytest.approx(1.0)
+        assert p[0] > p[1]  # better (lower) best keeps higher probability
+
+
+class TestSelectors:
+    def test_toggling_cycles(self):
+        ens, pool = _make(EnsembleToggling)
+        rng = np.random.default_rng(0)
+        order = [ens._choose(_target(), rng) for _ in range(6)]
+        assert order == [0, 1, 2, 0, 1, 2]
+
+    def test_prob_prefers_best(self):
+        ens, _ = _make(EnsembleProb)
+        ens.best_outputs = [0.1, 10.0, 10.0]
+        rng = np.random.default_rng(0)
+        picks = [ens._choose(_target(), rng) for _ in range(200)]
+        assert picks.count(0) > 150
+
+    def test_proposed_explores_with_no_data(self):
+        ens, _ = _make(EnsembleProposed)
+        ens.best_outputs = [0.1, 10.0, 10.0]
+        rng = np.random.default_rng(0)
+        # n=0 -> exploration rate 1 -> uniform despite the skewed bests
+        picks = [ens._choose(_target(0), rng) for _ in range(300)]
+        for i in range(3):
+            assert picks.count(i) > 60
+
+    def test_proposed_exploits_with_much_data(self):
+        ens, _ = _make(EnsembleProposed)
+        ens.best_outputs = [0.1, 10.0, 10.0]
+        rng = np.random.default_rng(0)
+        picks = [ens._choose(_target(500), rng) for _ in range(300)]
+        assert picks.count(0) > 200
+
+
+class TestResultTracking:
+    def test_notify_result_updates_chosen_only(self):
+        ens, _ = _make(EnsembleProb)
+        rng = np.random.default_rng(0)
+        ens.model(_target(), rng)  # sets _chosen
+        chosen = ens._chosen
+        ens.notify_result(np.zeros(2), 3.5)
+        assert ens.best_outputs[chosen] == 3.5
+        others = [v for i, v in enumerate(ens.best_outputs) if i != chosen]
+        assert all(math.isinf(v) for v in others)
+
+    def test_failure_does_not_update(self):
+        ens, _ = _make(EnsembleProb)
+        rng = np.random.default_rng(0)
+        ens.model(_target(), rng)
+        ens.notify_result(np.zeros(2), None)
+        assert all(math.isinf(v) for v in ens.best_outputs)
+
+    def test_best_only_improves(self):
+        ens, _ = _make(EnsembleToggling)
+        rng = np.random.default_rng(0)
+        ens.model(_target(), rng)
+        ens.notify_result(np.zeros(2), 1.0)
+        ens._chosen = 0
+        ens.notify_result(np.zeros(2), 5.0)
+        assert ens.best_outputs[0] == 1.0
+
+    def test_chosen_name(self):
+        ens, pool = _make(EnsembleToggling)
+        assert ens.chosen_name is None
+        rng = np.random.default_rng(0)
+        ens.model(_target(), rng)
+        assert ens.chosen_name == pool[0].name
+
+
+class TestDefaults:
+    def test_default_pool_is_papers(self):
+        ens = EnsembleProposed()
+        names = [s.name for s in ens.pool]
+        assert names == ["Multitask (TS)", "WeightedSum (dynamic)", "Stacking"]
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleProposed(pool=[])

@@ -1,0 +1,165 @@
+"""Tests for the GPTuneBand multi-fidelity bandit tuner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import DemoFunction, NIMROD
+from repro.hpc import cori_haswell
+from repro.tla import GPTuneBand, MultiFidelityObjective, halving_schedule
+
+
+def _demo_objective(task=None):
+    app = DemoFunction()
+    return MultiFidelityObjective(
+        fn=lambda t, c, f: app.fidelity_objective(t, c, f),
+        space=app.parameter_space(),
+        task=task or {"t": 1.0},
+    )
+
+
+class TestHalvingSchedule:
+    def test_standard_ladder(self):
+        sched = halving_schedule(9, 3, eta=3.0)
+        assert sched == [(9, pytest.approx(1 / 9)), (3, pytest.approx(1 / 3)), (1, 1.0)]
+
+    def test_top_rung_full_fidelity(self):
+        for n, r in [(27, 4), (4, 2), (5, 1)]:
+            sched = halving_schedule(n, r)
+            assert sched[-1][1] == 1.0
+
+    def test_survivors_decrease(self):
+        sched = halving_schedule(27, 4)
+        survivors = [s for s, _ in sched]
+        assert survivors == sorted(survivors, reverse=True)
+        assert survivors[-1] >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            halving_schedule(0, 3)
+        with pytest.raises(ValueError):
+            halving_schedule(9, 0)
+        with pytest.raises(ValueError):
+            halving_schedule(9, 3, eta=1.0)
+
+
+class TestFidelityObjective:
+    def test_fraction_validated(self):
+        obj = _demo_objective()
+        with pytest.raises(ValueError):
+            obj({"x": 0.5}, 0.0)
+        with pytest.raises(ValueError):
+            obj({"x": 0.5}, 1.5)
+
+    def test_full_fidelity_matches_raw(self):
+        app = DemoFunction()  # noiseless
+        task, cfg = {"t": 1.0}, {"x": 0.4}
+        assert app.fidelity_objective(task, cfg, 1.0) == pytest.approx(
+            app.raw_objective(task, cfg)
+        )
+
+    def test_low_fidelity_biased_but_correlated(self):
+        app = DemoFunction()
+        task = {"t": 1.0}
+        xs = np.linspace(0.01, 0.99, 40)
+        full = np.array([app.fidelity_objective(task, {"x": x}, 1.0) for x in xs])
+        low = np.array([app.fidelity_objective(task, {"x": x}, 1 / 9) for x in xs])
+        assert not np.allclose(full, low)
+        assert np.corrcoef(full, low)[0, 1] > 0.6
+
+    def test_noise_amplified_at_low_fidelity(self):
+        app = NIMROD(cori_haswell(8))
+        task = app.default_task()
+        cfg = {"NSUP": 150, "NREL": 20, "nbx": 2, "nby": 2, "npz": 1}
+        raw = app.raw_objective(task, cfg)
+        lo = [abs(app.fidelity_objective(task, cfg, 0.1, run=r) / raw - 1)
+              for r in range(12)]
+        hi = [abs(app.fidelity_objective(task, cfg, 1.0, run=r) / raw - 1)
+              for r in range(12)]
+        assert np.mean(lo) > np.mean(hi)
+
+    def test_failures_propagate(self):
+        app = NIMROD(cori_haswell(64))
+        bad = {"NSUP": 150, "NREL": 20, "nbx": 2, "nby": 2, "npz": 4}
+        assert app.fidelity_objective({"mx": 6, "my": 8, "lphi": 1}, bad, 0.3) is None
+
+
+class TestGPTuneBand:
+    def test_budget_respected(self):
+        tuner = GPTuneBand(_demo_objective(), bracket_size=9, n_rungs=3)
+        res = tuner.tune(6.0, seed=0)
+        assert res.cost_spent <= 6.0 + 1.0  # at most one over-shooting eval
+
+    def test_finds_good_configuration(self):
+        tuner = GPTuneBand(_demo_objective(), bracket_size=9, n_rungs=3)
+        res = tuner.tune(10.0, seed=1)
+        assert res.best_config is not None
+        # the demo function's minimum for t=1 is well below 0.9
+        assert res.best_output < 0.95
+
+    def test_cheap_evals_majority(self):
+        """The bandit's point: most evaluations happen at low fidelity."""
+        res = GPTuneBand(_demo_objective(), bracket_size=9, n_rungs=3).tune(
+            8.0, seed=0
+        )
+        fracs = [f for _, f, _ in res.evaluations]
+        assert sum(1 for f in fracs if f < 1.0) > sum(1 for f in fracs if f == 1.0)
+
+    def test_more_configs_screened_than_full_budget_allows(self):
+        res = GPTuneBand(_demo_objective(), bracket_size=9, n_rungs=3).tune(
+            6.0, seed=0
+        )
+        distinct = {tuple(sorted(c.items())) for c, _, _ in res.evaluations}
+        assert len(distinct) > 6  # > budget in full-eval equivalents
+
+    def test_reproducible(self):
+        a = GPTuneBand(_demo_objective(), bracket_size=9).tune(5.0, seed=3)
+        b = GPTuneBand(_demo_objective(), bracket_size=9).tune(5.0, seed=3)
+        assert a.best_output == b.best_output
+        assert a.cost_spent == b.cost_spent
+
+    def test_without_lcm_degenerates_to_halving(self):
+        res = GPTuneBand(
+            _demo_objective(), bracket_size=9, use_lcm=False
+        ).tune(5.0, seed=0)
+        assert res.best_config is not None
+
+    def test_handles_failures(self):
+        """OOM-style failures at any rung must not crash the bracket."""
+        app = NIMROD(cori_haswell(64))
+        obj = MultiFidelityObjective(
+            fn=lambda t, c, f: app.fidelity_objective(t, c, f),
+            space=app.parameter_space(),
+            task={"mx": 6, "my": 8, "lphi": 1},  # ~40% failure region
+        )
+        res = GPTuneBand(obj, bracket_size=9, n_rungs=2).tune(6.0, seed=0)
+        assert res.n_evaluations > 0
+        failures = [1 for _, _, y in res.evaluations if y is None]
+        assert len(failures) >= 1  # the region was actually exercised
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPTuneBand(_demo_objective(), n_rungs=0)
+        with pytest.raises(ValueError):
+            GPTuneBand(_demo_objective()).tune(0.0)
+
+    def test_beats_equal_budget_random_full_fidelity(self):
+        """With the same full-evaluation budget, screening cheaply then
+        confirming should beat random search at full fidelity."""
+        budget = 6.0
+        bandit_best, random_best = [], []
+        for seed in range(3):
+            res = GPTuneBand(_demo_objective(), bracket_size=9).tune(
+                budget, seed=seed
+            )
+            bandit_best.append(res.best_output)
+            rng = np.random.default_rng(seed)
+            app = DemoFunction()
+            space = app.parameter_space()
+            ys = [
+                app.fidelity_objective({"t": 1.0}, space.sample(rng), 1.0)
+                for _ in range(int(budget))
+            ]
+            random_best.append(min(ys))
+        assert np.mean(bandit_best) <= np.mean(random_best) + 0.05

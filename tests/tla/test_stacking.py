@@ -1,0 +1,87 @@
+"""Tests for the Vizier-style stacking strategy (paper Sec. V-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TaskData
+from repro.tla import Stacking
+
+
+def _source(n, seed, fn, task=None):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 1))
+    return TaskData(task or {"n": n}, X, fn(X[:, 0]), label=f"n={n}")
+
+
+class TestStackConstruction:
+    def test_sources_ordered_by_sample_count(self, rng):
+        """Paper: 'the first task has the largest number of samples'."""
+        small = _source(10, 0, lambda x: x)
+        large = _source(50, 1, lambda x: x)
+        strat = Stacking()
+        strat.prepare([small, large], rng)
+        assert strat._stack_ns == [50, 10]
+
+    def test_stack_mean_reconstructs_last_source(self, rng):
+        """After stacking, the cumulative mean should track the most
+        recently stacked source's data."""
+        f1 = lambda x: (x - 0.3) ** 2
+        f2 = lambda x: (x - 0.3) ** 2 + 0.5 * x
+        s1 = _source(40, 0, f1)
+        s2 = _source(20, 1, f2)
+        strat = Stacking()
+        strat.prepare([s1, s2], rng)
+        grid = np.linspace(0.05, 0.95, 30)
+        recon = strat._stack_mean(grid[:, None])
+        assert np.sqrt(np.mean((recon - f2(grid)) ** 2)) < 0.1
+
+    def test_single_source(self, rng):
+        strat = Stacking()
+        strat.prepare([_source(30, 0, lambda x: np.sin(3 * x))], rng)
+        grid = np.linspace(0.1, 0.9, 10)
+        assert np.allclose(
+            strat._stack_mean(grid[:, None]), np.sin(3 * grid), atol=0.15
+        )
+
+
+class TestTargetResidual:
+    def test_empty_target_fallback(self, rng):
+        strat = Stacking()
+        strat.prepare([_source(30, 0, lambda x: (x - 0.3) ** 2)], rng)
+        empty = TaskData({"t": 0}, np.zeros((0, 1)), np.zeros(0))
+        assert strat.model(empty, rng) is not None
+
+    def test_combined_mean_fits_target(self, rng):
+        f_src = lambda x: (x - 0.3) ** 2
+        f_tgt = lambda x: (x - 0.4) ** 2 + 1.0
+        strat = Stacking()
+        strat.prepare([_source(40, 0, f_src)], rng)
+        target = _source(12, 2, f_tgt, task={"t": 1})
+        predict = strat.model(target, rng)
+        mean, _ = predict(target.X)
+        assert np.sqrt(np.mean((mean - target.y) ** 2)) < 0.1
+
+    def test_std_blends_by_sample_count(self, rng):
+        """With a tiny target and big source, sigma leans on the source's
+        (beta small); both contributions must stay positive."""
+        strat = Stacking()
+        strat.prepare([_source(50, 0, lambda x: x)], rng)
+        target = _source(2, 3, lambda x: x + 1.0, task={"t": 1})
+        predict = strat.model(target, rng)
+        _, std = predict(np.array([[0.5]]))
+        assert std[0] > 0
+
+    def test_transfer_helps_localize_optimum(self, rng):
+        """Source knowledge + 3 target points should localize a shifted
+        optimum better than the 3 points alone could."""
+        f_src = lambda x: (x - 0.32) ** 2
+        strat = Stacking()
+        strat.prepare([_source(60, 0, f_src)], rng)
+        tx = np.array([[0.1], [0.6], [0.9]])
+        ty = (tx[:, 0] - 0.35) ** 2
+        predict = strat.model(TaskData({"t": 1}, tx, ty), rng)
+        grid = np.linspace(0, 0.999, 200)[:, None]
+        mean, _ = predict(grid)
+        assert grid[np.argmin(mean), 0] == pytest.approx(0.35, abs=0.12)
