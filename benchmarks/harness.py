@@ -22,7 +22,7 @@ import json
 import math
 import os
 from pathlib import Path
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -118,22 +118,61 @@ def run_comparison(
     n_evals: int,
     repeats: int,
     strategy_kwargs: Mapping[str, Any] | None = None,
+    show_perf: bool = True,
 ) -> dict[str, np.ndarray]:
     """Run every tuner ``repeats`` times; returns best-so-far matrices.
 
     Result arrays have shape ``(repeats, n_evals)`` with NaN before the
     first success of a run (the paper's "do not draw points" convention
-    for runs with failures, Fig. 5(c))."""
+    for runs with failures, Fig. 5(c)).  With ``show_perf`` each tuner's
+    aggregated :mod:`repro.core.perf` counters/timers are printed, so
+    every benchmark doubles as a hot-path profile."""
     out: dict[str, np.ndarray] = {}
     for key in tuners:
         rows = []
+        perfs = []
         for rep in range(repeats):
             problem = app.make_problem(run=rep)
             tuner = make_tuner(key, problem, sources, **(strategy_kwargs or {}))
             result: TuningResult = tuner.tune(task, n_evals, seed=rep)
             rows.append(result.best_so_far())
+            if result.perf is not None:
+                perfs.append(result.perf)
         out[key] = np.asarray(rows, dtype=float)
+        if show_perf and perfs:
+            print(f"[perf] {DISPLAY_NAMES.get(key, key)} ({repeats} runs)")
+            print(format_perf(aggregate_perf(perfs)))
     return out
+
+
+def aggregate_perf(perfs: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Sum :meth:`PerfStats.snapshot` dicts across repeated runs."""
+    counters: dict[str, int] = {}
+    timers: dict[str, dict[str, float]] = {}
+    for p in perfs:
+        for name, v in p.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(v)
+        for name, t in p.get("timers", {}).items():
+            slot = timers.setdefault(name, {"total_s": 0.0, "count": 0})
+            slot["total_s"] += float(t["total_s"])
+            slot["count"] += int(t["count"])
+    for t in timers.values():
+        t["mean_ms"] = 1e3 * t["total_s"] / t["count"] if t["count"] else 0.0
+    return {"counters": counters, "timers": timers}
+
+
+def format_perf(perf: Mapping[str, Any], indent: str = "  ") -> str:
+    """Compact rendering of an aggregated perf snapshot."""
+    lines = []
+    for name in sorted(perf.get("timers", {})):
+        t = perf["timers"][name]
+        lines.append(
+            f"{indent}{name:<28} {t['total_s'] * 1e3:9.1f} ms"
+            f"  ({t['count']} calls, {t['mean_ms']:.3f} ms avg)"
+        )
+    for name in sorted(perf.get("counters", {})):
+        lines.append(f"{indent}{name:<28} {perf['counters'][name]:9d}")
+    return "\n".join(lines)
 
 
 def mean_trajectories(results: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:

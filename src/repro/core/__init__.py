@@ -5,6 +5,7 @@ Bayesian-optimization core that both the NoTLA baseline and every
 transfer-learning algorithm in :mod:`repro.tla` build on.
 """
 
+from . import perf
 from .acquisition import ExpectedImprovement, LowerConfidenceBound, get_acquisition
 from .feasibility import KnnFeasibility
 from .gp import GaussianProcess, GPFitError
@@ -71,6 +72,7 @@ __all__ = [
     "get_sampler",
     "kernel_from_name",
     "mixed_kernel_for_space",
+    "perf",
     "search_next",
     "task_key",
 ]

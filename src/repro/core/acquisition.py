@@ -15,6 +15,8 @@ from typing import Callable
 import numpy as np
 from scipy import special
 
+from . import perf
+
 __all__ = ["Acquisition", "ExpectedImprovement", "LowerConfidenceBound", "get_acquisition"]
 
 PredictFn = Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]
@@ -56,6 +58,7 @@ class ExpectedImprovement(Acquisition):
         self.xi = float(xi)
 
     def __call__(self, predict: PredictFn, X: np.ndarray, y_best: float) -> np.ndarray:
+        perf.incr("acquisition_evaluations", X.shape[0])
         mean, std = predict(X)
         mean = np.asarray(mean, dtype=float).ravel()
         std = np.asarray(std, dtype=float).ravel()
@@ -79,6 +82,7 @@ class LowerConfidenceBound(Acquisition):
         self.beta = float(beta)
 
     def __call__(self, predict: PredictFn, X: np.ndarray, y_best: float) -> np.ndarray:
+        perf.incr("acquisition_evaluations", X.shape[0])
         mean, std = predict(X)
         return -(np.asarray(mean).ravel() - self.beta * np.asarray(std).ravel())
 

@@ -13,43 +13,71 @@ guides' "vectorize, avoid copies, profile the Cholesky" advice):
   marginal likelihood, with analytic gradients when the kernel provides
   them (RBF) and finite differences otherwise.
 * A progressively increased jitter guards Cholesky factorizations.
+* The BO hot path is amortized two ways: :meth:`update` appends
+  observations to the cached factorization in O(n^2) per point (no O(n^3)
+  refit when hyperparameters are unchanged), and factorizations are
+  cached keyed on the hyperparameter vector so :meth:`fit` reuses the
+  Cholesky already computed at the MLE optimum instead of recomputing
+  ``K``.  Both paths feed the :mod:`repro.core.perf` counters.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import linalg as sla
 from scipy import optimize as sopt
+from scipy.linalg import get_lapack_funcs
 
+from . import perf
 from .kernels import RBF, Kernel
 
 __all__ = ["GaussianProcess", "GPFitError", "cholesky_with_jitter"]
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
 
+#: objective values at or above this are treated as "factorization failed"
+#: sentinels by the MLE (they must stay finite so L-BFGS-B can retreat)
+_NLL_FAIL = 1e25
+
+#: bound on the per-fit factorization cache (entries are n-by-n factors)
+_FACTOR_CACHE_MAX = 16
+
 
 class GPFitError(RuntimeError):
     """Raised when a covariance matrix cannot be factorized."""
 
 
+#: raw LAPACK triangular solve — the scipy wrappers spend more time on
+#: input validation than the O(n^2) solve itself on the update hot path
+(_trtrs,) = get_lapack_funcs(("trtrs",), (np.empty(0, dtype=np.float64),))
+
+
 def cholesky_with_jitter(K: np.ndarray, max_tries: int = 8) -> tuple[np.ndarray, float]:
     """Lower Cholesky factor of ``K``, adding diagonal jitter on failure.
 
-    Returns the factor and the jitter actually used.  Jitter starts at
-    ``1e-10 * mean(diag)`` and grows tenfold per retry.
+    Returns the factor and the jitter actually used.  The matrix is first
+    tried as-is; on failure all ``max_tries`` ladder rungs are attempted,
+    starting at ``1e-10 * mean(diag)`` and growing tenfold per retry up to
+    ``10 ** (max_tries - 11) * mean(diag)`` (``1e-3`` for the default 8).
     """
     diag_mean = float(np.mean(np.diag(K)))
     if not np.isfinite(diag_mean) or diag_mean <= 0:
         diag_mean = 1.0
+    eye = np.eye(K.shape[0])
     jitter = 0.0
-    for attempt in range(max_tries):
+    for attempt in range(max_tries + 1):
+        jitter = 0.0 if attempt == 0 else diag_mean * 10.0 ** (attempt - 11)
         try:
-            L = sla.cholesky(K + jitter * np.eye(K.shape[0]), lower=True)
+            L = sla.cholesky(K if attempt == 0 else K + jitter * eye, lower=True)
+            if attempt:
+                perf.incr("cholesky_retries", attempt)
             return L, jitter
         except sla.LinAlgError:
-            jitter = diag_mean * 10.0 ** (attempt - 10)
+            continue
+    perf.incr("cholesky_failures")
     raise GPFitError(f"covariance not positive definite even with jitter {jitter:.2e}")
 
 
@@ -62,6 +90,10 @@ class _FitState:
     L: np.ndarray
     y_mean: float
     y_std: float
+    #: raw (unstandardized) targets; needed to re-standardize on append
+    y_raw: np.ndarray
+    #: diagonal jitter baked into ``L`` (appended rows must match it)
+    jitter: float = 0.0
 
 
 class GaussianProcess:
@@ -82,6 +114,10 @@ class GaussianProcess:
         Extra random restarts for the MLE multi-start.
     max_fun:
         L-BFGS-B function-evaluation cap per start.
+    cache:
+        Whether to cache Cholesky factorizations keyed on the
+        hyperparameter vector (on by default; benchmarks disable it to
+        measure the baseline).
     """
 
     def __init__(
@@ -93,14 +129,20 @@ class GaussianProcess:
         n_restarts: int = 1,
         max_fun: int = 80,
         seed: int | None = None,
+        cache: bool = True,
     ) -> None:
         self.kernel = kernel
         self.noise_variance = float(noise_variance)
         self.optimize = optimize
         self.n_restarts = int(n_restarts)
         self.max_fun = int(max_fun)
+        self.cache = bool(cache)
         self._rng = np.random.default_rng(seed)
         self._state: _FitState | None = None
+        #: theta-keyed factorization cache, valid for the current data only
+        self._factor_cache: OrderedDict[bytes, tuple[np.ndarray, float]] = OrderedDict()
+        #: pinned factorization at the best NLL seen during the current MLE
+        self._mle_best: tuple[float, bytes, np.ndarray, float] | None = None
 
     # -- public API ---------------------------------------------------------
     @property
@@ -125,6 +167,9 @@ class GaussianProcess:
             raise ValueError(
                 f"kernel dimension {self.kernel.dim} != data dimension {X.shape[1]}"
             )
+        # the cache is keyed on theta only; new data invalidates it
+        self._factor_cache.clear()
+        self._mle_best = None
 
         y_mean = float(np.mean(y))
         y_std = float(np.std(y))
@@ -133,13 +178,122 @@ class GaussianProcess:
         ys = (y - y_mean) / y_std
 
         if self.optimize and X.shape[0] >= 2:
-            self._optimize_hyperparameters(X, ys)
+            with perf.timer("gp_mle"):
+                self._optimize_hyperparameters(X, ys)
 
-        K = self.kernel(X) + self.noise_variance * np.eye(X.shape[0])
-        L, _ = cholesky_with_jitter(K)
-        alpha = sla.cho_solve((L, True), ys)
-        self._state = _FitState(X=X, alpha=alpha, L=L, y_mean=y_mean, y_std=y_std)
+        L, jitter = self._factorization(X)
+        alpha = sla.cho_solve((L, True), ys, check_finite=False)
+        self._state = _FitState(
+            X=X,
+            alpha=alpha,
+            L=L,
+            y_mean=y_mean,
+            y_std=y_std,
+            y_raw=y.copy(),
+            jitter=jitter,
+        )
+        perf.incr("gp_fits")
         return self
+
+    def update(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Append observation(s) without refitting hyperparameters.
+
+        Extends the cached Cholesky factor by rank-1 appends — O(n^2) per
+        new point instead of the O(n^3) of a full :meth:`fit` — and
+        recomputes the target standardization and ``alpha`` over the
+        combined data, so predictions match a from-scratch fit on the same
+        data (with hyperparameter optimization off) to round-off.
+
+        Falls back to a full (non-optimizing) refit if the appended rows
+        make the factorization numerically degenerate.
+        """
+        if self._state is None:
+            raise RuntimeError("update() before fit()")
+        st = self._state
+        X_new = np.atleast_2d(np.asarray(x, dtype=float))
+        y_new = np.asarray(y, dtype=float).ravel()
+        if X_new.shape[0] != y_new.shape[0]:
+            raise ValueError(f"x rows ({X_new.shape[0]}) != y length ({y_new.shape[0]})")
+        if X_new.shape[0] == 0:
+            return self
+        if X_new.shape[1] != st.X.shape[1]:
+            raise ValueError(
+                f"x dimension {X_new.shape[1]} != training dimension {st.X.shape[1]}"
+            )
+        n_old, m = st.X.shape[0], X_new.shape[0]
+        X_all = np.vstack([st.X, X_new])
+        y_raw = np.concatenate([st.y_raw, y_new])
+
+        # grow the factor one row at a time, each step solving against the
+        # previous (contiguous) factor via raw LAPACK; Fortran order keeps
+        # every triangular solve copy-free
+        L = st.L
+        ok = True
+        for i in range(m):
+            k = n_old + i
+            row = X_all[k]
+            kvec = self.kernel(row[None, :], X_all[:k]).ravel()
+            kss = float(self.kernel.diag(row[None, :])[0]) + self.noise_variance + st.jitter
+            l12, info = _trtrs(L, kvec, lower=1, trans=0)
+            d = kss - float(l12 @ l12) if info == 0 else -1.0
+            if not np.isfinite(d) or d <= 0.0:
+                ok = False
+                break
+            grown = np.empty((k + 1, k + 1), order="F")
+            grown[:k, :k] = L
+            grown[:k, k] = 0.0
+            grown[k, :k] = l12
+            grown[k, k] = np.sqrt(d)
+            L = grown
+        if not ok:
+            # the append left the factor non-positive; rebuild through the
+            # jitter ladder while keeping the current hyperparameters
+            perf.incr("gp_update_fallbacks")
+            saved = self.optimize
+            self.optimize = False
+            try:
+                return self.fit(X_all, y_raw)
+            finally:
+                self.optimize = saved
+
+        y_mean = float(np.mean(y_raw))
+        y_std = float(np.std(y_raw))
+        if not np.isfinite(y_std) or y_std < 1e-12:
+            y_std = 1.0
+        z, _ = _trtrs(L, (y_raw - y_mean) / y_std, lower=1, trans=0)
+        alpha, _ = _trtrs(L, z, lower=1, trans=1)
+        self._state = _FitState(
+            X=X_all,
+            alpha=alpha,
+            L=L,
+            y_mean=y_mean,
+            y_std=y_std,
+            y_raw=y_raw,
+            jitter=st.jitter,
+        )
+        self._factor_cache.clear()
+        perf.incr("gp_incremental_updates", m)
+        return self
+
+    def extends_training_data(self, X: np.ndarray, y: np.ndarray) -> int | None:
+        """Number of rows ``(X, y)`` appends to the fitted data, else ``None``.
+
+        Returns 0 when the data is exactly the fitted training set (the
+        model can be reused as-is), a positive count when the fitted set is
+        a row-for-row prefix (eligible for :meth:`update`), and ``None``
+        when the histories diverge (a full refit is required).
+        """
+        if self._state is None:
+            return None
+        st = self._state
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        n = st.X.shape[0]
+        if X.shape[0] < n or X.shape[1] != st.X.shape[1]:
+            return None
+        if not np.array_equal(X[:n], st.X) or not np.array_equal(y[:n], st.y_raw):
+            return None
+        return X.shape[0] - n
 
     def predict(self, X: np.ndarray, return_std: bool = True):
         """Posterior mean (and standard deviation) at ``X``, original scale."""
@@ -151,7 +305,7 @@ class GaussianProcess:
         mean = Ks @ st.alpha * st.y_std + st.y_mean
         if not return_std:
             return mean
-        v = sla.solve_triangular(st.L, Ks.T, lower=True)
+        v = sla.solve_triangular(st.L, Ks.T, lower=True, check_finite=False)
         var = self.kernel.diag(X) + self.noise_variance - np.sum(v * v, axis=0)
         std = np.sqrt(np.maximum(var, 1e-12)) * st.y_std
         return mean, std
@@ -171,6 +325,41 @@ class GaussianProcess:
             - 0.5 * st.X.shape[0] * _LOG_2PI
         )
 
+    # -- factorization cache -------------------------------------------------
+    def _factorization(
+        self, X: np.ndarray, max_tries: int = 8
+    ) -> tuple[np.ndarray, float]:
+        """Cholesky of ``kernel(X) + noise I`` at the current theta, cached.
+
+        The cache is keyed on the hyperparameter vector and cleared
+        whenever the training data changes, so :meth:`fit` and the MLE
+        objective never factorize the same ``(theta, X)`` pair twice.
+        """
+        if not self.cache:
+            K = self.kernel(X) + self.noise_variance * np.eye(X.shape[0])
+            return cholesky_with_jitter(K, max_tries=max_tries)
+        key = self._theta().tobytes()
+        if self._mle_best is not None and self._mle_best[1] == key:
+            perf.incr("kernel_cache_hits")
+            return self._mle_best[2], self._mle_best[3]
+        hit = self._factor_cache.get(key)
+        if hit is not None:
+            self._factor_cache.move_to_end(key)
+            perf.incr("kernel_cache_hits")
+            return hit
+        perf.incr("kernel_cache_misses")
+        K = self.kernel(X) + self.noise_variance * np.eye(X.shape[0])
+        L, jitter = cholesky_with_jitter(K, max_tries=max_tries)
+        self._factor_cache[key] = (L, jitter)
+        while len(self._factor_cache) > _FACTOR_CACHE_MAX:
+            self._factor_cache.popitem(last=False)
+        return L, jitter
+
+    def _note_mle_eval(self, nll: float, L: np.ndarray, jitter: float) -> None:
+        """Pin the factorization at the best NLL seen (LRU-eviction-proof)."""
+        if self._mle_best is None or nll < self._mle_best[0]:
+            self._mle_best = (nll, self._theta().tobytes(), L, jitter)
+
     # -- MLE ---------------------------------------------------------------
     def _theta(self) -> np.ndarray:
         return np.concatenate([self.kernel.get_theta(), [np.log(self.noise_variance)]])
@@ -184,29 +373,31 @@ class GaussianProcess:
 
     def _nll(self, theta: np.ndarray, X: np.ndarray, ys: np.ndarray) -> float:
         self._set_theta(theta)
-        K = self.kernel(X) + self.noise_variance * np.eye(X.shape[0])
         try:
-            L, _ = cholesky_with_jitter(K, max_tries=3)
+            L, jitter = self._factorization(X, max_tries=3)
         except GPFitError:
-            return 1e25
-        alpha = sla.cho_solve((L, True), ys)
+            return _NLL_FAIL
+        alpha = sla.cho_solve((L, True), ys, check_finite=False)
         nll = 0.5 * ys @ alpha + np.sum(np.log(np.diag(L))) + 0.5 * len(ys) * _LOG_2PI
-        return float(nll) if np.isfinite(nll) else 1e25
+        if not np.isfinite(nll):
+            return _NLL_FAIL
+        self._note_mle_eval(float(nll), L, jitter)
+        return float(nll)
 
     def _nll_grad(self, theta, X, ys):
         """NLL and analytic gradient (requires kernel gradients)."""
         self._set_theta(theta)
         n = X.shape[0]
-        K = self.kernel(X) + self.noise_variance * np.eye(n)
         try:
-            L, _ = cholesky_with_jitter(K, max_tries=3)
+            L, jitter = self._factorization(X, max_tries=3)
         except GPFitError:
-            return 1e25, np.zeros_like(theta)
-        alpha = sla.cho_solve((L, True), ys)
+            return _NLL_FAIL, np.zeros_like(theta)
+        alpha = sla.cho_solve((L, True), ys, check_finite=False)
         nll = 0.5 * ys @ alpha + np.sum(np.log(np.diag(L))) + 0.5 * n * _LOG_2PI
         if not np.isfinite(nll):
-            return 1e25, np.zeros_like(theta)
-        Kinv = sla.cho_solve((L, True), np.eye(n))
+            return _NLL_FAIL, np.zeros_like(theta)
+        self._note_mle_eval(float(nll), L, jitter)
+        Kinv = sla.cho_solve((L, True), np.eye(n), check_finite=False)
         W = np.outer(alpha, alpha) - Kinv  # dLML/dK = 0.5 W
         grads = np.empty_like(theta)
         dK = self.kernel.gradient(X)
@@ -218,13 +409,14 @@ class GaussianProcess:
 
     def _optimize_hyperparameters(self, X: np.ndarray, ys: np.ndarray) -> None:
         bounds = self._bounds()
+        theta0 = self._theta()
         use_grad = getattr(self.kernel, "has_gradient", False)
         if use_grad:
             fun = lambda th: self._nll_grad(th, X, ys)
         else:
             fun = lambda th: self._nll(th, X, ys)
 
-        starts = [self._theta()]
+        starts = [theta0]
         for _ in range(self.n_restarts):
             starts.append(
                 np.array([self._rng.uniform(lo, hi) for lo, hi in bounds])
@@ -242,8 +434,13 @@ class GaussianProcess:
             )
             if res.fun < best_val:
                 best_val, best_theta = float(res.fun), res.x
-        if best_theta is not None and np.isfinite(best_val):
+        if best_theta is not None and np.isfinite(best_val) and best_val < _NLL_FAIL:
             self._set_theta(best_theta)
+        else:
+            # every start failed: the L-BFGS-B probes left the kernel at an
+            # arbitrary theta — restore the pre-optimization state
+            self._set_theta(theta0)
+            perf.incr("gp_mle_restores")
 
     # -- serialization ---------------------------------------------------------
     def to_dict(self) -> dict:
@@ -274,12 +471,18 @@ class GaussianProcess:
         gp.kernel.set_theta(theta[:-1])
         gp.noise_variance = float(np.exp(theta[-1]))
         K = gp.kernel(X) + gp.noise_variance * np.eye(X.shape[0])
-        L, _ = cholesky_with_jitter(K)
+        L, jitter = cholesky_with_jitter(K)
+        alpha = np.asarray(doc["alpha"], dtype=float)
+        # reconstruct the raw targets so incremental updates keep working
+        ys = L @ (L.T @ alpha)
+        y_raw = ys * float(doc["y_std"]) + float(doc["y_mean"])
         gp._state = _FitState(
             X=X,
-            alpha=np.asarray(doc["alpha"], dtype=float),
+            alpha=alpha,
             L=L,
             y_mean=float(doc["y_mean"]),
             y_std=float(doc["y_std"]),
+            y_raw=y_raw,
+            jitter=jitter,
         )
         return gp

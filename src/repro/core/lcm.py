@@ -25,12 +25,16 @@ import numpy as np
 from scipy import linalg as sla
 from scipy import optimize as sopt
 
+from . import perf
 from .gp import GPFitError, cholesky_with_jitter
 from .kernels import sq_dists
 
 __all__ = ["LCM", "LCMFitError"]
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: finite sentinel for "factorization failed" MLE evaluations
+_NLL_FAIL = 1e25
 
 
 class LCMFitError(GPFitError):
@@ -86,6 +90,10 @@ class LCM:
         self._rng = np.random.default_rng(seed)
         self._theta = self._default_theta()
         self._state: _LCMState | None = None
+        #: factorization pinned at the best NLL seen during the current
+        #: MLE, keyed on theta bytes; lets fit() reuse the Cholesky already
+        #: computed at the optimum instead of reassembling the covariance
+        self._best_factor: tuple[float, bytes, np.ndarray, float] | None = None
 
     # -- theta packing ------------------------------------------------------
     # Layout per latent q: [log ls (dim), a (n_tasks), log kappa (n_tasks)];
@@ -130,15 +138,11 @@ class LCM:
         ls, a, kappa, noise = self._unpack(theta)
         n = X.shape[0]
         K = np.zeros((n, n))
-        same = t[:, None] == t[None, :]
         for q in range(self.n_latent):
             kq = np.exp(-0.5 * sq_dists(X, X, ls[q]))
             B = np.outer(a[q], a[q]) + np.diag(kappa[q])
             K += B[np.ix_(t, t)] * kq
         K[np.diag_indices(n)] += noise[t]
-        # `same` keeps kappa contributions strictly within-task blocks: the
-        # diag term of B already handles it via B[t,t]; nothing more needed.
-        del same
         return K
 
     def _cross_cov(
@@ -193,35 +197,51 @@ class LCM:
         if y_all.size < 2:
             raise ValueError("LCM needs at least two observations in total")
 
+        self._best_factor = None  # keyed on data as well as theta: reset
         if self.optimize:
-            self._optimize_theta(X_all, t_all, y_all)
+            with perf.timer("lcm_mle"):
+                self._optimize_theta(X_all, t_all, y_all)
 
-        K = self._joint_cov(X_all, t_all, self._theta)
-        try:
-            L, _ = cholesky_with_jitter(K)
-        except GPFitError as exc:
-            raise LCMFitError(str(exc)) from exc
-        alpha = sla.cho_solve((L, True), y_all)
+        L = None
+        if self._best_factor is not None and self._best_factor[1] == self._theta.tobytes():
+            # the MLE already factorized the covariance at the adopted
+            # theta — reuse it instead of reassembling and refactorizing
+            perf.incr("kernel_cache_hits")
+            L = self._best_factor[2]
+        if L is None:
+            perf.incr("kernel_cache_misses")
+            K = self._joint_cov(X_all, t_all, self._theta)
+            try:
+                L, _ = cholesky_with_jitter(K)
+            except GPFitError as exc:
+                raise LCMFitError(str(exc)) from exc
+        alpha = sla.cho_solve((L, True), y_all, check_finite=False)
         self._state = _LCMState(
             X=X_all, t=t_all, alpha=alpha, L=L, y_means=y_means, y_stds=y_stds
         )
+        perf.incr("lcm_fits")
         return self
 
     def _nll(self, theta: np.ndarray, X, t, y) -> float:
         K = self._joint_cov(X, t, theta)
         try:
-            L, _ = cholesky_with_jitter(K, max_tries=3)
+            L, jitter = cholesky_with_jitter(K, max_tries=3)
         except GPFitError:
-            return 1e25
-        alpha = sla.cho_solve((L, True), y)
+            return _NLL_FAIL
+        alpha = sla.cho_solve((L, True), y, check_finite=False)
         nll = 0.5 * y @ alpha + np.sum(np.log(np.diag(L))) + 0.5 * y.size * _LOG_2PI
-        return float(nll) if np.isfinite(nll) else 1e25
+        if not np.isfinite(nll):
+            return _NLL_FAIL
+        if self._best_factor is None or nll < self._best_factor[0]:
+            self._best_factor = (float(nll), np.asarray(theta).tobytes(), L, jitter)
+        return float(nll)
 
     def _optimize_theta(self, X, t, y) -> None:
         bounds = self._bounds()
         lo = np.array([b[0] for b in bounds])
         hi = np.array([b[1] for b in bounds])
-        starts = [np.clip(self._theta, lo, hi)]
+        theta0 = self._theta.copy()
+        starts = [np.clip(theta0, lo, hi)]
         for _ in range(self.n_restarts):
             starts.append(self._rng.uniform(lo, hi))
         best_theta, best_val = None, np.inf
@@ -236,8 +256,13 @@ class LCM:
             )
             if res.fun < best_val:
                 best_val, best_theta = float(res.fun), res.x
-        if best_theta is not None and np.isfinite(best_val):
+        if best_theta is not None and np.isfinite(best_val) and best_val < _NLL_FAIL:
             self._theta = best_theta
+        else:
+            # every start failed: keep (restore) the pre-optimization theta
+            # rather than whatever the last probe happened to evaluate
+            self._theta = theta0
+            perf.incr("lcm_mle_restores")
 
     # -- prediction -------------------------------------------------------------
     def predict(self, task: int, Xs: np.ndarray, return_std: bool = True):
@@ -260,7 +285,7 @@ class LCM:
         mean = Kst @ st.alpha * s + m
         if not return_std:
             return mean
-        v = sla.solve_triangular(st.L, Kst.T, lower=True)
+        v = sla.solve_triangular(st.L, Kst.T, lower=True, check_finite=False)
         prior = self._prior_var(task, self._theta)
         var = np.maximum(prior - np.sum(v * v, axis=0), 1e-12)
         return mean, np.sqrt(var) * s

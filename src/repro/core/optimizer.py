@@ -2,9 +2,15 @@
 
 The search maximizes an acquisition over the unit cube with a candidate
 sweep (quasi-random + perturbations of the incumbent) followed by local
-refinement of the best continuous candidate.  Candidates that round to an
+refinement of the best continuous candidates.  Candidates that round to an
 already-evaluated configuration are excluded so deterministic objectives
 never re-measure a known point.
+
+All scoring goes through one vectorized function (acquisition times
+learned feasibility times failure damping), applied uniformly to the
+candidate pool and to every refined point, and the local polish evaluates
+whole probe batches per round instead of one row at a time — the
+surrogate's ``predict`` is only ever called on batched inputs.
 """
 
 from __future__ import annotations
@@ -12,7 +18,6 @@ from __future__ import annotations
 from typing import Any, Callable
 
 import numpy as np
-from scipy import optimize as sopt
 
 from .acquisition import Acquisition, PredictFn
 from .samplers import _config_key
@@ -20,12 +25,16 @@ from .space import Space
 
 __all__ = ["SearchOptions", "search_next", "reference_best"]
 
+ScoreFn = Callable[[np.ndarray], np.ndarray]
+
 
 class SearchOptions:
     """Knobs for the candidate search.
 
-    ``n_candidates`` random probes, ``n_local`` of the best candidates get
-    Nelder-Mead polish (cheap, derivative-free, robust for mixed spaces
+    ``n_candidates`` random probes; the ``n_local`` best candidates get a
+    batched stochastic polish: ``local_iters`` rounds of ``local_probes``
+    Gaussian perturbations each, with the step scale shrinking on rounds
+    that fail to improve (cheap, derivative-free, robust for mixed spaces
     where the acquisition is piecewise constant along integer axes).
     """
 
@@ -34,15 +43,19 @@ class SearchOptions:
         n_candidates: int = 1024,
         n_local: int = 2,
         local_iters: int = 40,
+        local_probes: int = 8,
         incumbent_fraction: float = 0.25,
         incumbent_scale: float = 0.08,
         failure_radius: float = 0.12,
     ) -> None:
         if n_candidates < 1:
             raise ValueError("n_candidates must be positive")
+        if local_probes < 1:
+            raise ValueError("local_probes must be positive")
         self.n_candidates = n_candidates
         self.n_local = n_local
         self.local_iters = local_iters
+        self.local_probes = local_probes
         self.incumbent_fraction = incumbent_fraction
         self.incumbent_scale = incumbent_scale
         self.failure_radius = failure_radius
@@ -59,6 +72,76 @@ def reference_best(predict: PredictFn, X_obs: np.ndarray) -> float:
         return 0.0
     mean, _ = predict(X_obs)
     return float(np.min(mean))
+
+
+def _make_scorer(
+    predict: PredictFn,
+    acquisition: Acquisition,
+    y_ref: float,
+    p_feasible: Callable[[np.ndarray], np.ndarray] | None,
+    X_failed: np.ndarray | None,
+    failure_radius: float,
+) -> ScoreFn:
+    """One vectorized scoring function for pool candidates and refinements.
+
+    Combines the acquisition with the learned feasibility probability and
+    the tabu damping around failed evaluations: failures carry no value
+    for the surrogate (they are excluded from fitting, paper Sec. VI-C),
+    so without damping the same failing region gets proposed repeatedly.
+    """
+    Xf = None
+    if X_failed is not None and len(X_failed) > 0:
+        Xf = np.atleast_2d(np.asarray(X_failed, dtype=float))
+        Xf_sq = np.sum(Xf * Xf, axis=1)[None, :]
+
+    def score(U: np.ndarray) -> np.ndarray:
+        s = acquisition(predict, U, y_ref)
+        if p_feasible is not None:
+            s = s * p_feasible(U)
+        if Xf is not None:
+            d2 = np.sum(U * U, axis=1)[:, None] + Xf_sq - 2.0 * (U @ Xf.T)
+            dist = np.sqrt(np.maximum(d2, 0.0)).min(axis=1)
+            s = s * np.clip(dist / failure_radius, 0.0, 1.0)
+        return s
+
+    return score
+
+
+def _refine_local(
+    U: np.ndarray,
+    scores: np.ndarray,
+    top: np.ndarray,
+    score: ScoreFn,
+    rng: np.random.Generator,
+    opts: SearchOptions,
+) -> None:
+    """Batched stochastic polish of the top candidates, in place.
+
+    Every round perturbs *all* refined points at once and scores the whole
+    probe batch in a single call, replacing the former per-point
+    Nelder-Mead whose objective issued one-row ``predict`` calls.
+    """
+    if len(top) == 0 or opts.local_iters < 1:
+        return
+    dim = U.shape[1]
+    best_u = U[top].copy()
+    best_s = scores[top].copy()
+    scale = np.full((len(top), 1, 1), 0.08)
+    rows = np.arange(len(top))
+    for _ in range(opts.local_iters):
+        probes = best_u[:, None, :] + rng.normal(
+            size=(len(top), opts.local_probes, dim)
+        ) * scale
+        np.clip(probes, 0.0, 1.0, out=probes)
+        s = score(probes.reshape(-1, dim)).reshape(len(top), opts.local_probes)
+        j = np.argmax(s, axis=1)
+        s_round = s[rows, j]
+        improved = s_round > best_s
+        best_u[improved] = probes[rows, j][improved]
+        best_s[improved] = s_round[improved]
+        scale[~improved] *= 0.8  # anneal where the round stalled
+    U[top] = best_u
+    scores[top] = best_s
 
 
 def search_next(
@@ -98,6 +181,8 @@ def search_next(
         Optional cheap feasibility predicate (the tuning problem's known
         constraint, e.g. PDGEQRF's ``p <= total ranks``); infeasible
         candidates are skipped before spending an evaluation on them.
+        When the space is exhausted, an already-evaluated *feasible*
+        configuration is preferred over any infeasible one.
     """
     opts = options or SearchOptions()
     X_obs = np.empty((0, space.dim)) if X_obs is None else np.atleast_2d(X_obs)
@@ -124,51 +209,14 @@ def search_next(
         mean_cands, _ = predict(U)
         y_ref = float(np.quantile(mean_cands, 0.05))
 
-    scores = acquisition(predict, U, y_ref)
-    if p_feasible is not None:
-        scores = scores * p_feasible(U)
-
-    # --- tabu damping around failed evaluations: failures carry no value
-    # for the surrogate (they are excluded from fitting, paper Sec. VI-C)
-    # so without this the same failing region gets proposed repeatedly
-    if X_failed is not None and len(X_failed) > 0:
-        Xf = np.atleast_2d(np.asarray(X_failed, dtype=float))
-        d2 = (
-            np.sum(U * U, axis=1)[:, None]
-            + np.sum(Xf * Xf, axis=1)[None, :]
-            - 2.0 * (U @ Xf.T)
-        )
-        dist = np.sqrt(np.maximum(d2, 0.0)).min(axis=1)
-        radius = opts.failure_radius
-        scores = scores * np.clip(dist / radius, 0.0, 1.0)
-
-    def _damp(u_row: np.ndarray, score: float) -> float:
-        if p_feasible is not None:
-            score = score * float(p_feasible(u_row[None, :])[0])
-        if X_failed is None or len(X_failed) == 0:
-            return score
-        Xf = np.atleast_2d(np.asarray(X_failed, dtype=float))
-        d = np.sqrt(np.sum((Xf - u_row[None, :]) ** 2, axis=1)).min()
-        return score * float(np.clip(d / opts.failure_radius, 0.0, 1.0))
+    score = _make_scorer(
+        predict, acquisition, y_ref, p_feasible, X_failed, opts.failure_radius
+    )
+    scores = score(U)
 
     # --- local refinement of the top continuous candidates
     order = np.argsort(scores)[::-1]
-    for idx in order[: opts.n_local]:
-        res = sopt.minimize(
-            lambda u: -float(
-                acquisition(predict, np.clip(u, 0, 1)[None, :], y_ref)[0]
-            ),
-            U[idx],
-            method="Nelder-Mead",
-            options={"maxiter": opts.local_iters, "xatol": 1e-3, "fatol": 1e-9},
-        )
-        u_loc = np.clip(res.x, 0.0, 1.0)
-        s_loc = _damp(
-            u_loc, float(acquisition(predict, u_loc[None, :], y_ref)[0])
-        )
-        if s_loc > scores[idx]:
-            U[idx] = u_loc
-            scores[idx] = s_loc
+    _refine_local(U, scores, order[: opts.n_local], score, rng, opts)
 
     # --- pick best not-yet-evaluated, feasible configuration
     order = np.argsort(scores)[::-1]
@@ -180,8 +228,7 @@ def search_next(
             continue
         return config
     # all candidates collide with evaluated configs or are infeasible
-    # (tiny discrete spaces): fall back to uniform resampling, then accept
-    # a duplicate as last resort
+    # (tiny discrete spaces): fall back to uniform resampling
     for _ in range(200):
         config = space.sample(rng)
         if _config_key(config) in seen:
@@ -189,4 +236,16 @@ def search_next(
         if feasible is not None and not feasible(config):
             continue
         return config
+    # exhausted: accept a duplicate as last resort, but prefer the best
+    # *feasible* candidate — re-proposing an evaluated configuration is
+    # wasteful, returning an infeasible one breaks the contract above
+    if feasible is not None:
+        for idx in order:
+            config = space.from_unit(U[idx])
+            if feasible(config):
+                return config
+        for _ in range(200):
+            config = space.sample(rng)
+            if feasible(config):
+                return config
     return space.from_unit(U[order[0]])

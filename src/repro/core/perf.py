@@ -1,0 +1,144 @@
+"""Lightweight performance observability for the BO hot path.
+
+The tuning loop is instrumented with *counters* (how many GP fits,
+incremental updates, Cholesky retries, acquisition evaluations, kernel
+cache hits) and *nested timers* (where the per-iteration wall time goes:
+surrogate fit vs acquisition search).  The overhead is a few hundred
+nanoseconds per event, so the instrumentation stays on permanently.
+
+Design: a stack of :class:`PerfStats` collectors.  A module-level default
+collector always exists (process-wide totals); :meth:`Tuner.tune` pushes
+a fresh collector via :func:`collect` so every :class:`TuningResult`
+carries the stats of exactly its own run.  Events are recorded into
+*all* active collectors, which makes nested tuning runs (ensembles,
+GPTuneBand brackets) compose naturally.
+
+Timer names nest by call structure: a ``timer("fit")`` entered while
+``timer("surrogate")`` is active records under ``"surrogate.fit"``.
+
+Example
+-------
+>>> from repro.core import perf
+>>> with perf.collect() as stats:
+...     with perf.timer("surrogate"):
+...         perf.incr("gp_fits")
+>>> stats.snapshot()["counters"]["gp_fits"]
+1
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = ["PerfStats", "collect", "current", "incr", "timer", "reset_global"]
+
+
+class PerfStats:
+    """A bag of counters and accumulated timers."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, list[float]] = {}  # name -> [total_s, count]
+
+    # -- recording -----------------------------------------------------------
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        slot = self.timers.get(name)
+        if slot is None:
+            self.timers[name] = [float(seconds), 1]
+        else:
+            slot[0] += float(seconds)
+            slot[1] += 1
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    # -- reporting -----------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view (JSON-serializable, safe to keep around)."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {
+                name: {
+                    "total_s": total,
+                    "count": count,
+                    "mean_ms": 1e3 * total / count if count else 0.0,
+                }
+                for name, (total, count) in self.timers.items()
+            },
+        }
+
+    def format(self, indent: str = "") -> str:
+        """Compact human-readable rendering (one line per entry)."""
+        lines = []
+        for name in sorted(self.timers):
+            total, count = self.timers[name]
+            lines.append(
+                f"{indent}{name:<28} {total * 1e3:9.1f} ms"
+                f"  ({count} calls, {1e3 * total / max(count, 1):.3f} ms avg)"
+            )
+        for name in sorted(self.counters):
+            lines.append(f"{indent}{name:<28} {self.counters[name]:9d}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PerfStats {len(self.counters)} counters, {len(self.timers)} timers>"
+
+
+#: process-wide collector; always active at the bottom of the stack
+GLOBAL = PerfStats()
+
+_stack: list[PerfStats] = [GLOBAL]
+_timer_path: list[str] = []
+
+
+def current() -> PerfStats:
+    """The innermost active collector."""
+    return _stack[-1]
+
+
+def reset_global() -> None:
+    """Clear the process-wide collector (benchmarks call this between runs)."""
+    GLOBAL.reset()
+
+
+@contextmanager
+def collect(stats: PerfStats | None = None) -> Iterator[PerfStats]:
+    """Push a collector; events inside the block are recorded into it.
+
+    Outer collectors (including the global one) keep receiving events
+    too, so nesting is additive rather than exclusive.
+    """
+    stats = stats if stats is not None else PerfStats()
+    _stack.append(stats)
+    try:
+        yield stats
+    finally:
+        _stack.remove(stats)
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Increment a counter in every active collector."""
+    for s in _stack:
+        s.incr(name, n)
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Time a block; records under the dotted path of enclosing timers."""
+    _timer_path.append(name)
+    key = ".".join(_timer_path)
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dt = time.perf_counter() - t0
+        if _timer_path and _timer_path[-1] == name:
+            _timer_path.pop()
+        for s in _stack:
+            s.add_time(key, dt)

@@ -19,6 +19,7 @@ from typing import Any, Callable, Mapping
 
 import numpy as np
 
+from . import perf
 from .acquisition import Acquisition, ExpectedImprovement, PredictFn
 from .gp import GaussianProcess, GPFitError
 from .feasibility import KnnFeasibility
@@ -41,7 +42,10 @@ class TunerOptions:
     typical setting starts BO after a random phase, Sec. VI-B);
     ``refit_every`` re-runs hyperparameter MLE only every k-th iteration
     (data is always refreshed), amortizing optimization cost on large
-    histories.
+    histories.  On the in-between iterations ``incremental`` appends the
+    new observations to the GP's cached Cholesky factor in O(n^2) instead
+    of refactorizing from scratch (identical predictions, measured by
+    ``benchmarks/bench_hotpath.py``).
     """
 
     n_initial: int = 2
@@ -49,6 +53,8 @@ class TunerOptions:
     kernel: str = "rbf"
     acquisition: Acquisition = field(default_factory=ExpectedImprovement)
     refit_every: int = 1
+    #: use rank-1 Cholesky appends on non-refit iterations
+    incremental: bool = True
     gp_max_fun: int = 80
     gp_restarts: int = 1
     #: learn P(feasible) from observed failures and steer the acquisition
@@ -69,6 +75,8 @@ class TuningResult:
     task: dict[str, Any]
     history: History
     seed: int | None = None
+    #: perf-counter/timer snapshot of this run (see :mod:`repro.core.perf`)
+    perf: dict[str, Any] | None = None
 
     @property
     def best_config(self) -> dict[str, Any]:
@@ -86,7 +94,7 @@ class TuningResult:
         return self.history.best_so_far()
 
     def summary(self) -> dict[str, Any]:
-        return {
+        out = {
             "problem": self.problem_name,
             "tuner": self.tuner_name,
             "task": dict(self.task),
@@ -95,6 +103,9 @@ class TuningResult:
             "best_output": self.best_output if self.history.n_successes else None,
             "best_config": self.best_config if self.history.n_successes else None,
         }
+        if self.perf is not None:
+            out["perf"] = self.perf
+        return out
 
 
 class Tuner:
@@ -148,21 +159,25 @@ class Tuner:
 
         sampler = self.options.make_sampler()
         feasible = lambda cfg: self.problem.feasible(task, cfg)
-        for _ in range(n_samples):
-            if hist.n_successes < self.options.n_initial:
-                config = self._initial_config(sampler, hist, feasible, rng)
-            else:
-                config = self._propose(hist, rng)
-            evaluation = self.problem.evaluate(task, config)
-            hist.append(evaluation)
-            for cb in self.callbacks:
-                cb(evaluation)
+        with perf.collect() as stats:
+            for _ in range(n_samples):
+                with perf.timer("iteration"):
+                    if hist.n_successes < self.options.n_initial:
+                        config = self._initial_config(sampler, hist, feasible, rng)
+                    else:
+                        config = self._propose(hist, rng)
+                    with perf.timer("evaluate"):
+                        evaluation = self.problem.evaluate(task, config)
+                hist.append(evaluation)
+                for cb in self.callbacks:
+                    cb(evaluation)
         return TuningResult(
             problem_name=self.problem.name,
             tuner_name=self.name,
             task=dict(task),
             history=hist,
             seed=seed,
+            perf=stats.snapshot(),
         )
 
     # -- hooks -------------------------------------------------------------
@@ -187,7 +202,8 @@ class Tuner:
         return config
 
     def _propose(self, hist: History, rng: np.random.Generator) -> dict[str, Any]:
-        predict = self._model(hist, rng)
+        with perf.timer("surrogate"):
+            predict = self._model(hist, rng)
         if predict is None:  # modeling failed: fall back to random search
             return self._initial_config(
                 self.options.make_sampler(), hist, self._feasible, rng
@@ -195,18 +211,19 @@ class Tuner:
         X_obs, _ = hist.arrays()
         X_failed = hist.failed_array()
         p_feasible = self._feasibility_model(X_obs, X_failed)
-        return search_next(
-            predict,
-            self.problem.parameter_space,
-            self.options.acquisition,
-            rng,
-            X_obs=X_obs,
-            evaluated=hist.configs(),
-            X_failed=X_failed,
-            p_feasible=p_feasible,
-            feasible=self._feasible,
-            options=self.options.search,
-        )
+        with perf.timer("search"):
+            return search_next(
+                predict,
+                self.problem.parameter_space,
+                self.options.acquisition,
+                rng,
+                X_obs=X_obs,
+                evaluated=hist.configs(),
+                X_failed=X_failed,
+                p_feasible=p_feasible,
+                feasible=self._feasible,
+                options=self.options.search,
+            )
 
     def _feasibility_model(self, X_obs, X_failed):
         """A learned P(feasible) when failures have been observed."""
@@ -215,7 +232,14 @@ class Tuner:
         return KnnFeasibility(X_obs, X_failed).predict_proba
 
     def _model(self, hist: History, rng: np.random.Generator) -> PredictFn | None:
-        """Fit (or refresh) the surrogate; returns its predict function."""
+        """Fit (or refresh) the surrogate; returns its predict function.
+
+        On ``refit_every`` boundaries the GP is refit from scratch with
+        hyperparameter MLE.  In between, when ``options.incremental`` is
+        on and the history has only grown, the new observations are
+        appended to the cached factorization in O(n^2) per point (and an
+        iteration with no new successes reuses the model outright).
+        """
         X, y = hist.arrays()
         if X.shape[0] == 0:
             return None
@@ -235,9 +259,21 @@ class Tuner:
                 n_restarts=opts.gp_restarts,
                 seed=int(rng.integers(0, 2**31 - 1)),
             )
-        self._gp.optimize = refit
+        gp = self._gp
+        if not refit and opts.incremental and gp.fitted:
+            n_new = gp.extends_training_data(X, y)
+            if n_new == 0:
+                perf.incr("gp_model_reuses")  # e.g. the evaluation failed
+                return gp.predict
+            if n_new is not None:
+                try:
+                    gp.update(X[-n_new:], y[-n_new:])
+                except GPFitError:
+                    return None
+                return gp.predict
+        gp.optimize = refit
         try:
-            self._gp.fit(X, y)
+            gp.fit(X, y)
         except GPFitError:
             return None
-        return self._gp.predict
+        return gp.predict

@@ -5,7 +5,6 @@ registry (:func:`get_strategy`, :func:`pool_table`) mirroring Table I, and
 the :class:`TransferTuner` driver.
 """
 
-from ..core.tuner import Tuner
 from .base import TLAStrategy, combine_weighted, equal_weight_model, fit_source_gps
 from .gptuneband import (
     BanditResult,

@@ -14,6 +14,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from ..core import perf
 from ..core.feasibility import KnnFeasibility
 from ..core.history import History, TaskData
 from ..core.optimizer import search_next
@@ -62,7 +63,8 @@ class TransferTuner(Tuner):
 
     def _propose(self, hist: History, rng: np.random.Generator) -> dict[str, Any]:
         target = hist.as_task_data()
-        predict = self.strategy.model(target, rng)
+        with perf.timer("surrogate"):
+            predict = self.strategy.model(target, rng)
         if predict is None:
             try:
                 predict = equal_weight_model(self.strategy.source_gps)
@@ -71,18 +73,19 @@ class TransferTuner(Tuner):
                     self.options.make_sampler(), hist, self._feasible, rng
                 )
         X_failed = hist.failed_array()
-        config = search_next(
-            predict,
-            self.problem.parameter_space,
-            self.options.acquisition,
-            rng,
-            X_obs=target.X,
-            evaluated=hist.configs(),
-            X_failed=X_failed,
-            p_feasible=self._crowd_feasibility(target, X_failed),
-            feasible=self._feasible,
-            options=self.options.search,
-        )
+        with perf.timer("search"):
+            config = search_next(
+                predict,
+                self.problem.parameter_space,
+                self.options.acquisition,
+                rng,
+                X_obs=target.X,
+                evaluated=hist.configs(),
+                X_failed=X_failed,
+                p_feasible=self._crowd_feasibility(target, X_failed),
+                feasible=self._feasible,
+                options=self.options.search,
+            )
         x_unit = self.problem.parameter_space.to_unit(config)
         self.strategy.notify_proposal(x_unit, rng)
         self._last_x_unit = x_unit

@@ -30,6 +30,21 @@ class TestCholeskyJitter:
         assert jitter > 0
         assert np.all(np.isfinite(L))
 
+    def test_largest_ladder_rung_reachable(self):
+        """Regression: an off-by-one stopped the ladder at 1e-4 * diag_mean,
+        one rung short of its documented 1e-3 maximum."""
+        rng = np.random.default_rng(3)
+        n = 6
+        Q, _ = np.linalg.qr(rng.normal(size=(n, n)))
+        eigs = np.ones(n)
+        eigs[-1] = -5e-4  # only the top rung can lift this above zero
+        K = (Q * eigs) @ Q.T
+        K = 0.5 * (K + K.T)
+        diag_mean = float(np.mean(np.diag(K)))
+        L, jitter = cholesky_with_jitter(K)
+        assert jitter == pytest.approx(1e-3 * diag_mean)
+        assert np.all(np.isfinite(L))
+
 
 class TestFitting:
     def test_interpolates_noiseless_data(self, rng):
@@ -121,6 +136,32 @@ class TestFitting:
         X, y = _train(rng, n=13)
         gp.fit(X, y)
         assert gp.n_train == 13 and gp.fitted
+
+
+class TestMLERestore:
+    def test_failed_mle_restores_hyperparameters(self, rng, monkeypatch):
+        """Regression: when every MLE start fails, the kernel used to keep
+        whatever theta the last L-BFGS-B probe happened to evaluate."""
+        from types import SimpleNamespace
+
+        from repro.core import gp as gp_mod
+        from repro.core import perf
+
+        X, y = _train(rng)
+        kernel = RBF(2, variance=1.0, lengthscales=[0.5, 0.5])
+        model = GaussianProcess(kernel, optimize=True, seed=0)
+        theta0 = np.concatenate([kernel.get_theta(), [np.log(model.noise_variance)]])
+
+        def failing_minimize(fun, x0, **kwargs):
+            fun(np.asarray(x0) + 3.0)  # probe a garbage theta, then fail
+            return SimpleNamespace(fun=float("nan"), x=np.asarray(x0) + 3.0)
+
+        monkeypatch.setattr(gp_mod.sopt, "minimize", failing_minimize)
+        with perf.collect() as stats:
+            model.fit(X, y)
+        np.testing.assert_allclose(model._theta(), theta0)
+        assert stats.snapshot()["counters"]["gp_mle_restores"] == 1
+        assert np.all(np.isfinite(model.predict_mean(X)))
 
 
 class TestSerialization:

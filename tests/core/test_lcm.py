@@ -105,6 +105,31 @@ class TestFitPredict:
         assert m1.mean() == pytest.approx(sets[1][1].mean(), abs=30)
 
 
+class TestMLERestore:
+    def test_failed_mle_restores_theta(self, rng, monkeypatch):
+        """Regression: when every MLE start fails, the model used to adopt
+        an arbitrary probed theta instead of keeping the one it started with."""
+        from types import SimpleNamespace
+
+        from repro.core import lcm as lcm_mod
+        from repro.core import perf
+
+        datasets = _correlated_tasks(rng)
+        model = LCM(2, 1, seed=0)
+        theta0 = model._theta.copy()
+
+        def failing_minimize(fun, x0, args=(), **kwargs):
+            fun(np.asarray(x0) + 1.0, *args)  # probe garbage, then fail
+            return SimpleNamespace(fun=float("nan"), x=np.asarray(x0) + 1.0)
+
+        monkeypatch.setattr(lcm_mod.sopt, "minimize", failing_minimize)
+        with perf.collect() as stats:
+            model.fit(datasets)
+        np.testing.assert_allclose(model._theta, theta0)
+        assert stats.snapshot()["counters"]["lcm_mle_restores"] == 1
+        assert np.all(np.isfinite(model.predict(0, rng.random((5, 1)))[0]))
+
+
 class TestUtilities:
     def test_warm_start(self, rng):
         sets = _correlated_tasks(rng)

@@ -158,7 +158,6 @@ class TestGPIntegration:
         tuner = Tuner(problem)
         # patch the GP factory to use the mixed kernel
         space = problem.parameter_space
-        orig_model = tuner._model
 
         def model_with_mixed(hist: History, rng_):
             X, y = hist.arrays()
@@ -172,4 +171,3 @@ class TestGPIntegration:
         res = tuner.tune({"matrix": "Si5H12"}, 6, seed=0)
         assert res.n_evaluations == 6
         assert res.history.n_successes > 0
-        del orig_model

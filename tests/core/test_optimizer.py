@@ -75,6 +75,22 @@ class TestSearchNext:
         )
         assert cfg["k"] in (0, 1)  # duplicates allowed only as last resort
 
+    def test_exhausted_space_prefers_feasible_duplicate(self, rng):
+        """Regression: the last-resort duplicate used to ignore ``feasible``
+        and could return a configuration the problem cannot run at all."""
+        space = Space([IntegerParameter("k", 0, 3)])
+        predict = _sphere_predict([1.0])  # the model optimum is the top bin
+        evaluated = [{"k": 0}, {"k": 1}, {"k": 2}]
+        cfg = search_next(
+            predict,
+            space,
+            ExpectedImprovement(),
+            rng,
+            evaluated=evaluated,
+            feasible=lambda c: c["k"] != 2,
+        )
+        assert cfg["k"] in (0, 1)
+
     def test_incumbent_perturbations_used(self, rng):
         """With most candidates around the incumbent, the search still
         improves on it."""

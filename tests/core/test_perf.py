@@ -1,0 +1,111 @@
+"""Tests for repro.core.perf: counters, nested timers, collector stack."""
+
+from __future__ import annotations
+
+from repro.core import perf
+from repro.core.perf import PerfStats
+
+
+class TestPerfStats:
+    def test_counters_accumulate(self):
+        s = PerfStats()
+        s.incr("fits")
+        s.incr("fits", 3)
+        assert s.counters["fits"] == 4
+
+    def test_timers_accumulate(self):
+        s = PerfStats()
+        s.add_time("search", 0.5)
+        s.add_time("search", 0.25)
+        snap = s.snapshot()["timers"]["search"]
+        assert snap["total_s"] == 0.75
+        assert snap["count"] == 2
+        assert snap["mean_ms"] == 375.0
+
+    def test_snapshot_is_detached(self):
+        s = PerfStats()
+        s.incr("fits")
+        snap = s.snapshot()
+        s.incr("fits")
+        assert snap["counters"]["fits"] == 1
+
+    def test_snapshot_jsonable(self):
+        import json
+
+        s = PerfStats()
+        s.incr("fits")
+        s.add_time("search", 0.1)
+        json.dumps(s.snapshot())
+
+    def test_reset(self):
+        s = PerfStats()
+        s.incr("fits")
+        s.add_time("search", 0.1)
+        s.reset()
+        assert s.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_format_mentions_entries(self):
+        s = PerfStats()
+        s.incr("gp_fits", 7)
+        s.add_time("surrogate", 0.002)
+        text = s.format()
+        assert "gp_fits" in text and "surrogate" in text
+
+
+class TestCollectorStack:
+    def test_collect_isolates_a_run(self):
+        with perf.collect() as stats:
+            perf.incr("gp_fits")
+        assert stats.snapshot()["counters"]["gp_fits"] == 1
+        perf.incr("gp_fits")  # outside the block: not recorded into stats
+        assert stats.snapshot()["counters"]["gp_fits"] == 1
+
+    def test_events_also_reach_outer_collectors(self):
+        with perf.collect() as outer:
+            with perf.collect() as inner:
+                perf.incr("gp_fits")
+            assert outer.snapshot()["counters"]["gp_fits"] == 1
+            assert inner.snapshot()["counters"]["gp_fits"] == 1
+
+    def test_global_always_receives(self):
+        before = perf.GLOBAL.counters.get("gp_fits", 0)
+        with perf.collect():
+            perf.incr("gp_fits")
+        assert perf.GLOBAL.counters["gp_fits"] == before + 1
+
+    def test_current_returns_innermost(self):
+        assert perf.current() is perf.GLOBAL
+        with perf.collect() as stats:
+            assert perf.current() is stats
+
+
+class TestTimers:
+    def test_timer_records_duration(self):
+        with perf.collect() as stats:
+            with perf.timer("search"):
+                pass
+        t = stats.snapshot()["timers"]["search"]
+        assert t["count"] == 1 and t["total_s"] >= 0.0
+
+    def test_nested_timers_use_dotted_paths(self):
+        with perf.collect() as stats:
+            with perf.timer("iteration"):
+                with perf.timer("surrogate"):
+                    pass
+                with perf.timer("search"):
+                    pass
+        timers = stats.snapshot()["timers"]
+        assert "iteration" in timers
+        assert "iteration.surrogate" in timers
+        assert "iteration.search" in timers
+
+    def test_timer_path_unwinds_on_exception(self):
+        try:
+            with perf.timer("outer"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with perf.collect() as stats:
+            with perf.timer("other"):
+                pass
+        assert "other" in stats.snapshot()["timers"]  # not "outer.other"

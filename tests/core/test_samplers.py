@@ -8,7 +8,6 @@ import pytest
 from repro.core import (
     CategoricalParameter,
     IntegerParameter,
-    RealParameter,
     Space,
     get_sampler,
 )

@@ -76,6 +76,12 @@ class TestTunerBasics:
         assert s["tuner"] == "NoTLA"
         assert s["n_evaluations"] == 5
 
+    def test_summary_carries_perf_stats(self, quadratic_problem):
+        res = Tuner(quadratic_problem).tune({"t": 1}, 5, seed=0)
+        perf = res.summary()["perf"]
+        assert perf["counters"].get("gp_fits", 0) >= 1
+        assert "iteration" in perf["timers"]
+
 
 class TestFailureHandling:
     @pytest.fixture
@@ -134,6 +140,22 @@ class TestOptions:
         Tuner(quadratic_problem, opts).tune({"t": 1}, 10, seed=0)
         refit_all = count["n"]
         assert refit_all <= 4  # 8 modeling iterations / 3 + first
+
+    def test_incremental_updates_between_refits(self, quadratic_problem):
+        opts = TunerOptions(n_initial=2, refit_every=3, incremental=True)
+        res = Tuner(quadratic_problem, opts).tune({"t": 1}, 10, seed=0)
+        counters = res.perf["counters"]
+        assert counters.get("gp_incremental_updates", 0) >= 1
+
+    def test_incremental_matches_full_refit_trajectory(self, quadratic_problem):
+        # the surrogates agree to round-off; the proposal argmax can
+        # amplify that, so the trajectories match tightly but not bitwise
+        trajs = {}
+        for incremental in (False, True):
+            opts = TunerOptions(n_initial=2, refit_every=3, incremental=incremental)
+            res = Tuner(quadratic_problem, opts).tune({"t": 1}, 10, seed=0)
+            trajs[incremental] = res.best_so_far()
+        np.testing.assert_allclose(trajs[True], trajs[False], atol=1e-6)
 
     def test_sampler_option(self, quadratic_problem):
         opts = TunerOptions(n_initial=4, sampler="lhs")

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.apps import DemoFunction, HypreAMG, PDGEQRF, SuperLUDist2D
 from repro.apps.hypre import HYPRE_DEFAULTS

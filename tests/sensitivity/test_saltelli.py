@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.sensitivity.saltelli import SaltelliDesign, saltelli_sample
+from repro.sensitivity.saltelli import saltelli_sample
 
 
 class TestDesignConstruction:
