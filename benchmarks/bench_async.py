@@ -1,0 +1,134 @@
+"""Async-engine benchmark: wall-clock speedup and regret vs sequential.
+
+The asynchronous engine's promise is that overlapping evaluations buys
+wall-clock time without costing optimization quality.  This benchmark
+runs the same tuning workload — the demo objective with a fixed
+simulated per-evaluation latency — at 1/2/4/8 workers and records:
+
+* **speedup**: sequential wall time / async wall time (the 1-worker
+  async run is the sequential baseline: same code path, no overlap), and
+* **regret gap**: the difference in final best-so-far against the
+  sequential run, averaged over seeds; batch proposal with constant-liar
+  fantasies should keep this within run-to-run noise.
+
+Checks: >= 2x speedup at 4 workers, regret gap within noise.  In smoke
+mode (``REPRO_BENCH_SMOKE=1``) budgets shrink and the speedup threshold
+drops to a sanity check — shared CI runners have noisy clocks.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.apps.synthetic import DemoFunction
+from repro.core import TunerOptions
+from repro.core.optimizer import SearchOptions
+from repro.engine import AsyncTuner, EngineOptions
+
+from harness import FULL, SMOKE, save_results
+
+WORKER_COUNTS = [1, 2, 4, 8]
+N_EVALS = 24 if FULL else (10 if SMOKE else 16)
+SEEDS = list(range(5)) if FULL else ([0] if SMOKE else [0, 1, 2])
+#: simulated seconds each evaluation occupies its worker
+LATENCY_S = 0.02 if SMOKE else 0.05
+
+MIN_SPEEDUP_AT_4 = 1.2 if SMOKE else 2.0
+#: demo objective spans roughly [-1, 3]; run-to-run noise between seeds
+#: is larger than this, so the gap bound is "within noise" not "equal"
+MAX_REGRET_GAP = 0.25
+
+
+def _tuner_options() -> TunerOptions:
+    # keep the serial proposal path cheap relative to the simulated
+    # latency, as a real deployment would (the engine overlaps proposal
+    # with running evaluations, but proposals themselves serialize)
+    return TunerOptions(
+        n_initial=3,
+        refit_every=4,
+        gp_max_fun=40,
+        search=SearchOptions(n_candidates=256, local_iters=10),
+    )
+
+
+def _run(n_workers: int, seed: int) -> tuple[float, float, dict]:
+    app = DemoFunction()
+    tuner = AsyncTuner(
+        app.make_problem(),
+        _tuner_options(),
+        EngineOptions(
+            n_workers=n_workers,
+            batch=min(n_workers, 4),
+            base_latency_s=LATENCY_S,
+        ),
+    )
+    t0 = time.perf_counter()
+    result = tuner.tune(app.default_task(), N_EVALS, seed=seed)
+    wall = time.perf_counter() - t0
+    return wall, result.best_output, result.perf or {}
+
+
+def test_async_speedup_and_regret():
+    rows = []
+    walls: dict[int, float] = {}
+    bests: dict[int, float] = {}
+    for w in WORKER_COUNTS:
+        run_walls, run_bests, utils = [], [], []
+        for seed in SEEDS:
+            wall, best, perf = _run(w, seed)
+            run_walls.append(wall)
+            run_bests.append(best)
+            util = perf.get("gauges", {}).get("engine_worker_utilization", {})
+            utils.append(util.get("last", 0.0))
+        walls[w] = float(np.median(run_walls))
+        bests[w] = float(np.mean(run_bests))
+        rows.append(
+            {
+                "workers": w,
+                "wall_s": walls[w],
+                "mean_best": bests[w],
+                "mean_utilization": float(np.mean(utils)),
+                "speedup": walls[WORKER_COUNTS[0]] / walls[w],
+            }
+        )
+
+    print(f"\nasync engine: {N_EVALS} evals x {LATENCY_S * 1e3:.0f} ms latency, "
+          f"{len(SEEDS)} seed(s)")
+    print(f"{'workers':>8}  {'wall':>9}  {'speedup':>8}  {'util':>6}  {'mean best':>10}")
+    for r in rows:
+        print(
+            f"{r['workers']:>8}  {r['wall_s']:>8.2f}s  {r['speedup']:>7.2f}x"
+            f"  {r['mean_utilization']:>5.0%}  {r['mean_best']:>10.4f}"
+        )
+    save_results(
+        "async_engine",
+        {"rows": rows, "n_evals": N_EVALS, "latency_s": LATENCY_S, "seeds": SEEDS},
+    )
+
+    speedup_at_4 = walls[1] / walls[4]
+    assert speedup_at_4 >= MIN_SPEEDUP_AT_4, (
+        f"only {speedup_at_4:.2f}x wall-clock speedup at 4 workers "
+        f"(need >= {MIN_SPEEDUP_AT_4}x)"
+    )
+    regret_gap = bests[4] - bests[1]
+    assert regret_gap <= MAX_REGRET_GAP, (
+        f"4-worker batch tuning lost {regret_gap:.3f} vs sequential "
+        f"(allowed {MAX_REGRET_GAP})"
+    )
+
+
+def test_one_worker_is_sequential_baseline():
+    """The 1-worker engine run used as the baseline really is sequential:
+    same trajectory as the synchronous tuner, same seed."""
+    from repro.core import Tuner
+
+    app = DemoFunction()
+    seq = Tuner(app.make_problem(), _tuner_options()).tune(
+        app.default_task(), 8, seed=0
+    )
+    asy = AsyncTuner(
+        app.make_problem(), _tuner_options(), EngineOptions(n_workers=1)
+    ).tune(app.default_task(), 8, seed=0)
+    np.testing.assert_allclose(asy.best_so_far(), seq.best_so_far())

@@ -26,11 +26,14 @@ import numpy as np
 from repro.apps.synthetic import DemoFunction
 from repro.core import RBF, GaussianProcess, Tuner, TunerOptions
 
-from harness import FULL, save_results
+from harness import FULL, SMOKE, save_results
 
 HISTORY_SIZES = [25, 50, 100, 200]
 DIM = 4
-REPEATS = 15 if FULL else 7
+REPEATS = 15 if FULL else (3 if SMOKE else 7)
+
+#: smoke mode only sanity-checks that incremental wins at all
+MIN_SPEEDUP_AT_200 = 1.2 if SMOKE else 3.0
 
 
 def _training_data(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
@@ -101,7 +104,7 @@ def test_incremental_update_speedup():
     save_results("hotpath_latency", {"rows": rows, "dim": DIM, "repeats": REPEATS})
 
     at_200 = next(r for r in rows if r["history_size"] == 200)
-    assert at_200["speedup"] >= 3.0, (
+    assert at_200["speedup"] >= MIN_SPEEDUP_AT_200, (
         f"incremental update only {at_200['speedup']:.1f}x faster at n=200"
     )
 

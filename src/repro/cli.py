@@ -81,6 +81,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     task = _parse_task(app, args.task)
     options = TunerOptions(n_initial=args.n_initial)
 
+    if args.workers > 1 and args.tla:
+        raise SystemExit("--workers > 1 supports NoTLA only (drop --tla)")
+
     if args.tla:
         strategy = get_strategy(args.tla)
         rng = np.random.default_rng(args.seed + 1000)
@@ -98,6 +101,14 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             TaskData(src_task, space.to_unit_array(configs), np.array(ys), "cli-source")
         )
         tuner: Tuner = TransferTuner(problem, strategy, sources, options=options)
+    elif args.workers > 1 or args.batch > 1:
+        from .engine import AsyncTuner, EngineOptions
+
+        tuner = AsyncTuner(
+            problem,
+            options,
+            EngineOptions(n_workers=args.workers, batch=args.batch, lie=args.lie),
+        )
     else:
         tuner = Tuner(problem, options=options)
 
@@ -226,6 +237,13 @@ def main(argv: list[str] | None = None) -> int:
     p_tune.add_argument("--samples", type=int, default=10)
     p_tune.add_argument("--seed", type=int, default=0)
     p_tune.add_argument("--n-initial", type=int, default=2)
+    p_tune.add_argument("--workers", type=int, default=1,
+                        help="evaluation workers (>1 uses the async engine)")
+    p_tune.add_argument("--batch", type=int, default=1,
+                        help="configurations proposed per batch (async engine)")
+    p_tune.add_argument("--lie", default="cl-min",
+                        choices=["cl-min", "cl-mean", "cl-max", "kb"],
+                        help="fantasy strategy for in-flight evaluations")
     p_tune.add_argument("--tla", choices=sorted(STRATEGY_REGISTRY))
     p_tune.add_argument("--source-task", help="source task as JSON (with --tla)")
     p_tune.add_argument("--source-samples", type=int, default=50)

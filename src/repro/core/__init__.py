@@ -6,14 +6,19 @@ transfer-learning algorithm in :mod:`repro.tla` build on.
 """
 
 from . import perf
-from .acquisition import ExpectedImprovement, LowerConfidenceBound, get_acquisition
+from .acquisition import (
+    ExpectedImprovement,
+    LowerConfidenceBound,
+    PendingPenalty,
+    get_acquisition,
+)
 from .feasibility import KnnFeasibility
 from .gp import GaussianProcess, GPFitError
 from .history import History, TaskData
 from .kernels import RBF, Matern32, Matern52, kernel_from_name
 from .lcm import LCM, LCMFitError
 from .mixed import MixedKernel, mixed_kernel_for_space
-from .optimizer import SearchOptions, search_next
+from .optimizer import SearchOptions, propose_batch, search_next
 from .problem import Evaluation, TuningProblem, task_key
 from .samplers import (
     LatinHypercubeSampler,
@@ -54,6 +59,7 @@ __all__ = [
     "MixedKernel",
     "OutputParameter",
     "Parameter",
+    "PendingPenalty",
     "RBF",
     "RandomSampler",
     "RealParameter",
@@ -73,6 +79,7 @@ __all__ = [
     "kernel_from_name",
     "mixed_kernel_for_space",
     "perf",
+    "propose_batch",
     "search_next",
     "task_key",
 ]

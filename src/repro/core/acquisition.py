@@ -17,7 +17,13 @@ from scipy import special
 
 from . import perf
 
-__all__ = ["Acquisition", "ExpectedImprovement", "LowerConfidenceBound", "get_acquisition"]
+__all__ = [
+    "Acquisition",
+    "ExpectedImprovement",
+    "LowerConfidenceBound",
+    "PendingPenalty",
+    "get_acquisition",
+]
 
 PredictFn = Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]]
 
@@ -85,6 +91,42 @@ class LowerConfidenceBound(Acquisition):
         perf.incr("acquisition_evaluations", X.shape[0])
         mean, std = predict(X)
         return -(np.asarray(mean).ravel() - self.beta * np.asarray(std).ravel())
+
+
+class PendingPenalty(Acquisition):
+    """Damp a base acquisition around configurations already in flight.
+
+    The model-agnostic fallback for batch/asynchronous proposal when the
+    surrogate offers no cheap fantasy update (combined TLA predictors):
+    scores decay linearly to zero within ``radius`` of the nearest
+    pending unit point, so a batch spreads out instead of proposing the
+    same argmax q times.  With no pending points this is the identity.
+    """
+
+    name = "pending-penalty"
+
+    def __init__(
+        self, base: Acquisition, X_pending: np.ndarray | None, radius: float = 0.1
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("penalty radius must be positive")
+        self.base = base
+        Xp = None if X_pending is None else np.atleast_2d(np.asarray(X_pending, float))
+        self.X_pending = None if Xp is None or Xp.shape[0] == 0 else Xp
+        self.radius = float(radius)
+
+    def __call__(self, predict: PredictFn, X: np.ndarray, y_best: float) -> np.ndarray:
+        s = self.base(predict, X, y_best)
+        if self.X_pending is None:
+            return s
+        Xp = self.X_pending
+        d2 = (
+            np.sum(X * X, axis=1)[:, None]
+            + np.sum(Xp * Xp, axis=1)[None, :]
+            - 2.0 * (X @ Xp.T)
+        )
+        dist = np.sqrt(np.maximum(d2, 0.0)).min(axis=1)
+        return s * np.clip(dist / self.radius, 0.0, 1.0)
 
 
 _ACQS = {"ei": ExpectedImprovement, "lcb": LowerConfidenceBound}

@@ -19,11 +19,12 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .acquisition import Acquisition, PredictFn
+from . import perf
+from .acquisition import Acquisition, PendingPenalty, PredictFn
 from .samplers import _config_key
 from .space import Space
 
-__all__ = ["SearchOptions", "search_next", "reference_best"]
+__all__ = ["LIE_STRATEGIES", "SearchOptions", "propose_batch", "search_next", "reference_best"]
 
 ScoreFn = Callable[[np.ndarray], np.ndarray]
 
@@ -249,3 +250,163 @@ def search_next(
             if feasible(config):
                 return config
     return space.from_unit(U[order[0]])
+
+
+#: recognized fantasy-lie strategies for batch proposal
+LIE_STRATEGIES = ("cl-min", "cl-mean", "cl-max", "kb")
+
+
+def _lie_value(lie: str, predict: PredictFn, u: np.ndarray, y_obs: np.ndarray) -> float:
+    """The fantasy observation assigned to a not-yet-evaluated point.
+
+    Constant liar (``cl-*``) pretends the pending run returns the
+    min/mean/max of the real observations; kriging believer (``kb``)
+    pretends it returns the model's own posterior mean.
+    """
+    if lie == "cl-min":
+        return float(np.min(y_obs))
+    if lie == "cl-mean":
+        return float(np.mean(y_obs))
+    if lie == "cl-max":
+        return float(np.max(y_obs))
+    if lie == "kb":
+        mean, _ = predict(np.atleast_2d(u))
+        return float(np.asarray(mean).ravel()[0])
+    raise ValueError(f"unknown lie strategy {lie!r}; choose from {LIE_STRATEGIES}")
+
+
+def propose_batch(
+    predict: PredictFn,
+    space: Space,
+    acquisition: Acquisition,
+    rng: np.random.Generator,
+    *,
+    q: int,
+    gp=None,
+    X_obs: np.ndarray | None = None,
+    y_obs: np.ndarray | None = None,
+    X_pending: np.ndarray | None = None,
+    evaluated: list[dict[str, Any]] | None = None,
+    X_failed: np.ndarray | None = None,
+    p_feasible: Callable[[np.ndarray], np.ndarray] | None = None,
+    feasible: Callable[[dict[str, Any]], bool] | None = None,
+    lie: str = "cl-min",
+    options: SearchOptions | None = None,
+) -> list[dict[str, Any]]:
+    """Propose ``q`` diverse configurations for parallel evaluation.
+
+    Sequential fantasizing: each pick is the :func:`search_next` argmax
+    under a surrogate conditioned on *fantasy observations* at every
+    point already in flight — the ``X_pending`` rows plus the picks made
+    earlier in this call.  When ``gp`` is a fitted
+    :class:`~repro.core.gp.GaussianProcess` the fantasies are exact
+    conditioning via its O(n^2) rank-1 :meth:`update` (restored before
+    returning, so the caller's model is untouched).  For surrogates
+    without an update path (combined TLA predictors) the fallback damps
+    the acquisition around in-flight points instead
+    (:class:`~repro.core.acquisition.PendingPenalty`).
+
+    ``lie`` selects the fantasy value: ``cl-min`` / ``cl-mean`` /
+    ``cl-max`` (constant liar on the observed minimum/mean/maximum) or
+    ``kb`` (kriging believer, the posterior mean).
+    """
+    if q < 1:
+        raise ValueError("q must be >= 1")
+    evaluated = list(evaluated or [])
+    X_pending = (
+        np.empty((0, space.dim))
+        if X_pending is None
+        else np.atleast_2d(np.asarray(X_pending, dtype=float))
+    )
+    use_gp = (
+        gp is not None
+        and getattr(gp, "fitted", False)
+        and y_obs is not None
+        and np.asarray(y_obs).size > 0
+    )
+    proposals: list[dict[str, Any]] = []
+    if not use_gp:
+        # model-agnostic fallback: penalize in-flight neighborhoods
+        pend = X_pending
+        for _ in range(q):
+            acq = PendingPenalty(acquisition, pend if pend.shape[0] else None)
+            config = search_next(
+                predict,
+                space,
+                acq,
+                rng,
+                X_obs=X_obs,
+                evaluated=evaluated + proposals,
+                X_failed=X_failed,
+                p_feasible=p_feasible,
+                feasible=feasible,
+                options=options,
+            )
+            proposals.append(config)
+            pend = np.vstack([pend, space.to_unit_array([config])])
+        return proposals
+
+    y_obs = np.asarray(y_obs, dtype=float).ravel()
+    saved_state = gp._state
+    n_fantasies = 0
+    try:
+        if X_pending.shape[0]:
+            lies = [_lie_value(lie, gp.predict, u, y_obs) for u in X_pending]
+            try:
+                gp.update(X_pending, np.asarray(lies))
+                n_fantasies += X_pending.shape[0]
+            except Exception:  # degenerate fantasy: fall back to penalties
+                gp._state = saved_state
+                return propose_batch(
+                    predict, space, acquisition, rng, q=q, X_obs=X_obs,
+                    y_obs=y_obs, X_pending=X_pending, evaluated=evaluated,
+                    X_failed=X_failed, p_feasible=p_feasible,
+                    feasible=feasible, lie=lie, options=options,
+                )
+        X_aug = np.vstack([X_obs, X_pending]) if X_obs is not None else X_pending
+        for i in range(q):
+            config = search_next(
+                gp.predict,
+                space,
+                acquisition,
+                rng,
+                X_obs=X_aug if X_aug.shape[0] else None,
+                evaluated=evaluated + proposals,
+                X_failed=X_failed,
+                p_feasible=p_feasible,
+                feasible=feasible,
+                options=options,
+            )
+            proposals.append(config)
+            if i + 1 == q:
+                break  # no fantasy needed after the last pick
+            u = space.to_unit_array([config])
+            try:
+                gp.update(u, np.array([_lie_value(lie, gp.predict, u[0], y_obs)]))
+                n_fantasies += 1
+            except Exception:
+                break  # keep the picks made so far; stop fantasizing
+            X_aug = np.vstack([X_aug, u])
+        if len(proposals) < q:
+            # finish the batch with penalty-based picks
+            pend = np.vstack([X_pending, space.to_unit_array(proposals)]) if (
+                X_pending.shape[0] or proposals
+            ) else None
+            for _ in range(q - len(proposals)):
+                acq = PendingPenalty(acquisition, pend)
+                config = search_next(
+                    predict, space, acq, rng, X_obs=X_obs,
+                    evaluated=evaluated + proposals, X_failed=X_failed,
+                    p_feasible=p_feasible, feasible=feasible, options=options,
+                )
+                proposals.append(config)
+                u = space.to_unit_array([config])
+                pend = u if pend is None else np.vstack([pend, u])
+    finally:
+        # the fantasies must never leak into the caller's model
+        gp._state = saved_state
+        gp._factor_cache.clear()
+        gp._mle_best = None
+    if n_fantasies:
+        perf.incr("fantasy_updates", n_fantasies)
+    return proposals

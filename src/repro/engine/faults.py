@@ -1,0 +1,98 @@
+"""Fault injection and retry policy for the asynchronous engine.
+
+Real crowd tuning loses evaluations: nodes die, jobs hit their wall
+time, file systems hiccup.  The engine simulates those failure modes so
+the recovery paths (bounded retry with exponential backoff, failure
+records feeding the feasibility model) are continuously exercised.
+
+Determinism contract: :class:`FaultInjector` decides crashes by hashing
+``(seed, job_id, attempt)`` — *never* from wall-clock or thread timing —
+so a run with a fixed seed injects exactly the same faults regardless of
+worker interleaving.  :class:`ScriptedFaults` pins specific
+``(job_id, attempt)`` pairs for regression tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Protocol
+
+__all__ = ["FaultInjector", "RetryPolicy", "ScriptedFaults", "WorkerCrash"]
+
+
+class WorkerCrash(RuntimeError):
+    """A simulated worker death mid-evaluation."""
+
+
+class FaultSource(Protocol):  # pragma: no cover - typing helper
+    def should_crash(self, worker_id: int, job_id: int, attempt: int) -> bool: ...
+
+
+class FaultInjector:
+    """Pseudo-random but timing-independent worker crashes.
+
+    ``rate`` is the per-attempt crash probability.  The decision for a
+    given ``(job_id, attempt)`` is a pure function of the seed, so the
+    same tuning run injects the same faults no matter which worker picks
+    the job up or how threads interleave.
+    """
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"crash rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.seed = int(seed)
+
+    def should_crash(self, worker_id: int, job_id: int, attempt: int) -> bool:
+        if self.rate <= 0.0:
+            return False
+        blob = f"{self.seed}:{job_id}:{attempt}".encode()
+        digest = hashlib.sha256(blob).digest()
+        draw = int.from_bytes(digest[:8], "little") / 2**64
+        return draw < self.rate
+
+
+class ScriptedFaults:
+    """Crash exactly the scripted ``(job_id, attempt)`` pairs (tests)."""
+
+    def __init__(self, crashes: Iterable[tuple[int, int]]) -> None:
+        self.crashes = {(int(j), int(a)) for j, a in crashes}
+        self.triggered: list[tuple[int, int]] = []
+
+    def should_crash(self, worker_id: int, job_id: int, attempt: int) -> bool:
+        if (job_id, attempt) in self.crashes:
+            self.triggered.append((job_id, attempt))
+            return True
+        return False
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retry with exponential backoff.
+
+    A crashed or timed-out evaluation is retried up to ``max_retries``
+    times; retry ``k`` waits ``base_s * factor**k`` (capped at
+    ``cap_s``) before re-executing.  The backoff is charged to the
+    worker that picks the retry up, not to the event loop, so other
+    in-flight evaluations keep completing during the wait.
+    """
+
+    max_retries: int = 2
+    base_s: float = 0.01
+    factor: float = 2.0
+    cap_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_s < 0 or self.cap_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+
+    def allows(self, attempt: int) -> bool:
+        """Whether attempt index ``attempt`` (0-based) may be retried."""
+        return attempt < self.max_retries
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before re-running a job that failed on ``attempt``."""
+        return min(self.cap_s, self.base_s * self.factor**attempt)

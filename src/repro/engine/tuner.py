@@ -1,0 +1,312 @@
+"""Asynchronous batched Bayesian-optimization tuning.
+
+:class:`AsyncTuner` keeps a :class:`~repro.engine.pool.WorkerPool`
+saturated: whenever workers are idle it proposes new configurations —
+conditioned on *fantasy observations* at every evaluation still in
+flight (:func:`repro.core.optimizer.propose_batch`) so concurrent
+proposals stay diverse — and folds results into the surrogate in
+completion order through the incremental ``GaussianProcess.update``
+path.  Crashed or timed-out evaluations are retried with exponential
+backoff up to the retry budget, then recorded as *failures* in the
+history, where they feed the KNN feasibility model and (via callbacks
+such as :class:`~repro.engine.stream.CrowdStreamer`) the crowd
+repository — exactly how the paper's database treats bad
+configurations.
+
+With one worker and no faults the engine degenerates to the sequential
+loop: propose, wait, fold, repeat — and reproduces
+:class:`~repro.core.tuner.Tuner` trajectories bit-for-bit (a regression
+test pins this), so every speedup measured by
+``benchmarks/bench_async.py`` is pure overlap, not a different
+algorithm.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core import perf
+from ..core.history import History
+from ..core.optimizer import LIE_STRATEGIES, propose_batch
+from ..core.problem import Evaluation, TuningProblem
+from ..core.tuner import EvaluationCallback, Tuner, TunerOptions, TuningResult
+from ..hpc.scheduler import SlurmSim
+from .faults import FaultInjector, FaultSource, RetryPolicy
+from .pool import WorkerPool
+
+__all__ = ["AsyncTuner", "EngineOptions"]
+
+
+@dataclass
+class EngineOptions:
+    """Controls for the asynchronous engine.
+
+    Latency simulation maps the application's *modeled* runtime onto
+    wall time: an evaluation whose objective is ``y`` occupies its
+    worker for ``base_latency_s + latency_scale * max(y, 0)`` seconds
+    (failures cost ``failure_latency_s``).  With the default scales of 0
+    the engine runs as fast as the objective computes — unit tests stay
+    instant, benchmarks dial in realistic latencies.
+    """
+
+    n_workers: int = 4
+    #: max proposals per refill round (the ``q`` of batch proposal)
+    batch: int = 1
+    #: fantasy strategy for in-flight evaluations (see LIE_STRATEGIES)
+    lie: str = "cl-min"
+    #: simulated seconds per unit of objective output
+    latency_scale: float = 0.0
+    #: fixed simulated seconds per evaluation
+    base_latency_s: float = 0.0
+    #: simulated seconds charged to failed evaluations
+    failure_latency_s: float = 0.0
+    #: log-normal sigma of per-worker speed factors
+    heterogeneity: float = 0.0
+    #: per-evaluation simulated-latency ceiling (None = no timeout)
+    timeout_s: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: probability a worker dies mid-evaluation (per attempt)
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+    #: nodes each worker sallocs from the shared SlurmSim (when given)
+    nodes_per_worker: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.lie not in LIE_STRATEGIES:
+            raise ValueError(f"lie must be one of {LIE_STRATEGIES}, got {self.lie!r}")
+
+
+class AsyncTuner(Tuner):
+    """Asynchronous batched NoTLA tuner over a simulated worker pool.
+
+    Parameters
+    ----------
+    problem:
+        The tuning problem to minimize.
+    options:
+        BO-loop controls (shared with the sequential tuner).
+    engine:
+        Engine controls: workers, batch size, latencies, faults.
+    callbacks:
+        Called with every completed :class:`Evaluation` *in completion
+        order* from the event-loop thread (thread-safe to mutate local
+        state; the crowd streamer uploads records here).
+    scheduler:
+        Optional shared :class:`SlurmSim` the workers allocate from.
+    fault_injector:
+        Overrides the ``engine.fault_rate``-derived injector (tests use
+        :class:`~repro.engine.faults.ScriptedFaults`).
+    """
+
+    name = "AsyncNoTLA"
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        options: TunerOptions | None = None,
+        engine: EngineOptions | None = None,
+        callbacks: list[EvaluationCallback] | None = None,
+        *,
+        scheduler: SlurmSim | None = None,
+        fault_injector: FaultSource | None = None,
+    ) -> None:
+        super().__init__(problem, options, callbacks)
+        self.engine = engine or EngineOptions()
+        self.scheduler = scheduler
+        if fault_injector is None and self.engine.fault_rate > 0.0:
+            fault_injector = FaultInjector(self.engine.fault_rate, self.engine.fault_seed)
+        self.fault_injector = fault_injector
+
+    # -- latency model -----------------------------------------------------
+    def _latency_fn(self):
+        eng = self.engine
+        if eng.latency_scale <= 0 and eng.base_latency_s <= 0 and (
+            eng.failure_latency_s <= 0
+        ):
+            return None
+
+        def latency(evaluation: Evaluation) -> float:
+            if evaluation.failed:
+                return eng.failure_latency_s
+            return eng.base_latency_s + eng.latency_scale * max(evaluation.output, 0.0)
+
+        return latency
+
+    # -- main loop ---------------------------------------------------------
+    def tune(
+        self,
+        task: Mapping[str, Any],
+        n_samples: int,
+        *,
+        seed: int | None = None,
+        history: History | None = None,
+    ) -> TuningResult:
+        """Run ``n_samples`` evaluations on ``task`` across the pool.
+
+        Budget semantics match the sequential tuner: every *resolved*
+        evaluation (success, objective failure, or a crash/timeout that
+        exhausted its retries) consumes one sample; retries of the same
+        job do not.  An existing ``history`` continues a previous run —
+        its evaluations feed the surrogate but not the budget.
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        self.problem.input_space.validate(task)
+        rng = np.random.default_rng(seed)
+        hist = history if history is not None else History(task, self.problem.parameter_space)
+        self._prepare(task, rng)
+        eng = self.engine
+
+        evaluate = lambda cfg: self.problem.evaluate(task, cfg)
+        pool = WorkerPool(
+            evaluate,
+            eng.n_workers,
+            latency_fn=self._latency_fn(),
+            scheduler=self.scheduler,
+            nodes_per_worker=eng.nodes_per_worker,
+            heterogeneity=eng.heterogeneity,
+            fault_injector=self.fault_injector,
+            timeout_s=eng.timeout_s,
+            seed=seed,
+        )
+        pending: dict[int, dict[str, Any]] = {}  # job_id -> config
+        completed = 0
+        t0 = time.perf_counter()
+        with perf.collect() as stats, pool:
+
+            def refill() -> None:
+                while (
+                    completed + len(pending) < n_samples
+                    and pool.inflight < eng.n_workers
+                ):
+                    k = min(
+                        eng.batch,
+                        eng.n_workers - pool.inflight,
+                        n_samples - completed - len(pending),
+                    )
+                    with perf.timer("propose"):
+                        configs = self._propose_batch(hist, rng, k, list(pending.values()))
+                    if not configs:
+                        return
+                    for cfg in configs:
+                        pending[pool.submit(cfg)] = cfg
+                    perf.gauge("engine_pending_fantasies", len(pending))
+
+            refill()
+            while completed < n_samples:
+                try:
+                    outcome = pool.get(timeout=60.0)
+                except queue.Empty:  # pragma: no cover - watchdog
+                    raise RuntimeError(
+                        f"engine stalled: {len(pending)} evaluations pending, "
+                        f"{completed}/{n_samples} completed"
+                    )
+                job = outcome.job
+                if outcome.error in ("crash", "timeout") and eng.retry.allows(job.attempt):
+                    perf.incr("engine_retries")
+                    pool.resubmit(job, delay_s=eng.retry.backoff_s(job.attempt))
+                    continue
+                evaluation = outcome.evaluation
+                if evaluation is None:
+                    # retries exhausted (or a hard error): a crowd-style
+                    # failure record — consumes budget, feeds feasibility
+                    evaluation = Evaluation(
+                        dict(task),
+                        dict(job.config),
+                        None,
+                        {"failure": outcome.error or "unknown"},
+                    )
+                evaluation.metadata.update(outcome.metadata)
+                evaluation.metadata["attempts"] = job.attempt + 1
+                pending.pop(job.job_id, None)
+                hist.append(evaluation)
+                completed += 1
+                for cb in self.callbacks:
+                    cb(evaluation)
+                refill()
+            wall = time.perf_counter() - t0
+            perf.gauge("engine_worker_utilization", pool.utilization(wall))
+            perf.gauge("engine_wall_s", wall)
+        return TuningResult(
+            problem_name=self.problem.name,
+            tuner_name=self.name,
+            task=dict(task),
+            history=hist,
+            seed=seed,
+            perf=stats.snapshot(),
+        )
+
+    # -- proposal ----------------------------------------------------------
+    def _propose_batch(
+        self,
+        hist: History,
+        rng: np.random.Generator,
+        k: int,
+        pending_configs: list[dict[str, Any]],
+    ) -> list[dict[str, Any]]:
+        """``k`` fresh configurations, fantasy-conditioned on ``pending``."""
+        space = self.problem.parameter_space
+        sampler = self.options.make_sampler()
+        evaluated = hist.configs() + pending_configs
+        if hist.n_successes < self.options.n_initial:
+            out = []
+            for _ in range(k):
+                cfg = self._initial_sample(sampler, evaluated + [], rng)
+                out.append(cfg)
+                evaluated.append(cfg)
+            return out
+        with perf.timer("surrogate"):
+            predict = self._model(hist, rng)
+        if predict is None:  # modeling failed: random fallback
+            out = []
+            for _ in range(k):
+                cfg = self._initial_sample(sampler, evaluated, rng)
+                out.append(cfg)
+                evaluated.append(cfg)
+            return out
+        X_obs, y_obs = hist.arrays()
+        X_failed = hist.failed_array()
+        p_feasible = self._feasibility_model(X_obs, X_failed)
+        gp = self._gp if (
+            self._gp is not None and getattr(predict, "__self__", None) is self._gp
+        ) else None
+        X_pending = (
+            space.to_unit_array(pending_configs) if pending_configs else None
+        )
+        with perf.timer("search"):
+            return propose_batch(
+                predict,
+                space,
+                self.options.acquisition,
+                rng,
+                q=k,
+                gp=gp,
+                X_obs=X_obs,
+                y_obs=y_obs,
+                X_pending=X_pending,
+                evaluated=evaluated,
+                X_failed=X_failed,
+                p_feasible=p_feasible,
+                feasible=self._feasible,
+                lie=self.engine.lie,
+                options=self.options.search,
+            )
+
+    def _initial_sample(self, sampler, evaluated, rng) -> dict[str, Any]:
+        """A fresh random configuration avoiding all known/pending ones."""
+        config = None
+        for _ in range(50):
+            batch = sampler.sample(self.problem.parameter_space, 1, rng, exclude=evaluated)
+            config = batch[0] if batch else self.problem.parameter_space.sample(rng)
+            if self._feasible(config):
+                return config
+        return config

@@ -93,9 +93,17 @@ class SlurmSim:
         return job
 
     def release(self, job: SlurmJob) -> None:
-        """Return the job's nodes to the free pool."""
-        if job.job_id not in self._jobs:
-            raise KeyError(f"unknown or already released job {job.job_id}")
+        """Return the job's nodes to the free pool.
+
+        Raises :class:`AllocationError` for a job this scheduler never
+        granted (or granted and already released) — double-releasing
+        would silently corrupt the free pool under the engine's
+        concurrent workers.
+        """
+        if self._jobs.get(job.job_id) is not job:
+            raise AllocationError(
+                f"unknown or already released job {job.job_id}"
+            )
         del self._jobs[job.job_id]
         for name in job.nodelist:
             self._free.add(int(name[len(self.node_prefix):]) - 5000)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 from repro.core import perf
 from repro.core.perf import PerfStats
 
@@ -109,3 +111,79 @@ class TestTimers:
             with perf.timer("other"):
                 pass
         assert "other" in stats.snapshot()["timers"]  # not "outer.other"
+
+
+class TestGauges:
+    def test_gauge_tracks_last_max_mean(self):
+        s = PerfStats()
+        for v in (2.0, 6.0, 4.0):
+            s.gauge("queue_depth", v)
+        g = s.snapshot()["gauges"]["queue_depth"]
+        assert g["last"] == 4.0
+        assert g["max"] == 6.0
+        assert g["mean"] == 4.0
+
+    def test_module_gauge_reaches_collectors(self):
+        with perf.collect() as stats:
+            perf.gauge("utilization", 0.5)
+        assert stats.snapshot()["gauges"]["utilization"]["last"] == 0.5
+
+    def test_format_mentions_gauges(self):
+        s = PerfStats()
+        s.gauge("queue_depth", 3.0)
+        assert "queue_depth" in s.format()
+
+    def test_no_gauges_key_when_empty(self):
+        assert "gauges" not in PerfStats().snapshot()
+
+
+class TestThreadSafety:
+    def test_concurrent_counters_exact(self):
+        """Unguarded dict read-modify-write would drop increments."""
+        s = PerfStats()
+        n_threads, n_incr = 8, 2000
+
+        def work():
+            for _ in range(n_incr):
+                s.incr("hits")
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert s.counters["hits"] == n_threads * n_incr
+
+    def test_concurrent_module_events_reach_collector(self):
+        with perf.collect() as stats:
+            threads = [
+                threading.Thread(target=lambda: [perf.incr("evals") for _ in range(500)])
+                for _ in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert stats.snapshot()["counters"]["evals"] == 3000
+
+    def test_timer_paths_are_thread_local(self):
+        """A worker's open timer must not prefix another thread's names."""
+        inner_started = threading.Event()
+        release = threading.Event()
+
+        def slow_timer():
+            with perf.timer("worker"):
+                inner_started.set()
+                release.wait(timeout=5.0)
+
+        with perf.collect() as stats:
+            t = threading.Thread(target=slow_timer)
+            t.start()
+            inner_started.wait(timeout=5.0)
+            with perf.timer("mainloop"):
+                pass
+            release.set()
+            t.join()
+        timers = stats.snapshot()["timers"]
+        assert "mainloop" in timers  # not "worker.mainloop"
+        assert "worker" in timers

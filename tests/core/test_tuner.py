@@ -69,6 +69,45 @@ class TestTunerBasics:
         second = t.tune({"t": 1}, 5, seed=1, history=first.history)
         assert second.n_evaluations == 10
 
+    def test_continuation_feeds_surrogate_without_consuming_budget(
+        self, quadratic_problem
+    ):
+        """Prior evaluations skip the random phase but cost no budget.
+
+        Regression for the ``tune(history=...)`` contract: the second
+        run must (a) add exactly ``n_samples`` new evaluations on top of
+        the carried-over ones, and (b) start model-guided immediately —
+        the carried history already satisfies ``n_initial``, so no new
+        random-design evaluations happen.
+        """
+        opts = TunerOptions(n_initial=3)
+        first = Tuner(quadratic_problem, opts).tune({"t": 1}, 5, seed=0)
+        assert first.history.n_successes >= opts.n_initial
+        carried = len(first.history)
+
+        t2 = Tuner(quadratic_problem, opts)
+        second = t2.tune({"t": 1}, 4, seed=1, history=first.history)
+        # (a) budget: exactly 4 new evaluations appended in place
+        assert second.history is first.history
+        assert second.n_evaluations == carried + 4
+        # (b) every continuation iteration fit the surrogate — none fell
+        # back to the initial random design
+        assert second.perf["counters"].get("gp_fits", 0) >= 1
+        n_modeled = second.perf["counters"].get("gp_fits", 0) + second.perf[
+            "counters"
+        ].get("gp_model_reuses", 0) + second.perf["counters"].get(
+            "gp_incremental_updates", 0
+        )
+        assert n_modeled >= 4
+
+    def test_continuation_uses_prior_best(self, quadratic_problem):
+        """The continued run's best-so-far starts from the prior best."""
+        t = Tuner(quadratic_problem)
+        first = t.tune({"t": 1}, 6, seed=0)
+        prior_best = first.best_output
+        second = t.tune({"t": 1}, 3, seed=1, history=first.history)
+        assert second.best_output <= prior_best
+
     def test_result_summary(self, quadratic_problem):
         res = Tuner(quadratic_problem).tune({"t": 1}, 5, seed=0)
         s = res.summary()

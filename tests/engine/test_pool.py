@@ -1,0 +1,175 @@
+"""Tests for the worker pool: threading, latency, timeouts, allocations."""
+
+from __future__ import annotations
+
+import queue
+import time
+
+import pytest
+
+from repro.core import perf
+from repro.core.problem import Evaluation
+from repro.engine import EvalJob, ScriptedFaults, WorkerPool
+from repro.hpc import SlurmSim, cori_haswell
+
+
+def make_eval(config):
+    return Evaluation({"t": 1}, dict(config), config["x"] * 2.0)
+
+
+def drain(pool, n, timeout=10.0):
+    return [pool.get(timeout=timeout) for _ in range(n)]
+
+
+class TestLifecycle:
+    def test_submit_and_collect(self):
+        with WorkerPool(make_eval, 2) as pool:
+            ids = [pool.submit({"x": float(i)}) for i in range(6)]
+            assert ids == list(range(6))
+            outcomes = drain(pool, 6)
+        assert {o.job.job_id for o in outcomes} == set(range(6))
+        assert all(o.ok for o in outcomes)
+        assert all(o.evaluation.output == o.job.config["x"] * 2.0 for o in outcomes)
+        assert pool.inflight == 0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(make_eval, 0)
+
+    def test_close_idempotent(self):
+        pool = WorkerPool(make_eval, 2).start()
+        pool.close()
+        pool.close()
+
+    def test_objective_exception_reported_not_raised(self):
+        def boom(config):
+            raise RuntimeError("kaboom")
+
+        with WorkerPool(boom, 1) as pool:
+            pool.submit({"x": 1.0})
+            out = pool.get(timeout=5.0)
+        assert out.evaluation is None
+        assert out.error.startswith("error:")
+
+
+class TestSlurmIntegration:
+    def test_workers_hold_allocations_for_lifetime(self):
+        sim = SlurmSim(cori_haswell(16))
+        pool = WorkerPool(make_eval, 4, scheduler=sim, nodes_per_worker=2)
+        assert sim.free_nodes == 16
+        with pool:
+            assert sim.free_nodes == 8
+            pool.submit({"x": 1.0})
+            out = pool.get(timeout=5.0)
+            assert out.metadata["nodelist"].startswith("nid")
+            assert out.metadata["slurm_job_id"] == pool.allocation(out.worker_id).job_id
+        assert sim.free_nodes == 16  # all released on close
+
+    def test_cluster_too_small(self):
+        sim = SlurmSim(cori_haswell(4))
+        from repro.hpc import AllocationError
+
+        with pytest.raises(AllocationError):
+            WorkerPool(make_eval, 8, scheduler=sim, nodes_per_worker=1).start()
+
+
+class TestLatency:
+    def test_parallel_speedup(self):
+        latency = lambda ev: 0.08
+        n = 4
+
+        def run(workers):
+            t0 = time.perf_counter()
+            with WorkerPool(make_eval, workers, latency_fn=latency) as pool:
+                for i in range(n):
+                    pool.submit({"x": float(i)})
+                drain(pool, n)
+            return time.perf_counter() - t0
+
+        serial = run(1)
+        parallel = run(4)
+        assert serial > 4 * 0.08 * 0.9
+        assert parallel < serial / 1.5
+
+    def test_latency_recorded_in_metadata(self):
+        with WorkerPool(make_eval, 1, latency_fn=lambda ev: 0.03) as pool:
+            pool.submit({"x": 1.0})
+            out = pool.get(timeout=5.0)
+        assert out.latency_s == pytest.approx(0.03)
+        assert out.metadata["latency_s"] == pytest.approx(0.03)
+
+    def test_heterogeneous_workers_have_distinct_speeds(self):
+        pool = WorkerPool(make_eval, 8, heterogeneity=0.5, seed=7)
+        assert len(set(pool._speeds)) > 1
+        pool2 = WorkerPool(make_eval, 8, heterogeneity=0.5, seed=7)
+        assert pool._speeds == pool2._speeds  # seeded => reproducible
+
+
+class TestTimeouts:
+    def test_slow_evaluation_times_out(self):
+        with WorkerPool(
+            make_eval, 1, latency_fn=lambda ev: 10.0, timeout_s=0.05
+        ) as pool:
+            with perf.collect() as stats:
+                pool.submit({"x": 1.0})
+                out = pool.get(timeout=5.0)
+        assert out.error == "timeout"
+        assert out.evaluation is None
+        assert stats.counters["engine_timeouts"] == 1
+
+    def test_fast_evaluation_unaffected(self):
+        with WorkerPool(
+            make_eval, 1, latency_fn=lambda ev: 0.01, timeout_s=1.0
+        ) as pool:
+            pool.submit({"x": 1.0})
+            assert pool.get(timeout=5.0).ok
+
+
+class TestRetryPlumbing:
+    def test_resubmit_increments_attempt_and_delays(self):
+        faults = ScriptedFaults({(0, 0)})
+        with WorkerPool(make_eval, 1, fault_injector=faults) as pool:
+            pool.submit({"x": 1.0})
+            out = pool.get(timeout=5.0)
+            assert out.error == "crash"
+            t0 = time.monotonic()
+            pool.resubmit(out.job, delay_s=0.05)
+            out2 = pool.get(timeout=5.0)
+            waited = time.monotonic() - t0
+        assert out2.ok
+        assert out2.job.attempt == 1
+        assert out2.job.job_id == out.job.job_id
+        assert waited >= 0.04
+
+    def test_shutdown_interrupts_backoff(self):
+        """Closing the pool must not wait out long retry delays."""
+        pool = WorkerPool(make_eval, 1).start()
+        pool.resubmit(EvalJob(0, {"x": 1.0}), delay_s=30.0)
+        t0 = time.perf_counter()
+        pool.close()
+        assert time.perf_counter() - t0 < 5.0
+
+
+class TestInstrumentation:
+    def test_perf_counters_and_gauges(self):
+        with perf.collect() as stats:
+            with WorkerPool(make_eval, 2, latency_fn=lambda ev: 0.02) as pool:
+                for i in range(4):
+                    pool.submit({"x": float(i)})
+                drain(pool, 4)
+        snap = stats.snapshot()
+        assert snap["counters"]["engine_evaluations"] == 4
+        assert "engine_queue_depth" in snap["gauges"]
+
+    def test_utilization_bounds(self):
+        with WorkerPool(make_eval, 2, latency_fn=lambda ev: 0.03) as pool:
+            for i in range(4):
+                pool.submit({"x": float(i)})
+            drain(pool, 4)
+            assert 0.0 < pool.utilization(10.0) <= 1.0
+        assert pool.utilization(0.0) == 0.0
+
+    def test_queue_empty_raised_on_get_timeout(self):
+        with WorkerPool(make_eval, 1) as pool:
+            with pytest.raises(queue.Empty):
+                pool.get(timeout=0.05)

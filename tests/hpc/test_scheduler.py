@@ -48,8 +48,33 @@ class TestAllocation:
         job = sim.salloc(8)
         sim.release(job)
         assert sim.free_nodes == 16
-        with pytest.raises(KeyError):
+
+    def test_double_release_rejected(self, sim):
+        job = sim.salloc(8)
+        sim.release(job)
+        with pytest.raises(AllocationError):
             sim.release(job)
+        assert sim.free_nodes == 16  # pool not corrupted by the attempt
+
+    def test_foreign_job_rejected(self, sim):
+        """A job granted by a different scheduler must not free nodes here."""
+        other = SlurmSim(cori_haswell(16))
+        foreign = other.salloc(4)
+        sim.salloc(4)  # occupy the same job-id counter position
+        with pytest.raises(AllocationError):
+            sim.release(foreign)
+        assert sim.free_nodes == 12
+
+    def test_release_roundtrip_preserves_nodelist_compression(self, sim):
+        """Allocate, release, reallocate: same nodes, same compressed list."""
+        first = sim.salloc(8)
+        compressed = first.environment()["SLURM_JOB_NODELIST"]
+        assert compressed == "nid[05000-05007]"
+        sim.release(first)
+        assert sim.free_nodes == 16
+        again = sim.salloc(8)
+        assert again.nodelist == first.nodelist
+        assert again.environment()["SLURM_JOB_NODELIST"] == compressed
 
     def test_job_ids_unique(self, sim):
         a = sim.salloc(1)

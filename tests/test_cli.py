@@ -62,6 +62,28 @@ class TestCommands:
         assert rc == 0
         assert '"tuner": "Stacking"' in capsys.readouterr().out
 
+    def test_tune_async_workers(self, capsys):
+        rc = main(
+            [
+                "tune", "--app", "demo", "--samples", "6",
+                "--workers", "4", "--batch", "2", "--seed", "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[: out.index("best-so-far")])
+        assert payload["tuner"] == "AsyncNoTLA"
+        assert payload["n_evaluations"] == 6
+
+    def test_tune_workers_conflicts_with_tla(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "tune", "--app", "demo", "--samples", "3",
+                    "--workers", "4", "--tla", "stacking",
+                ]
+            )
+
     def test_tune_custom_task(self, capsys):
         rc = main(
             ["tune", "--app", "demo", "--samples", "2", "--task", '{"t": 2.5}']
