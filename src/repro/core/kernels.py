@@ -117,10 +117,10 @@ class RBF(Kernel):
         n = X.shape[0]
         G = np.empty((self.n_params, n, n))
         G[0] = K  # d/d log(variance)
-        for j in range(self.dim):
-            diff = X[:, j][:, None] - X[:, j][None, :]
-            # d/d log(ls_j) = K * d_j^2 / ls_j^2
-            G[1 + j] = K * (diff / self.lengthscales[j]) ** 2
+        # d/d log(ls_j) = K * d_j^2 / ls_j^2, all dims in one broadcast
+        diff = (X[:, None, :] - X[None, :, :]) / self.lengthscales
+        G[1:] = np.moveaxis(diff * diff, -1, 0)
+        G[1:] *= K
         return G
 
 

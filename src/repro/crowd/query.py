@@ -94,17 +94,31 @@ def _space_entry_clauses(entry: Mapping[str, Any], prefix: str) -> list[dict]:
 
 def _machine_clause(machine: Mapping[str, Any]) -> dict[str, Any]:
     """One machine_configurations entry, e.g.
-    ``{"Cori": {"haswell": {"nodes": 1, "cores": 32}}}``."""
-    clause: dict[str, Any] = {}
+    ``{"Cori": {"haswell": {"nodes": 1, "cores": 32}}}``.
+
+    An entry naming several partitions (or several machines) means "any
+    of these", so each (machine, partition) pair becomes its own clause
+    and the result is their ``$or`` — a single flat dict would silently
+    keep only the last partition's keys.
+    """
+    subclauses: list[dict[str, Any]] = []
     for machine_name, partitions in machine.items():
-        clause["machine_configuration.machine_name"] = machine_name
-        if isinstance(partitions, Mapping):
+        base = {"machine_configuration.machine_name": machine_name}
+        if isinstance(partitions, Mapping) and partitions:
             for partition, details in partitions.items():
+                clause = dict(base)
                 clause["machine_configuration.partition"] = partition
                 if isinstance(details, Mapping):
                     for key, value in details.items():
                         clause[f"machine_configuration.{key}"] = value
-    return clause
+                subclauses.append(clause)
+        else:
+            subclauses.append(base)
+    if not subclauses:
+        return {}
+    if len(subclauses) == 1:
+        return subclauses[0]
+    return {"$or": subclauses}
 
 
 def _software_clauses(sw: Mapping[str, Any]) -> list[dict]:

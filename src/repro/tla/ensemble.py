@@ -46,16 +46,32 @@ def exploration_rate(n_algorithms: int, n_parameters: int, n_samples: int) -> fl
     return ratio / (1.0 + ratio)
 
 
-def _default_pool(**kwargs) -> list[TLAStrategy]:
-    return [MultitaskTS(**kwargs), WeightedSumDynamic(**kwargs), Stacking(**kwargs)]
+def _default_pool(multitask_kwargs=None, **kwargs) -> list[TLAStrategy]:
+    """The paper's default pool.  ``multitask_kwargs`` reach only the LCM
+    member (e.g. ``lcm_n_restarts``, ``refit_every``), so the fast-LCM
+    controls can be tuned without breaking the GP-only strategies."""
+    return [
+        MultitaskTS(**{**kwargs, **(multitask_kwargs or {})}),
+        WeightedSumDynamic(**kwargs),
+        Stacking(**kwargs),
+    ]
 
 
 class _EnsembleBase(TLAStrategy):
     """Shared pool management and per-algorithm best-output tracking."""
 
-    def __init__(self, pool: list[TLAStrategy] | None = None, **kwargs) -> None:
+    def __init__(
+        self,
+        pool: list[TLAStrategy] | None = None,
+        multitask_kwargs=None,
+        **kwargs,
+    ) -> None:
         super().__init__(**kwargs)
-        self.pool = pool if pool is not None else _default_pool(**kwargs)
+        self.pool = (
+            pool
+            if pool is not None
+            else _default_pool(multitask_kwargs=multitask_kwargs, **kwargs)
+        )
         if not self.pool:
             raise ValueError("ensemble pool must not be empty")
         self.best_outputs: list[float] = [math.inf] * len(self.pool)

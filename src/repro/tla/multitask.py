@@ -33,7 +33,13 @@ __all__ = ["MultitaskPS", "MultitaskTS"]
 
 
 class _MultitaskBase(TLAStrategy):
-    """Shared LCM plumbing: warm-started refits, target-task prediction."""
+    """Shared LCM plumbing: warm-started refits, target-task prediction.
+
+    Between ``refit_every`` boundaries hyperparameters are frozen, and a
+    step that only *appends* observations (the target's new sample; PS's
+    pseudo samples) skips the O(n^3) refactorization entirely: the cached
+    LCM grows its joint Cholesky incrementally (:meth:`LCM.update_many`).
+    """
 
     def __init__(
         self,
@@ -42,6 +48,8 @@ class _MultitaskBase(TLAStrategy):
         lcm_max_fun: int = 50,
         refit_every: int = 1,
         max_source_samples: int | None = 150,
+        lcm_n_restarts: int = 0,
+        lcm_n_jobs: int | None = None,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
@@ -49,6 +57,8 @@ class _MultitaskBase(TLAStrategy):
         self.lcm_max_fun = lcm_max_fun
         self.refit_every = max(int(refit_every), 1)
         self.max_source_samples = max_source_samples
+        self.lcm_n_restarts = int(lcm_n_restarts)
+        self.lcm_n_jobs = lcm_n_jobs
         self._lcm: LCM | None = None
         self._iteration = 0
 
@@ -59,26 +69,44 @@ class _MultitaskBase(TLAStrategy):
         rng: np.random.Generator,
     ) -> PredictFn | None:
         n_tasks = len(source_sets) + 1
+        target_index = n_tasks - 1
         dim = target.dim if target.n else source_sets[0][0].shape[1]
         refit = self._lcm is None or (self._iteration % self.refit_every == 0)
         self._iteration += 1
+        seed = int(rng.integers(0, 2**31 - 1))
+        datasets = source_sets + [(target.X, target.y)]
+
+        if not refit and self._lcm is not None:
+            # hyperparameters are frozen this iteration; if the datasets
+            # only grew by appended rows, grow the cached factorization
+            # instead of refactorizing the full joint covariance
+            appends = self._lcm.extends_fitted(datasets)
+            if appends is not None:
+                lcm = self._lcm
+                try:
+                    lcm.update_many(appends)
+                except (LCMFitError, ValueError):
+                    pass  # fall through to the full (non-optimizing) fit
+                else:
+                    return lambda X: lcm.predict(target_index, X)
+
         lcm = LCM(
             n_tasks,
             dim,
             n_latent=self.n_latent,
             optimize=refit,
             max_fun=self.lcm_max_fun,
-            seed=int(rng.integers(0, 2**31 - 1)),
+            n_restarts=self.lcm_n_restarts,
+            n_jobs=self.lcm_n_jobs,
+            seed=seed,
         )
         if self._lcm is not None:
             lcm.warm_start_from(self._lcm)
-        datasets = source_sets + [(target.X, target.y)]
         try:
             lcm.fit(datasets)
         except (LCMFitError, ValueError):
             return None
         self._lcm = lcm
-        target_index = n_tasks - 1
         return lambda X: lcm.predict(target_index, X)
 
 

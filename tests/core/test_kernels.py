@@ -122,3 +122,26 @@ class TestRegistry:
     def test_unknown(self):
         with pytest.raises(ValueError):
             kernel_from_name("periodic", 2)
+
+
+class TestRBFGradientVectorized:
+    def test_matches_naive_per_dimension_loop(self, rng):
+        """The broadcast gradient equals the obvious one-dim-at-a-time form."""
+        k = RBF(4, variance=2.3, lengthscales=[0.1, 0.4, 0.9, 2.0])
+        X = rng.random((20, 4))
+        G = k.gradient(X)
+        K = k(X)
+        assert np.allclose(G[0], K)
+        for j in range(4):
+            d = X[:, j][:, None] - X[:, j][None, :]
+            naive = K * d * d / k.lengthscales[j] ** 2
+            assert np.allclose(G[1 + j], naive), f"dim {j}"
+
+    def test_no_cross_dimension_leakage(self, rng):
+        """Points varying only along dim 0 give zero gradient for other dims."""
+        k = RBF(3)
+        X = np.zeros((6, 3))
+        X[:, 0] = np.linspace(0.0, 1.0, 6)
+        G = k.gradient(X)
+        assert np.any(G[1] != 0.0)
+        assert np.allclose(G[2], 0.0) and np.allclose(G[3], 0.0)

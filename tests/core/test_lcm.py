@@ -150,3 +150,163 @@ class TestUtilities:
         assert np.allclose(np.diag(C), 1.0)
         # identical tasks should be learned as positively correlated
         assert C[0, 1] > 0.3
+
+
+def _unequal_tasks(rng, sizes, dim):
+    """Correlated tasks with per-task sizes (0 = empty, the TS cold start)."""
+    w = rng.standard_normal(dim)
+    sets = []
+    for i, n in enumerate(sizes):
+        X = rng.random((n, dim))
+        y = np.sin(3.0 * X @ w + 0.2 * i) + 0.1 * i
+        sets.append((X, y))
+    return sets
+
+
+class TestAnalyticGradient:
+    @pytest.mark.parametrize(
+        "n_tasks,dim,n_latent,sizes",
+        [
+            (2, 1, 1, (12, 7)),
+            (3, 2, 2, (10, 6, 4)),
+            (3, 2, 2, (9, 7, 0)),  # empty target: the TS cold start
+        ],
+    )
+    def test_gradient_matches_central_differences(
+        self, rng, n_tasks, dim, n_latent, sizes
+    ):
+        from repro.core.lcm import _make_workspace
+
+        sets = _unequal_tasks(rng, sizes, dim)
+        model = LCM(n_tasks, dim, n_latent=n_latent, optimize=False, seed=0).fit(sets)
+        st = model._state
+        ws = _make_workspace(st.X, st.t, n_tasks)
+        y = (st.y_raw - st.y_means[st.t]) / st.y_stds[st.t]
+        theta = model._theta + 0.05 * rng.standard_normal(model.n_params)
+
+        nll, grad = model._nll_grad(theta, ws, y)
+        assert nll == pytest.approx(model._nll(theta, st.X, st.t, y), rel=1e-10)
+
+        eps = 1e-5
+        fd = np.empty_like(grad)
+        for i in range(model.n_params):
+            tp, tm = theta.copy(), theta.copy()
+            tp[i] += eps
+            tm[i] -= eps
+            fd[i] = (
+                model._nll(tp, st.X, st.t, y) - model._nll(tm, st.X, st.t, y)
+            ) / (2 * eps)
+        np.testing.assert_allclose(grad, fd, rtol=1e-5, atol=1e-6)
+
+    def test_gradient_evals_counted(self, rng):
+        from repro.core import perf
+
+        sets = _correlated_tasks(rng)
+        with perf.collect() as stats:
+            LCM(2, 1, max_fun=10, seed=0).fit(sets)
+        assert stats.snapshot()["counters"]["lcm_grad_evals"] >= 1
+
+    def test_fd_mode_still_supported(self, rng):
+        sets = _correlated_tasks(rng)
+        a = LCM(2, 1, max_fun=40, gradient="fd", seed=0).fit(sets)
+        assert np.all(np.isfinite(a.predict(0, rng.random((4, 1)))[0]))
+
+    def test_gradient_mode_validated(self):
+        with pytest.raises(ValueError):
+            LCM(2, 1, gradient="symbolic")
+
+
+class TestParallelRestarts:
+    def test_parallel_matches_sequential(self, rng):
+        from repro.core import perf
+
+        sets = _correlated_tasks(rng)
+        seq = LCM(2, 1, max_fun=30, n_restarts=2, n_jobs=1, seed=3).fit(sets)
+        with perf.collect() as stats:
+            par = LCM(2, 1, max_fun=30, n_restarts=2, n_jobs=2, seed=3).fit(sets)
+        np.testing.assert_allclose(seq._theta, par._theta)
+        assert seq.last_nll_ == pytest.approx(par.last_nll_)
+        assert stats.snapshot()["counters"]["lcm_parallel_starts"] == 3
+
+    def test_restarts_never_worse_than_single_start(self, rng):
+        sets = _correlated_tasks(rng)
+        single = LCM(2, 1, max_fun=30, seed=3).fit(sets)
+        multi = LCM(2, 1, max_fun=30, n_restarts=3, seed=3).fit(sets)
+        assert multi.last_nll_ <= single.last_nll_ + 1e-9
+
+
+class TestIncrementalUpdate:
+    def _grow(self, sets, task, X_app, y_app):
+        return [
+            (np.vstack([X, X_app]), np.concatenate([y, y_app])) if i == task else (X, y)
+            for i, (X, y) in enumerate(sets)
+        ]
+
+    @pytest.mark.parametrize("task", [0, 1, 2])
+    def test_update_matches_full_refit(self, rng, task):
+        """update() is pure amortization: predictions match a fresh fit
+        on the grown datasets exactly, whichever task grew."""
+        sets = _unequal_tasks(rng, (12, 9, 6), 2)
+        base = LCM(3, 2, n_latent=2, max_fun=25, seed=0).fit(sets)
+        X_app, y_app = rng.random((2, 2)), rng.standard_normal(2) * 0.1
+
+        inc = LCM(3, 2, n_latent=2, optimize=False)
+        inc.warm_start_from(base)
+        inc.fit(sets)
+        inc.update(task, X_app, y_app)
+
+        ref = LCM(3, 2, n_latent=2, optimize=False)
+        ref.warm_start_from(base)
+        ref.fit(self._grow(sets, task, X_app, y_app))
+
+        Xq = rng.random((10, 2))
+        for i in range(3):
+            m1, s1 = inc.predict(i, Xq)
+            m2, s2 = ref.predict(i, Xq)
+            np.testing.assert_allclose(m1, m2, rtol=1e-8, atol=1e-8)
+            np.testing.assert_allclose(s1, s2, rtol=1e-8, atol=1e-8)
+        assert inc.last_nll_ == pytest.approx(ref.last_nll_, rel=1e-8)
+
+    def test_update_fills_empty_target(self, rng):
+        """Cold start: fit with an empty target, then update() it in."""
+        from repro.core import perf
+
+        sets = _unequal_tasks(rng, (14, 0), 1)
+        model = LCM(2, 1, max_fun=25, seed=0).fit(sets)
+        X_app, y_app = rng.random((3, 1)), rng.standard_normal(3) * 0.1
+        with perf.collect() as stats:
+            model.update(1, X_app, y_app)
+        assert stats.snapshot()["counters"]["lcm_incremental_updates"] == 3
+
+        ref = LCM(2, 1, optimize=False)
+        ref.warm_start_from(model)
+        ref.fit(self._grow(sets, 1, X_app, y_app))
+        Xq = rng.random((8, 1))
+        for i in range(2):
+            np.testing.assert_allclose(
+                model.predict(i, Xq)[0], ref.predict(i, Xq)[0], rtol=1e-8, atol=1e-8
+            )
+
+    def test_extends_fitted_classification(self, rng):
+        sets = _unequal_tasks(rng, (10, 5), 1)
+        model = LCM(2, 1, max_fun=15, seed=0).fit(sets)
+        assert model.extends_fitted(sets) == []
+
+        X_app, y_app = rng.random((1, 1)), np.array([0.2])
+        grown = self._grow(sets, 1, X_app, y_app)
+        appends = model.extends_fitted(grown)
+        assert appends is not None and len(appends) == 1
+        task, Xa, ya = appends[0]
+        assert task == 1
+        np.testing.assert_array_equal(Xa, X_app)
+        np.testing.assert_array_equal(ya, y_app)
+
+        # mutated history (not a prefix) and shrunk history both diverge
+        mutated = [(sets[0][0], sets[0][1] + 1.0), sets[1]]
+        assert model.extends_fitted(mutated) is None
+        shrunk = [(sets[0][0][:-1], sets[0][1][:-1]), sets[1]]
+        assert model.extends_fitted(shrunk) is None
+
+    def test_update_requires_fit(self, rng):
+        with pytest.raises(RuntimeError):
+            LCM(2, 1).update(0, rng.random((1, 1)), np.zeros(1))

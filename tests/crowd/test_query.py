@@ -193,3 +193,106 @@ class TestSqlParser:
         q = SqlQuery.parse("SELECT * WHERE v >= 3 AND tag = 'x' ORDER BY v DESC")
         found = c.find(q.filter, sort=q.order_by, descending=q.descending)
         assert [d["v"] for d in found] == [9, 7, 5, 3]
+
+
+class TestMachineClause:
+    def test_multi_partition_is_or_of_partitions(self):
+        """Regression: two partitions used to collapse into one flat dict,
+        keeping only the last partition's keys (last-wins overwrite)."""
+        cs = {
+            "machine_configurations": [
+                {
+                    "Cori": {
+                        "haswell": {"nodes": 1, "cores": 32},
+                        "knl": {"nodes": 4, "cores": 68},
+                    }
+                }
+            ]
+        }
+        flt = build_filter(configuration_space=cs, require_success=False)
+        clause = flt["$or"][0]
+        subs = clause["$or"]
+        assert len(subs) == 2
+        by_part = {c["machine_configuration.partition"]: c for c in subs}
+        assert by_part["haswell"]["machine_configuration.cores"] == 32
+        assert by_part["knl"]["machine_configuration.cores"] == 68
+        for c in subs:
+            assert c["machine_configuration.machine_name"] == "Cori"
+
+    def test_multi_machine_entry(self):
+        """One entry naming two machines matches either of them."""
+        cs = {
+            "machine_configurations": [
+                {"Cori": {"haswell": {"nodes": 1}}, "Summit": {}}
+            ]
+        }
+        flt = build_filter(configuration_space=cs, require_success=False)
+        subs = flt["$or"][0]["$or"]
+        assert {"machine_configuration.machine_name": "Summit"} in subs
+        assert {
+            "machine_configuration.machine_name": "Cori",
+            "machine_configuration.partition": "haswell",
+            "machine_configuration.nodes": 1,
+        } in subs
+
+    def test_multi_partition_filters_documents(self):
+        """End-to-end through the store: either partition matches, and
+        each partition's details apply only to itself."""
+        c = Collection("r")
+        docs = [
+            {"machine_configuration": {"machine_name": "Cori", "partition": "haswell", "cores": 32}},
+            {"machine_configuration": {"machine_name": "Cori", "partition": "knl", "cores": 68}},
+            {"machine_configuration": {"machine_name": "Cori", "partition": "knl", "cores": 32}},
+            {"machine_configuration": {"machine_name": "Summit", "partition": "haswell", "cores": 32}},
+        ]
+        c.insert_many(docs)
+        cs = {
+            "machine_configurations": [
+                {"Cori": {"haswell": {"cores": 32}, "knl": {"cores": 68}}}
+            ]
+        }
+        flt = build_filter(configuration_space=cs, require_success=False)
+        found = c.find(flt)
+        parts = sorted(d["machine_configuration"]["partition"] for d in found)
+        assert parts == ["haswell", "knl"]
+        assert all(d["machine_configuration"]["machine_name"] == "Cori" for d in found)
+
+
+class TestSqlParserPrecedence:
+    def test_not_binds_tighter_than_and(self):
+        q = SqlQuery.parse("SELECT * WHERE NOT a = 1 AND b = 2")
+        assert q.filter == {
+            "$and": [{"$not": {"a": {"$eq": 1}}}, {"b": {"$eq": 2}}]
+        }
+
+    def test_and_binds_tighter_than_or(self):
+        q = SqlQuery.parse("SELECT * WHERE a = 1 OR b = 2 AND c = 3")
+        assert q.filter == {
+            "$or": [
+                {"a": {"$eq": 1}},
+                {"$and": [{"b": {"$eq": 2}}, {"c": {"$eq": 3}}]},
+            ]
+        }
+
+    def test_parentheses_override_precedence(self):
+        q = SqlQuery.parse("SELECT * WHERE (a = 1 OR b = 2) AND c = 3")
+        assert q.filter == {
+            "$and": [
+                {"$or": [{"a": {"$eq": 1}}, {"b": {"$eq": 2}}]},
+                {"c": {"$eq": 3}},
+            ]
+        }
+
+    def test_not_applies_to_parenthesized_group(self):
+        q = SqlQuery.parse("SELECT * WHERE NOT (a = 1 OR b = 2)")
+        assert q.filter == {
+            "$not": {"$or": [{"a": {"$eq": 1}}, {"b": {"$eq": 2}}]}
+        }
+
+    def test_escaped_quote_in_string(self):
+        q = SqlQuery.parse(r"SELECT * WHERE name = 'O\'Brien'")
+        assert q.filter == {"name": {"$eq": "O'Brien"}}
+
+    def test_trailing_garbage_names_offender(self):
+        with pytest.raises(SqlSyntaxError, match="trailing tokens.*garbage"):
+            SqlQuery.parse("SELECT * WHERE v = 1 garbage")

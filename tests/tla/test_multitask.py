@@ -106,3 +106,46 @@ class TestRefitAmortization:
         # second call should reuse hyperparameters (optimize=False)
         strat.model(_target(3), rng)
         assert np.allclose(strat._lcm._theta, theta_after_first)
+
+    def test_incremental_update_between_refits(self, rng):
+        """Between refit boundaries an append-only step grows the cached
+        Cholesky instead of refitting, and predicts identically."""
+        from repro.core import LCM, perf
+
+        strat = MultitaskTS(refit_every=4, lcm_max_fun=20)
+        strat.prepare([_source()], rng)
+        strat.model(_target(2), rng)
+        cached = strat._lcm
+        target3 = _target(3)  # same seed: _target(2)'s rows are a prefix
+        with perf.collect() as stats:
+            predict = strat.model(target3, rng)
+        counters = stats.snapshot()["counters"]
+        assert counters.get("lcm_incremental_updates", 0) == 1
+        assert counters.get("lcm_fits", 0) == 0  # no refactorization
+        assert strat._lcm is cached  # the cached model object was grown
+
+        ref = LCM(2, 1, optimize=False)
+        ref.warm_start_from(cached)
+        ref.fit(list(strat._source_sets) + [(target3.X, target3.y)])
+        grid = np.linspace(0, 0.999, 50)[:, None]
+        m1, s1 = predict(grid)
+        m2, s2 = ref.predict(1, grid)
+        np.testing.assert_allclose(m1, m2, rtol=1e-8, atol=1e-8)
+        np.testing.assert_allclose(s1, s2, rtol=1e-8, atol=1e-8)
+
+    def test_diverged_history_falls_back_to_full_fit(self, rng):
+        """A non-append change (different target draw) must not be absorbed
+        incrementally: a fresh non-optimizing fit replaces the cache."""
+        from repro.core import perf
+
+        strat = MultitaskTS(refit_every=4, lcm_max_fun=20)
+        strat.prepare([_source()], rng)
+        strat.model(_target(2), rng)
+        cached = strat._lcm
+        with perf.collect() as stats:
+            predict = strat.model(_target(2, seed=9), rng)
+        counters = stats.snapshot()["counters"]
+        assert counters.get("lcm_incremental_updates", 0) == 0
+        assert counters.get("lcm_fits", 0) == 1
+        assert strat._lcm is not cached
+        assert predict is not None
