@@ -1,0 +1,213 @@
+"""Crowd-service benchmark: sharded read scaling and cache-hit speedup.
+
+The service layer's two performance promises:
+
+* **shard scaling** — task-pinned reads land on single shards, so with
+  N shards behind the router an open pool of clients sustains ~N times
+  the read throughput of a single node.  Each shard serializes its
+  requests behind a simulated 2 ms service time (the transport models a
+  single-threaded node), so the scaling measured here is real routing
+  concurrency, not Python thread noise.
+* **query caching** — repeated fan-out queries (the TLA
+  ``query_source_data`` pattern: one problem, all tasks) are served
+  from the router's TTL+LRU cache without touching any shard.
+
+Checks: >= 3x read throughput at 4 shards vs 1, >= 3x latency win for
+cached repeats.  Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks budgets
+and drops the thresholds to sanity checks — shared CI runners have
+noisy clocks.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.core import perf
+from repro.service import RouterOptions, build_service
+
+from harness import FULL, SMOKE, save_results
+
+SHARD_COUNTS = [1, 2, 4]
+#: simulated per-request service time of one shard node — large enough
+#: that shard service time, not interpreter overhead, is the bottleneck
+LATENCY_S = 0.002 if SMOKE else 0.010
+N_TASKS = 32
+RECORDS_PER_TASK = 4 if SMOKE else 8
+N_CLIENT_THREADS = 8
+QUERIES_PER_THREAD = 25 if SMOKE else (80 if FULL else 40)
+N_CACHE_REPEATS = 30 if SMOKE else 100
+
+MIN_SCALING_AT_4 = 1.5 if SMOKE else 3.0
+MIN_CACHE_SPEEDUP = 1.5 if SMOKE else 3.0
+
+
+def _build(n_shards: int, *, cache: bool):
+    options = RouterOptions(
+        replication=1,
+        cache_size=256 if cache else 0,
+        cache_ttl_s=300.0,
+    )
+    svc = build_service(n_shards, latency_s=LATENCY_S, options=options)
+    _, key = svc.register_user("bench", "bench@lab.gov")
+    for t in range(N_TASKS):
+        for i in range(RECORDS_PER_TASK):
+            response = svc.client.handle(
+                {
+                    "route": "upload",
+                    "api_key": key,
+                    "problem_name": "bench",
+                    "task_parameters": {"t": t},
+                    "tuning_parameters": {"x": float(i)},
+                    "output": float(i),
+                }
+            )
+            assert response["ok"], response
+    return svc, key
+
+
+def _pinned_read_wall(svc, key) -> float:
+    """Wall time for an 8-thread pool of task-pinned readers.
+
+    Each thread rotates over the shards (with its own phase) and picks a
+    task owned by the current one — a balanced open workload, so the
+    measured scaling is the service's, not an artifact of all clients
+    convoying on one unlucky shard.
+    """
+    from repro.service import shard_key
+
+    tasks_by_shard: dict[str, list[int]] = {}
+    for t in range(N_TASKS):
+        owner = svc.router.ring.primary(shard_key("bench", {"t": t}))
+        tasks_by_shard.setdefault(owner, []).append(t)
+    rotation = sorted(tasks_by_shard)
+
+    def reader(tid: int):
+        for q in range(QUERIES_PER_THREAD):
+            owned = tasks_by_shard[rotation[(tid + q) % len(rotation)]]
+            task = owned[(tid * QUERIES_PER_THREAD + q) % len(owned)]
+            response = svc.client.handle(
+                {
+                    "route": "query",
+                    "api_key": key,
+                    "problem_name": "bench",
+                    "task_parameters": {"t": task},
+                }
+            )
+            assert response["ok"], response
+            assert len(response["records"]) == RECORDS_PER_TASK
+
+    threads = [
+        threading.Thread(target=reader, args=(tid,))
+        for tid in range(N_CLIENT_THREADS)
+    ]
+    # snappy GIL handoffs: a thread waking from its simulated shard
+    # latency should not wait a full default 5 ms switch interval
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(2e-4)
+    t0 = time.perf_counter()
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return time.perf_counter() - t0
+    finally:
+        sys.setswitchinterval(old_interval)
+
+
+def test_read_throughput_scales_with_shards():
+    n_queries = N_CLIENT_THREADS * QUERIES_PER_THREAD
+    rows = []
+    throughput: dict[int, float] = {}
+    for n_shards in SHARD_COUNTS:
+        # caching off: every query must hit its owning shard
+        svc, key = _build(n_shards, cache=False)
+        try:
+            wall = _pinned_read_wall(svc, key)
+        finally:
+            svc.close()
+        throughput[n_shards] = n_queries / wall
+        rows.append(
+            {
+                "shards": n_shards,
+                "wall_s": wall,
+                "queries_per_s": throughput[n_shards],
+                "scaling": throughput[n_shards] / throughput[SHARD_COUNTS[0]],
+            }
+        )
+
+    print(
+        f"\ncrowd service: {n_queries} task-pinned reads, "
+        f"{N_CLIENT_THREADS} client threads, {LATENCY_S * 1e3:.0f} ms/shard-op"
+    )
+    print(f"{'shards':>7}  {'wall':>8}  {'reads/s':>8}  {'scaling':>8}")
+    for r in rows:
+        print(
+            f"{r['shards']:>7}  {r['wall_s']:>7.2f}s  {r['queries_per_s']:>8.0f}"
+            f"  {r['scaling']:>7.2f}x"
+        )
+    save_results(
+        "service_scaling",
+        {
+            "rows": rows,
+            "latency_s": LATENCY_S,
+            "n_threads": N_CLIENT_THREADS,
+            "n_queries": n_queries,
+        },
+    )
+
+    scaling_at_4 = throughput[4] / throughput[1]
+    assert scaling_at_4 >= MIN_SCALING_AT_4, (
+        f"only {scaling_at_4:.2f}x read throughput at 4 shards vs 1 "
+        f"(need >= {MIN_SCALING_AT_4}x)"
+    )
+
+
+def test_cache_hit_speedup():
+    svc, key = _build(4, cache=True)
+    stats = perf.PerfStats()
+    request = {"route": "query", "api_key": key, "problem_name": "bench"}
+    try:
+        with perf.collect(stats):
+            # first fan-out populates the cache
+            t0 = time.perf_counter()
+            first = svc.client.handle(request)
+            miss_s = time.perf_counter() - t0
+            assert first["ok"] and len(first["records"]) == N_TASKS * RECORDS_PER_TASK
+
+            hit_times = []
+            for _ in range(N_CACHE_REPEATS):
+                t0 = time.perf_counter()
+                response = svc.client.handle(request)
+                hit_times.append(time.perf_counter() - t0)
+            assert response == first
+    finally:
+        svc.close()
+
+    hit_s = float(np.median(hit_times))
+    speedup = miss_s / hit_s
+    counters = stats.snapshot()["counters"]
+    print(
+        f"\ncache: miss {miss_s * 1e3:.2f} ms, median hit {hit_s * 1e3:.3f} ms "
+        f"-> {speedup:.1f}x ({counters.get('service_cache_hits', 0)} hits, "
+        f"{counters.get('service_cache_misses', 0)} misses)"
+    )
+    save_results(
+        "service_cache",
+        {
+            "miss_s": miss_s,
+            "median_hit_s": hit_s,
+            "speedup": speedup,
+            "repeats": N_CACHE_REPEATS,
+        },
+    )
+
+    assert counters.get("service_cache_hits", 0) == N_CACHE_REPEATS
+    assert speedup >= MIN_CACHE_SPEEDUP, (
+        f"cached repeat only {speedup:.2f}x faster than the fan-out miss "
+        f"(need >= {MIN_CACHE_SPEEDUP}x)"
+    )

@@ -15,6 +15,10 @@ Subpackages
     The TLA pool of Table I and the transfer tuner.
 ``repro.crowd``
     Document store, records, users, queries, environment parsing, API.
+``repro.engine``
+    Asynchronous batched evaluation: worker pool, faults, streaming.
+``repro.service``
+    Sharded, durable, cached serving layer for the crowd repository.
 ``repro.sensitivity``
     Sobol' sequence, Saltelli sampling, indices, space reduction.
 ``repro.hpc``

@@ -19,7 +19,8 @@ import hashlib
 import json
 import math
 from abc import ABC, abstractmethod
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 import numpy as np
 

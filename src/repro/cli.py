@@ -9,7 +9,8 @@ Subcommands mirror the workflows of the paper:
 * ``gptunecrowd apps`` — list available application models and machines,
 * ``gptunecrowd variability`` — repeat-measurement noise diagnosis (the
   paper's future-work feature),
-* ``gptunecrowd bandit`` — GPTuneBand-style multi-fidelity tuning.
+* ``gptunecrowd bandit`` — GPTuneBand-style multi-fidelity tuning,
+* ``gptunecrowd service`` — demo the sharded, durable crowd service.
 
 Applications are addressed by name; machines by preset key and node
 count, e.g.::
@@ -206,6 +207,67 @@ def _cmd_bandit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    """Demo a sharded crowd service: upload, query, survive a crash."""
+    from .service import RouterOptions, build_service
+
+    app = build_app(args.app, args.machine, args.nodes)
+    task = _parse_task(app, args.task)
+    space = app.parameter_space()
+    svc = build_service(
+        args.shards,
+        data_dir=args.data_dir,
+        options=RouterOptions(replication=args.replication),
+    )
+    try:
+        _, key = svc.register_user("cli", "cli@gptunecrowd.local")
+        rng = np.random.default_rng(args.seed)
+        uploaded = 0
+        while uploaded < args.uploads:
+            cfg = space.sample(rng)
+            response = svc.client.handle(
+                {
+                    "route": "upload",
+                    "api_key": key,
+                    "problem_name": app.name,
+                    "task_parameters": dict(task),
+                    "tuning_parameters": cfg,
+                    "output": app.objective(task, cfg, run=args.seed),
+                }
+            )
+            if response.get("ok"):
+                uploaded += 1
+        per_shard = {name: shard.count() for name, shard in svc.shards.items()}
+        print(f"service: {args.shards} shard(s), replication {args.replication}")
+        print(f"uploaded {uploaded} records -> stored copies per shard: {per_shard}")
+
+        query = {"route": "query", "api_key": key, "problem_name": app.name}
+        records = svc.client.handle(query)["records"]
+        print(f"fan-out query: {len(records)} distinct records")
+        if args.shards > 1:
+            # kill the most loaded shard — the worst case for reads
+            victim = max(svc.shards, key=lambda n: svc.shards[n].count())
+            svc.kill_shard(victim)
+            survived = svc.client.handle(query)["records"]
+            print(f"after killing {victim}: {len(survived)} records still served")
+            svc.revive_shard(victim)
+
+        board = svc.client.handle(
+            {"route": "leaderboard", "api_key": key, "problem_name": app.name}
+        )
+        for row in board.get("rows", []):
+            print(
+                f"best {row['best_output']:.5g} by {row['best_owner']} "
+                f"({row['n_samples']} samples, {row['n_failures']} failures)"
+            )
+        if args.data_dir:
+            svc.snapshot_all()
+            print(f"snapshots + WALs persisted under {args.data_dir}")
+    finally:
+        svc.close()
+    return 0
+
+
 def _cmd_pool(args: argparse.Namespace) -> int:
     del args
     rows = pool_table()
@@ -280,6 +342,18 @@ def main(argv: list[str] | None = None) -> int:
     p_band.add_argument("--rungs", type=int, default=3)
     p_band.add_argument("--seed", type=int, default=0)
     p_band.set_defaults(func=_cmd_bandit)
+
+    p_svc = sub.add_parser("service", help="demo the sharded crowd service")
+    p_svc.add_argument("--app", default="demo", choices=sorted(_APPS))
+    p_svc.add_argument("--machine", choices=sorted(MACHINE_PRESETS))
+    p_svc.add_argument("--nodes", type=int, default=1)
+    p_svc.add_argument("--task", help="task parameters as JSON")
+    p_svc.add_argument("--shards", type=int, default=4)
+    p_svc.add_argument("--replication", type=int, default=2)
+    p_svc.add_argument("--uploads", type=int, default=32)
+    p_svc.add_argument("--data-dir", help="persist shard WALs/snapshots here")
+    p_svc.add_argument("--seed", type=int, default=0)
+    p_svc.set_defaults(func=_cmd_service)
 
     p_pool = sub.add_parser("pool", help="print the TLA pool (Table I)")
     p_pool.set_defaults(func=_cmd_pool)

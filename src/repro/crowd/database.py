@@ -18,6 +18,18 @@ persistence:
 Documents are deep-copied on the way in and out, so callers can never
 mutate stored state by aliasing — important because the repository layer
 enforces access control on these documents.
+
+Thread-safety: every :class:`Collection` guards its mutation/read
+boundary with an :class:`~threading.RLock` — the asynchronous engine's
+:class:`~repro.engine.stream.CrowdStreamer` uploads from multiple worker
+threads while queries run concurrently, and the sharded service
+(:mod:`repro.service`) serves each shard from router worker threads.
+
+Durability hook: a store-level *mutation observer* receives one
+JSON-serializable op dict per mutation (insert / update / delete /
+create_index / drop), in application order.  The service layer's
+write-ahead log (:mod:`repro.service.wal`) attaches here; replay goes
+through :meth:`Collection.restore` / :meth:`DocumentStore.apply_op`.
 """
 
 from __future__ import annotations
@@ -25,8 +37,10 @@ from __future__ import annotations
 import copy
 import json
 import re
+import threading
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any, Callable
 
 __all__ = ["DocumentStore", "Collection", "QuerySyntaxError"]
 
@@ -95,6 +109,25 @@ def _matches(doc: Mapping[str, Any], flt: Mapping[str, Any]) -> bool:
     return True
 
 
+def _equality_conditions(flt: Mapping[str, Any]) -> Iterable[tuple[str, Any]]:
+    """Yield ``(field, value)`` exact-equality conditions a conjunctive
+    filter imposes: top-level entries plus those nested under ``$and``."""
+    for field, cond in flt.items():
+        if field == "$and" and isinstance(cond, (list, tuple)):
+            for sub in cond:
+                if isinstance(sub, Mapping):
+                    yield from _equality_conditions(sub)
+        elif (
+            not field.startswith("$")
+            and cond is not None
+            and not (
+                isinstance(cond, Mapping)
+                and any(k.startswith("$") for k in cond)
+            )
+        ):
+            yield field, cond
+
+
 def _as_list(cond: Any, op: str) -> list:
     if not isinstance(cond, (list, tuple)) or not cond:
         raise QuerySyntaxError(f"{op} takes a non-empty list of filters")
@@ -109,27 +142,43 @@ class Collection:
         self._docs: dict[int, dict[str, Any]] = {}
         self._next_id = 1
         self._indexes: dict[str, dict[Any, set[int]]] = {}
+        #: guards every mutation and read (reentrant: observers and the
+        #: persistence path run under the same lock)
+        self._lock = threading.RLock()
+        #: mutation observer installed by :meth:`DocumentStore.set_observer`
+        self._observer: Callable[[dict[str, Any]], None] | None = None
 
     def __len__(self) -> int:
-        return len(self._docs)
+        with self._lock:
+            return len(self._docs)
+
+    def _notify(self, op: dict[str, Any]) -> None:
+        if self._observer is not None:
+            self._observer(op)
 
     # -- indexing ------------------------------------------------------------
     def create_index(self, field: str) -> None:
         """Build (or rebuild) a hash index on ``field`` (dotted ok)."""
-        idx: dict[Any, set[int]] = {}
-        for _id, doc in self._docs.items():
-            key = _hashable(_get_path(doc, field))
-            idx.setdefault(key, set()).add(_id)
-        self._indexes[field] = idx
+        with self._lock:
+            idx: dict[Any, set[int]] = {}
+            for _id, doc in self._docs.items():
+                key = _hashable(_get_path(doc, field))
+                idx.setdefault(key, set()).add(_id)
+            self._indexes[field] = idx
+            self._notify({"op": "create_index", "c": self.name, "field": field})
 
     def _index_candidates(self, flt: Mapping[str, Any]) -> Iterable[int] | None:
-        """Doc ids from the narrowest usable index, or ``None`` for a scan."""
+        """Doc ids from the narrowest usable index, or ``None`` for a scan.
+
+        Usable conditions are exact-value equalities on an indexed
+        field, at the top level or nested anywhere under ``$and`` —
+        every match must satisfy them, so one index bucket is a sound
+        candidate pool for the full filter.
+        """
         best: set[int] | None = None
-        for field, idx in self._indexes.items():
-            cond = flt.get(field)
-            if cond is None or (isinstance(cond, Mapping) and any(
-                k.startswith("$") for k in cond
-            )):
+        for field, cond in _equality_conditions(flt):
+            idx = self._indexes.get(field)
+            if idx is None:
                 continue
             ids = idx.get(_hashable(cond), set())
             if best is None or len(ids) < len(best):
@@ -142,16 +191,35 @@ class Collection:
         if not isinstance(doc, Mapping):
             raise TypeError("documents must be mappings")
         stored = copy.deepcopy(dict(doc))
-        _id = self._next_id
-        self._next_id += 1
-        stored["_id"] = _id
-        self._docs[_id] = stored
-        for field, idx in self._indexes.items():
-            idx.setdefault(_hashable(_get_path(stored, field)), set()).add(_id)
+        with self._lock:
+            _id = self._next_id
+            self._next_id += 1
+            stored["_id"] = _id
+            self._docs[_id] = stored
+            self._reindex(_id, stored)
+            self._notify({"op": "insert", "c": self.name, "doc": stored})
         return _id
 
     def insert_many(self, docs: Iterable[Mapping[str, Any]]) -> list[int]:
         return [self.insert(d) for d in docs]
+
+    def restore(self, doc: Mapping[str, Any]) -> int:
+        """Re-insert a document preserving its ``_id`` (WAL replay/import).
+
+        Idempotent for identical replays: re-restoring an ``_id`` simply
+        overwrites it with the same content.  The observer is *not*
+        notified — replay must never re-journal itself.
+        """
+        stored = copy.deepcopy(dict(doc))
+        _id = int(stored["_id"])
+        with self._lock:
+            old = self._docs.get(_id)
+            if old is not None:
+                self._unindex(_id, old)
+            self._docs[_id] = stored
+            self._next_id = max(self._next_id, _id + 1)
+            self._reindex(_id, stored)
+        return _id
 
     def find(
         self,
@@ -163,13 +231,25 @@ class Collection:
     ) -> list[dict[str, Any]]:
         """All matching documents (deep copies)."""
         flt = flt or {}
-        candidates = self._index_candidates(flt)
-        pool = (
-            (self._docs[i] for i in candidates)
-            if candidates is not None
-            else self._docs.values()
-        )
-        out = [copy.deepcopy(d) for d in pool if _matches(d, flt)]
+        with self._lock:
+            candidates = self._index_candidates(flt)
+            pool = (
+                (self._docs[i] for i in candidates)
+                if candidates is not None
+                else self._docs.values()
+            )
+            if sort is None and limit is not None:
+                # unsorted + limited: stop matching (and deep-copying)
+                # as soon as the limit is reached
+                n = max(limit, 0)
+                out: list[dict[str, Any]] = []
+                for d in pool:
+                    if len(out) >= n:
+                        break
+                    if _matches(d, flt):
+                        out.append(copy.deepcopy(d))
+                return out
+            out = [copy.deepcopy(d) for d in pool if _matches(d, flt)]
         if sort is not None:
             out.sort(key=lambda d: _sort_key(_get_path(d, sort)), reverse=descending)
         if limit is not None:
@@ -182,31 +262,60 @@ class Collection:
 
     def count(self, flt: Mapping[str, Any] | None = None) -> int:
         flt = flt or {}
-        return sum(1 for d in self._docs.values() if _matches(d, flt))
+        with self._lock:
+            candidates = self._index_candidates(flt)
+            pool = (
+                (self._docs[i] for i in candidates)
+                if candidates is not None
+                else self._docs.values()
+            )
+            return sum(1 for d in pool if _matches(d, flt))
 
     def update(self, flt: Mapping[str, Any], changes: Mapping[str, Any]) -> int:
         """Shallow-merge ``changes`` into matching docs; returns count."""
         n = 0
-        for _id, doc in self._docs.items():
-            if _matches(doc, flt):
-                self._unindex(_id, doc)
-                doc.update(copy.deepcopy(dict(changes)))
-                doc["_id"] = _id  # _id is immutable
-                self._reindex(_id, doc)
-                n += 1
+        with self._lock:
+            for _id, doc in self._docs.items():
+                if _matches(doc, flt):
+                    self._unindex(_id, doc)
+                    doc.update(copy.deepcopy(dict(changes)))
+                    doc["_id"] = _id  # _id is immutable
+                    self._reindex(_id, doc)
+                    n += 1
+            if n:
+                self._notify(
+                    {
+                        "op": "update",
+                        "c": self.name,
+                        "flt": copy.deepcopy(dict(flt)),
+                        "changes": copy.deepcopy(dict(changes)),
+                    }
+                )
         return n
 
     def delete(self, flt: Mapping[str, Any]) -> int:
         """Delete matching docs; returns count."""
-        doomed = [i for i, d in self._docs.items() if _matches(d, flt)]
-        for _id in doomed:
-            self._unindex(_id, self._docs[_id])
-            del self._docs[_id]
+        with self._lock:
+            doomed = [i for i, d in self._docs.items() if _matches(d, flt)]
+            for _id in doomed:
+                self._unindex(_id, self._docs[_id])
+                del self._docs[_id]
+            if doomed:
+                self._notify(
+                    {"op": "delete", "c": self.name, "flt": copy.deepcopy(dict(flt))}
+                )
         return len(doomed)
 
     def _unindex(self, _id: int, doc: Mapping[str, Any]) -> None:
         for field, idx in self._indexes.items():
-            idx.get(_hashable(_get_path(doc, field)), set()).discard(_id)
+            key = _hashable(_get_path(doc, field))
+            bucket = idx.get(key)
+            if bucket is not None:
+                bucket.discard(_id)
+                if not bucket:
+                    # prune — empty buckets would otherwise accumulate
+                    # for every distinct value ever deleted
+                    del idx[key]
 
     def _reindex(self, _id: int, doc: Mapping[str, Any]) -> None:
         for field, idx in self._indexes.items():
@@ -214,12 +323,13 @@ class Collection:
 
     # -- persistence ------------------------------------------------------------
     def to_jsonable(self) -> dict[str, Any]:
-        return {
-            "name": self.name,
-            "next_id": self._next_id,
-            "docs": list(self._docs.values()),
-            "indexes": sorted(self._indexes),
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "next_id": self._next_id,
+                "docs": copy.deepcopy(list(self._docs.values())),
+                "indexes": sorted(self._indexes),
+            }
 
     @staticmethod
     def from_jsonable(blob: Mapping[str, Any]) -> "Collection":
@@ -237,44 +347,95 @@ class DocumentStore:
 
     def __init__(self) -> None:
         self._collections: dict[str, Collection] = {}
+        self._lock = threading.RLock()
+        self._observer: Callable[[dict[str, Any]], None] | None = None
 
     def collection(self, name: str) -> Collection:
         """Get or create a collection."""
         if not name or "." in name:
             raise ValueError(f"invalid collection name {name!r}")
-        if name not in self._collections:
-            self._collections[name] = Collection(name)
-        return self._collections[name]
+        with self._lock:
+            if name not in self._collections:
+                coll = Collection(name)
+                coll._observer = self._observer
+                self._collections[name] = coll
+            return self._collections[name]
+
+    # -- mutation journal hook ---------------------------------------------------
+    def set_observer(self, fn: Callable[[dict[str, Any]], None] | None) -> None:
+        """Install (or clear) the store-wide mutation observer.
+
+        The observer receives one JSON-serializable op dict per mutation,
+        in application order, *while the owning collection's lock is
+        held* — it must be fast and must not call back into the store.
+        """
+        with self._lock:
+            self._observer = fn
+            for coll in self._collections.values():
+                coll._observer = fn
+
+    def apply_op(self, op: Mapping[str, Any]) -> None:
+        """Re-apply one observed op (WAL replay / journal shipping)."""
+        kind = op.get("op")
+        if kind == "drop":
+            self.drop(op["c"])
+            return
+        coll = self.collection(op["c"])
+        if kind == "insert":
+            coll.restore(op["doc"])
+        elif kind == "update":
+            coll.update(op["flt"], op["changes"])
+        elif kind == "delete":
+            coll.delete(op["flt"])
+        elif kind == "create_index":
+            coll.create_index(op["field"])
+        else:
+            raise ValueError(f"unknown journal op {kind!r}")
 
     def __getitem__(self, name: str) -> Collection:
         return self.collection(name)
 
     def __contains__(self, name: object) -> bool:
-        return name in self._collections
+        with self._lock:
+            return name in self._collections
 
     def collection_names(self) -> list[str]:
-        return sorted(self._collections)
+        with self._lock:
+            return sorted(self._collections)
 
     def drop(self, name: str) -> None:
-        self._collections.pop(name, None)
+        with self._lock:
+            dropped = self._collections.pop(name, None)
+            if dropped is not None and self._observer is not None:
+                self._observer({"op": "drop", "c": name})
 
     # -- persistence -------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        blob = {
+    def to_jsonable(self) -> dict[str, Any]:
+        with self._lock:
+            collections = list(self._collections.values())
+        return {
             "format": "gptunecrowd-store-v1",
-            "collections": [c.to_jsonable() for c in self._collections.values()],
+            "collections": [c.to_jsonable() for c in collections],
         }
-        Path(path).write_text(json.dumps(blob, indent=1, sort_keys=True))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_jsonable(), indent=1, sort_keys=True))
+
+    @staticmethod
+    def from_jsonable(blob: Mapping[str, Any]) -> "DocumentStore":
+        if blob.get("format") != "gptunecrowd-store-v1":
+            raise ValueError("not a GPTuneCrowd store blob")
+        store = DocumentStore()
+        for cblob in blob["collections"]:
+            store._collections[cblob["name"]] = Collection.from_jsonable(cblob)
+        return store
 
     @staticmethod
     def load(path: str | Path) -> "DocumentStore":
         blob = json.loads(Path(path).read_text())
         if blob.get("format") != "gptunecrowd-store-v1":
             raise ValueError(f"{path}: not a GPTuneCrowd store file")
-        store = DocumentStore()
-        for cblob in blob["collections"]:
-            store._collections[cblob["name"]] = Collection.from_jsonable(cblob)
-        return store
+        return DocumentStore.from_jsonable(blob)
 
 
 def _hashable(value: Any) -> Any:

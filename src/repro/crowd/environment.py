@@ -17,7 +17,8 @@ free-form names against the database's well-known tags.
 from __future__ import annotations
 
 import re
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 __all__ = [
     "parse_spack_spec",

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 __all__ = ["build_filter", "SqlQuery", "SqlSyntaxError"]
 
@@ -36,19 +37,24 @@ def build_filter(
     problem_space: Mapping[str, Any] | None = None,
     configuration_space: Mapping[str, Any] | None = None,
     *,
+    task_parameters: Mapping[str, Any] | None = None,
     require_success: bool = True,
 ) -> dict[str, Any]:
     """Build the store filter for a crowd query.
 
     Parameters mirror the meta description (paper Sec. IV-A).  When a
     block is absent, "a query will download all data available to the
-    user" — i.e. no condition is emitted for it.
+    user" — i.e. no condition is emitted for it.  ``task_parameters``
+    pins every named task parameter to an exact value (the sharded
+    router's single-shard read path).
     """
     clauses: list[dict[str, Any]] = []
     if problem_name:
         clauses.append({"problem_name": problem_name})
     if require_success:
         clauses.append({"output": {"$ne": None}})
+    for name, value in (task_parameters or {}).items():
+        clauses.append({f"task_parameters.{name}": value})
 
     for block_key, doc_prefix in (
         ("input_space", "task_parameters"),
@@ -69,9 +75,25 @@ def build_filter(
 
     if not clauses:
         return {}
-    if len(clauses) == 1:
-        return clauses[0]
-    return {"$and": clauses}
+    # fold single-key clauses with distinct paths into one flat document:
+    # flat filters match in one pass and expose their equality conditions
+    # to the store's hash indexes
+    merged: dict[str, Any] = {}
+    rest: list[dict[str, Any]] = []
+    for clause in clauses:
+        if len(clause) == 1:
+            ((key, value),) = clause.items()
+            if not key.startswith("$") and key not in merged:
+                merged[key] = value
+                continue
+        rest.append(clause)
+    if not rest:
+        return merged
+    if merged:
+        rest.append(merged)
+    if len(rest) == 1:
+        return rest[0]
+    return {"$and": rest}
 
 
 def _space_entry_clauses(entry: Mapping[str, Any], prefix: str) -> list[dict]:

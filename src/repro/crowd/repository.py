@@ -17,6 +17,7 @@ server-side semantics live here and are exercised by the test suite.
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -47,23 +48,46 @@ class CrowdRepository:
         coll.create_index("problem_name")
         coll.create_index("owner")
         self._clock = 0.0
+        self._clock_lock = threading.Lock()
 
     # -- time (deterministic, monotonic) ------------------------------------
     def _now(self) -> float:
-        self._clock += 1.0
-        return self._clock
+        with self._clock_lock:
+            self._clock += 1.0
+            return self._clock
+
+    def advance_clock(self, to: float) -> None:
+        """Fast-forward the logical clock (never backwards).
+
+        Recovery calls this after replaying journaled records so
+        post-recovery uploads keep strictly increasing timestamps.
+        """
+        with self._clock_lock:
+            self._clock = max(self._clock, float(to))
 
     # -- upload ---------------------------------------------------------------
-    def upload(self, record: PerformanceRecord, api_key: str) -> int:
+    def upload(
+        self,
+        record: PerformanceRecord,
+        api_key: str,
+        *,
+        timestamp: float | None = None,
+    ) -> int:
         """Store one record on behalf of the authenticated user.
 
         The record's owner is forced to the authenticated user (uploads
         cannot impersonate), and machine names are normalized against the
-        well-known tag database.
+        well-known tag database.  ``timestamp`` lets a trusted front-end
+        (the sharded router) stamp replicas of one logical write with the
+        same global time; end users never reach this parameter.
         """
         user = self.users.authenticate(api_key)
         record.owner = user.username
-        record.timestamp = self._now()
+        if timestamp is not None:
+            record.timestamp = float(timestamp)
+            self.advance_clock(timestamp)
+        else:
+            record.timestamp = self._now()
         if record.machine_configuration.get("machine_name"):
             canonical = self.matcher.match_machine(
                 record.machine_configuration["machine_name"]
@@ -94,15 +118,22 @@ class CrowdRepository:
         problem_name: str | None = None,
         problem_space: Mapping[str, Any] | None = None,
         configuration_space: Mapping[str, Any] | None = None,
+        task_parameters: Mapping[str, Any] | None = None,
         require_success: bool = True,
         limit: int | None = None,
     ) -> list[PerformanceRecord]:
-        """Meta-description query (the crowd-tuning API's workhorse)."""
+        """Meta-description query (the crowd-tuning API's workhorse).
+
+        ``task_parameters`` pins the query to one exact task — the
+        sharded router uses this to serve the query from the single
+        shard that owns the ``(problem_name, task)`` key.
+        """
         user = self.users.authenticate(api_key)
         flt = build_filter(
             problem_name,
             problem_space,
             configuration_space,
+            task_parameters=task_parameters,
             require_success=require_success,
         )
         docs = self.store[_RECORDS].find(flt, sort="timestamp")

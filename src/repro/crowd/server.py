@@ -21,7 +21,8 @@ Protocol conventions (mirroring typical REST-over-JSON services):
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Mapping
+from collections.abc import Mapping
+from typing import Any, Callable
 
 from .models import ModelStore
 from .records import Accessibility, PerformanceRecord
@@ -41,6 +42,7 @@ class CrowdServer:
         self._routes: dict[str, Callable[[Mapping[str, Any]], dict[str, Any]]] = {
             "register": self._route_register,
             "issue_key": self._route_issue_key,
+            "whoami": self._route_whoami,
             "upload": self._route_upload,
             "query": self._route_query,
             "query_sql": self._route_query_sql,
@@ -94,8 +96,21 @@ class CrowdServer:
         new_key = self.repository.users.issue_api_key(user.username)
         return {"ok": True, "api_key": new_key}
 
+    def _route_whoami(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        user = self.repository.users.authenticate(req["api_key"])
+        return {
+            "ok": True,
+            "username": user.username,
+            "email": user.email,
+            "groups": sorted(user.groups),
+        }
+
     # -- record routes -----------------------------------------------------------
     def _route_upload(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        # "uid"/"timestamp" are trusted-front-end fields: the sharded
+        # router stamps every replica of one logical write identically so
+        # cross-shard reads deduplicate.  End users talk to the router,
+        # which never forwards client-supplied values for them.
         record = PerformanceRecord(
             problem_name=req["problem_name"],
             task_parameters=dict(req["task_parameters"]),
@@ -104,8 +119,12 @@ class CrowdServer:
             machine_configuration=dict(req.get("machine_configuration", {})),
             software_configuration=dict(req.get("software_configuration", {})),
             accessibility=Accessibility.from_dict(req.get("accessibility")),
+            uid=int(req.get("uid", 0)),
         )
-        self.repository.upload(record, req["api_key"])
+        ts = req.get("timestamp")
+        self.repository.upload(
+            record, req["api_key"], timestamp=None if ts is None else float(ts)
+        )
         return {"ok": True, "uid": record.uid}
 
     def _route_query(self, req: Mapping[str, Any]) -> dict[str, Any]:
@@ -114,6 +133,7 @@ class CrowdServer:
             problem_name=req.get("problem_name"),
             problem_space=req.get("problem_space"),
             configuration_space=req.get("configuration_space"),
+            task_parameters=req.get("task_parameters"),
             require_success=bool(req.get("require_success", True)),
             limit=req.get("limit"),
         )

@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import secrets
 import string
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["User", "UserRegistry", "AuthError", "KeyPair"]
@@ -61,39 +62,49 @@ def _hash(value: str) -> str:
 
 
 class UserRegistry:
-    """In-memory user database with API-key authentication."""
+    """In-memory user database with API-key authentication.
+
+    Thread-safe: in the sharded service one registry is shared by every
+    shard (accounts are not sharded), so registrations race with
+    authentications from router worker threads.
+    """
 
     def __init__(self) -> None:
         self._users: dict[str, User] = {}
         self._emails: dict[str, str] = {}
+        self._lock = threading.RLock()
 
     # -- registration --------------------------------------------------------
     def register(self, username: str, email: str) -> User:
         if not username or not email or "@" not in email:
             raise ValueError("registration needs a username and a valid email")
-        if username in self._users:
-            raise ValueError(f"username {username!r} already registered")
-        if email in self._emails:
-            raise ValueError(f"email {email!r} already registered")
-        user = User(username=username, email=email)
-        self._users[username] = user
-        self._emails[email] = username
-        return user
+        with self._lock:
+            if username in self._users:
+                raise ValueError(f"username {username!r} already registered")
+            if email in self._emails:
+                raise ValueError(f"email {email!r} already registered")
+            user = User(username=username, email=email)
+            self._users[username] = user
+            self._emails[email] = username
+            return user
 
     def get(self, username: str) -> User:
         try:
-            return self._users[username]
+            with self._lock:
+                return self._users[username]
         except KeyError:
             raise KeyError(f"unknown user {username!r}")
 
     def lookup_email(self, email: str) -> User:
         try:
-            return self._users[self._emails[email]]
+            with self._lock:
+                return self._users[self._emails[email]]
         except KeyError:
             raise KeyError(f"no user with email {email!r}")
 
     def usernames(self) -> list[str]:
-        return sorted(self._users)
+        with self._lock:
+            return sorted(self._users)
 
     # -- groups -----------------------------------------------------------------
     def add_to_group(self, username: str, group: str) -> None:
@@ -114,7 +125,8 @@ class UserRegistry:
         """
         user = self.get(username)
         key = "".join(secrets.choice(_KEY_ALPHABET) for _ in range(_KEY_LENGTH))
-        user.key_hashes.add(_hash(key))
+        with self._lock:
+            user.key_hashes.add(_hash(key))
         return key
 
     def issue_keypair(self, username: str) -> KeyPair:
@@ -143,7 +155,8 @@ class UserRegistry:
         if not api_key:
             raise AuthError("empty API key")
         h = _hash(api_key)
-        for user in self._users.values():
-            if h in user.key_hashes or h in user.public_keys:
-                return user
+        with self._lock:
+            for user in self._users.values():
+                if h in user.key_hashes or h in user.public_keys:
+                    return user
         raise AuthError("invalid API key")

@@ -27,7 +27,9 @@ from .repository import CrowdRepository
 __all__ = [
     "LeaderboardRow",
     "leaderboard",
+    "leaderboard_from_records",
     "contributor_stats",
+    "contributor_stats_from_records",
     "machine_breakdown",
     "render_text",
     "render_html",
@@ -55,8 +57,21 @@ def leaderboard(
     repo: CrowdRepository, api_key: str, problem: str
 ) -> list[LeaderboardRow]:
     """Per-task best results, most-sampled tasks first."""
+    return leaderboard_from_records(_query_all(repo, api_key, problem))
+
+
+def leaderboard_from_records(
+    records: list[PerformanceRecord],
+) -> list[LeaderboardRow]:
+    """The leaderboard computed from an already-queried record list.
+
+    The sharded router uses this directly: it must aggregate over the
+    *deduplicated* cross-shard record set (replicated records appear on
+    several shards, so merging per-shard leaderboards would double
+    count).
+    """
     groups: dict[tuple, list[PerformanceRecord]] = {}
-    for rec in _query_all(repo, api_key, problem):
+    for rec in records:
         groups.setdefault(task_key(rec.task_parameters), []).append(rec)
     rows = []
     for records in groups.values():
@@ -83,8 +98,15 @@ def contributor_stats(
     repo: CrowdRepository, api_key: str, problem: str
 ) -> list[dict[str, Any]]:
     """Upload counts and best results per contributing user."""
+    return contributor_stats_from_records(_query_all(repo, api_key, problem))
+
+
+def contributor_stats_from_records(
+    records: list[PerformanceRecord],
+) -> list[dict[str, Any]]:
+    """Contributor stats from an already-deduplicated record list."""
     per_user: dict[str, dict[str, Any]] = {}
-    for rec in _query_all(repo, api_key, problem):
+    for rec in records:
         entry = per_user.setdefault(
             rec.owner, {"user": rec.owner, "samples": 0, "failures": 0, "best": None}
         )

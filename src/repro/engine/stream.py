@@ -1,22 +1,32 @@
 """Streaming completed evaluations to the crowd repository.
 
 :class:`CrowdStreamer` is an :data:`~repro.core.tuner.EvaluationCallback`
-that posts every evaluation — success *or* failure — to a
-:class:`~repro.crowd.server.CrowdServer` upload route the moment it
-lands, so the shared database grows while the tuning run is still in
-flight (the paper's crowd-tuning mode, where every participant's history
-becomes everyone else's transfer-learning source data).
+that posts every evaluation — success *or* failure — to the upload route
+of any protocol endpoint the moment it lands, so the shared database
+grows while the tuning run is still in flight (the paper's crowd-tuning
+mode, where every participant's history becomes everyone else's
+transfer-learning source data).
+
+The endpoint is anything with a ``handle(request) -> response`` method:
+a bare :class:`~repro.crowd.server.CrowdServer`, the sharded
+:class:`~repro.service.router.CrowdRouter`, or — against a flaky
+transport — a retrying :class:`~repro.service.client.ServiceClient`,
+which turns transport faults into bounded-backoff retries instead of
+lost records.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Mapping, Protocol
 
 from ..core import perf
 from ..core.problem import Evaluation
-from ..crowd.server import CrowdServer
 
 __all__ = ["CrowdStreamer"]
+
+
+class UploadEndpoint(Protocol):  # pragma: no cover - typing helper
+    def handle(self, request: Mapping[str, Any]) -> dict[str, Any]: ...
 
 #: engine bookkeeping copied from evaluation metadata into the record's
 #: machine configuration (the crowd record's reproducibility block)
@@ -33,7 +43,7 @@ class CrowdStreamer:
 
     def __init__(
         self,
-        server: CrowdServer,
+        server: UploadEndpoint,
         api_key: str,
         problem_name: str,
         *,

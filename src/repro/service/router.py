@@ -1,0 +1,566 @@
+"""The crowd service front-end: routing, fan-out, caching, backpressure.
+
+:class:`CrowdRouter` speaks the same request/response protocol as a
+single :class:`~repro.crowd.server.CrowdServer`, so every existing
+client (:class:`~repro.engine.stream.CrowdStreamer`,
+:class:`~repro.service.client.RemoteRepository`, plain dict calls) works
+unchanged against the sharded deployment.  Behind the protocol it:
+
+* **routes writes** to the ``(problem_name, task)`` key's preference
+  list on the consistent-hash ring — K-way replication, every replica
+  stamped with the same router-assigned ``uid`` and logical timestamp so
+  cross-shard reads deduplicate exactly;
+* **serves task-pinned reads** from the primary with fallback through
+  the replicas when shards are unreachable;
+* **fans out** problem-wide reads (``query``, ``query_sql``,
+  ``problems``, ``leaderboard``, ``contributors``, ``query_models``)
+  across all shards in parallel and merges: records deduplicate by
+  ``uid``, orderings and limits are re-applied globally, aggregates are
+  recomputed from the deduplicated record set;
+* **caches** read responses in a TTL+LRU cache tagged with the shards
+  each response was served from; a write invalidates every cached entry
+  that touched one of the written shards;
+* **backpressures** per API key with a token bucket: over-rate requests
+  get ``{"ok": false, "error": "throttled", "retry_after": ...}``
+  instead of service time (clients retry after the hint).
+
+Perf wiring: counters ``service_requests``, ``service_cache_hits`` /
+``_misses`` / ``_invalidations``, ``service_throttled``,
+``service_fanouts``, ``service_replica_fallbacks``,
+``service_underreplicated_writes``; gauges ``service_cache_size`` and
+``service_cache_hit_rate`` (plus the per-shard ``shard_depth.*`` /
+``shard_records.*`` gauges exported by the transport and shard layers).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from collections.abc import Mapping
+from typing import Any, Callable
+
+from ..core import perf
+from ..crowd.database import _get_path, _sort_key
+from ..crowd.query import SqlQuery
+from ..crowd.records import PerformanceRecord
+from ..crowd.views import contributor_stats_from_records, leaderboard_from_records
+from ..engine.faults import RetryPolicy
+from .client import ServiceClient
+from .shard import ShardRing, shard_key
+
+__all__ = ["CrowdRouter", "RouterOptions", "TokenBucket"]
+
+#: read routes whose responses may be cached
+_CACHEABLE = frozenset(
+    {"query", "query_sql", "problems", "leaderboard", "contributors", "query_models"}
+)
+#: account routes served by the admin shard (accounts are not sharded)
+_ACCOUNT = frozenset({"register", "issue_key", "whoami"})
+
+
+@dataclass
+class RouterOptions:
+    """Front-end knobs (defaults match a small trusted deployment)."""
+
+    #: copies of every record, including the primary (1 = no replication)
+    replication: int = 2
+    #: virtual nodes per shard on the consistent-hash ring
+    vnodes: int = 64
+    #: LRU capacity of the query cache (0 disables caching)
+    cache_size: int = 256
+    #: seconds a cached response stays valid
+    cache_ttl_s: float = 30.0
+    #: sustained requests/second allowed per API key (None = unlimited)
+    rate_limit: float | None = None
+    #: burst capacity of each key's token bucket
+    burst: int = 20
+    #: retry policy of the router's own shard connections
+    retry: RetryPolicy | None = None
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: int, clock: Callable[[], float]) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def acquire(self) -> float:
+        """Take one token; returns 0.0, or seconds until one is available."""
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class _QueryCache:
+    """TTL+LRU response cache with shard-tag invalidation."""
+
+    def __init__(self, size: int, ttl_s: float, clock: Callable[[], float]) -> None:
+        self.size = int(size)
+        self.ttl_s = float(ttl_s)
+        self._clock = clock
+        #: key -> (response, expires_at, shard_tags)
+        self._entries: OrderedDict[str, tuple[dict, float, frozenset[str]]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> dict | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[1] >= self._clock():
+                self._entries.move_to_end(key)
+                self.hits += 1
+                perf.incr("service_cache_hits")
+                self._gauge_rate()
+                return json.loads(json.dumps(entry[0]))  # defensive copy
+            if entry is not None:
+                del self._entries[key]  # expired
+            self.misses += 1
+            perf.incr("service_cache_misses")
+            self._gauge_rate()
+            return None
+
+    def put(self, key: str, response: Mapping[str, Any], tags: frozenset[str]) -> None:
+        if self.size <= 0:
+            return
+        with self._lock:
+            self._entries[key] = (
+                json.loads(json.dumps(dict(response))),
+                self._clock() + self.ttl_s,
+                tags,
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.size:
+                self._entries.popitem(last=False)
+            perf.gauge("service_cache_size", len(self._entries))
+
+    def invalidate(self, shards: frozenset[str]) -> int:
+        """Drop every entry served from any of the given shards."""
+        with self._lock:
+            doomed = [k for k, e in self._entries.items() if e[2] & shards]
+            for k in doomed:
+                del self._entries[k]
+            if doomed:
+                perf.incr("service_cache_invalidations", len(doomed))
+                perf.gauge("service_cache_size", len(self._entries))
+            return len(doomed)
+
+    def _gauge_rate(self) -> None:
+        total = self.hits + self.misses
+        if total:
+            perf.gauge("service_cache_hit_rate", self.hits / total)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class CrowdRouter:
+    """Protocol-compatible front-end over N crowd shards."""
+
+    def __init__(
+        self,
+        shards: Mapping[str, Any],
+        options: RouterOptions | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        next_uid: int = 1,
+        write_clock: float = 0.0,
+    ) -> None:
+        """``shards`` maps shard name to its channel: a
+        :class:`SimTransport`, a :class:`ServiceClient`, or anything with
+        ``handle()`` (e.g. a bare :class:`CrowdShard`).
+
+        ``next_uid``/``write_clock`` seed the router's global stamps; a
+        router fronting recovered shards must start past the largest
+        recovered uid/timestamp or new writes would collide with (and
+        deduplicate against) pre-crash records.
+        """
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        self.options = options if options is not None else RouterOptions()
+        self._clock = clock
+        retry = self.options.retry
+        self._shards: dict[str, ServiceClient] = {
+            name: (
+                channel
+                if isinstance(channel, ServiceClient)
+                else ServiceClient(channel, retry=retry)
+            )
+            for name, channel in shards.items()
+        }
+        self.ring = ShardRing(list(self._shards), vnodes=self.options.vnodes)
+        self._admin = next(iter(self._shards))
+        self._cache = _QueryCache(
+            self.options.cache_size, self.options.cache_ttl_s, clock
+        )
+        self._buckets: dict[str, TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
+        self._uid_lock = threading.Lock()
+        self._next_uid = max(int(next_uid), 1)
+        self._write_clock = float(write_clock)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- plumbing ------------------------------------------------------------
+    def _stamp(self) -> tuple[int, float]:
+        """Router-global uid + logical timestamp for one logical write."""
+        with self._uid_lock:
+            uid = self._next_uid
+            self._next_uid += 1
+            self._write_clock += 1.0
+            return uid, self._write_clock
+
+    def _fanout(self, request: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
+        """Send ``request`` to every shard in parallel; name -> response."""
+        perf.incr("service_fanouts")
+        names = list(self._shards)
+        if len(names) == 1:
+            return {names[0]: self._shards[names[0]].handle(request)}
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=len(names), thread_name_prefix="crowd-fanout"
+                )
+            pool = self._pool
+        futures = {n: pool.submit(self._shards[n].handle, request) for n in names}
+        return {n: f.result() for n, f in futures.items()}
+
+    def _throttle(self, api_key: str) -> dict[str, Any] | None:
+        if self.options.rate_limit is None:
+            return None
+        with self._buckets_lock:
+            bucket = self._buckets.get(api_key)
+            if bucket is None:
+                bucket = self._buckets[api_key] = TokenBucket(
+                    self.options.rate_limit, self.options.burst, self._clock
+                )
+            wait = bucket.acquire()
+        if wait <= 0.0:
+            return None
+        perf.incr("service_throttled")
+        return {
+            "ok": False,
+            "error": "throttled",
+            "message": "rate limit exceeded",
+            "retry_after": round(wait, 6),
+        }
+
+    def close(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # -- dispatch ------------------------------------------------------------
+    def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Process one request dict; never raises (protocol contract)."""
+        if not isinstance(request, Mapping):
+            return _bad_request("request must be an object")
+        perf.incr("service_requests")
+        route = request.get("route")
+        throttled = self._throttle(str(request.get("api_key", "")))
+        if throttled is not None:
+            return throttled
+
+        if route in _ACCOUNT:
+            return self._shards[self._admin].handle(request)
+        if route == "upload":
+            return self._route_upload(request)
+        if route == "upload_model":
+            return self._route_upload_model(request)
+
+        cache_key = None
+        if route in _CACHEABLE and self._cache.size > 0:
+            cache_key = json.dumps(dict(request), sort_keys=True, default=str)
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return cached
+
+        if route == "query":
+            response, tags = self._route_query(request)
+        elif route == "query_sql":
+            response, tags = self._route_query_sql(request)
+        elif route == "problems":
+            response, tags = self._merge_problems(request)
+        elif route == "leaderboard":
+            response, tags = self._route_leaderboard(request)
+        elif route == "contributors":
+            response, tags = self._route_contributors(request)
+        elif route == "query_models":
+            response, tags = self._route_query_models(request)
+        elif route == "browse_html":
+            return _bad_request(
+                "browse_html is not served by the sharded router; "
+                "render locally from a query"
+            )
+        else:
+            return {
+                "ok": False,
+                "error": "not_found",
+                "message": f"unknown route {route!r}",
+            }
+
+        if cache_key is not None and response.get("ok"):
+            self._cache.put(cache_key, response, tags)
+        return response
+
+    # -- writes --------------------------------------------------------------
+    def _route_upload(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        try:
+            problem = request["problem_name"]
+            task = dict(request["task_parameters"])
+        except (KeyError, TypeError) as exc:
+            return _bad_request(str(exc))
+        key = shard_key(problem, task)
+        prefs = self.ring.preference(key, self.options.replication)
+        uid, ts = self._stamp()
+        stamped = {k: v for k, v in request.items() if k not in ("uid", "timestamp")}
+        stamped["uid"] = uid
+        stamped["timestamp"] = ts
+        ok_response: dict[str, Any] | None = None
+        failed = 0
+        rejected: dict[str, Any] | None = None
+        for name in prefs:
+            response = self._shards[name].handle(stamped)
+            if response.get("ok"):
+                ok_response = response
+            elif response.get("error") == "unavailable":
+                failed += 1
+            else:
+                rejected = response  # auth / bad_request: same on every shard
+                break
+        self._cache.invalidate(frozenset(prefs))
+        if rejected is not None:
+            return rejected
+        if ok_response is None:
+            return {
+                "ok": False,
+                "error": "unavailable",
+                "message": f"no replica of {prefs} accepted the write",
+            }
+        if failed:
+            perf.incr("service_underreplicated_writes")
+        return ok_response
+
+    def _route_upload_model(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        try:
+            key = shard_key(
+                request["problem_name"], dict(request["task_parameters"])
+            )
+        except (KeyError, TypeError) as exc:
+            return _bad_request(str(exc))
+        primary = self.ring.primary(key)
+        response = self._shards[primary].handle(request)
+        self._cache.invalidate(frozenset([primary]))
+        return response
+
+    # -- reads ---------------------------------------------------------------
+    def _route_query(
+        self, request: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], frozenset[str]]:
+        task = request.get("task_parameters")
+        problem = request.get("problem_name")
+        if task is not None and problem:
+            # task-pinned: the single owning shard has every record of
+            # the key; fall back through the replicas when shards die
+            prefs = self.ring.preference(
+                shard_key(problem, dict(task)), self.options.replication
+            )
+            for i, name in enumerate(prefs):
+                response = self._shards[name].handle(request)
+                if response.get("error") == "unavailable":
+                    continue
+                if i > 0:
+                    perf.incr("service_replica_fallbacks")
+                return response, frozenset(prefs)
+            return (
+                {
+                    "ok": False,
+                    "error": "unavailable",
+                    "message": f"all replicas of {prefs} are unreachable",
+                },
+                frozenset(prefs),
+            )
+        docs, error, tags = self._gather_records(request)
+        if error is not None:
+            return error, tags
+        docs.sort(key=lambda d: _sort_key(d.get("timestamp")))
+        limit = request.get("limit")
+        if limit is not None:
+            docs = docs[: max(int(limit), 0)]
+        return {"ok": True, "records": docs}, tags
+
+    def _route_query_sql(
+        self, request: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], frozenset[str]]:
+        try:
+            q = SqlQuery.parse(request.get("sql", ""))
+        except Exception as exc:
+            return _bad_request(str(exc)), frozenset()
+        docs, error, tags = self._gather_records(request)
+        if error is not None:
+            return error, tags
+        if q.order_by is not None:
+            docs.sort(
+                key=lambda d: _sort_key(_get_path(d, q.order_by)),
+                reverse=q.descending,
+            )
+        if q.limit is not None:
+            docs = docs[: q.limit]
+        return {"ok": True, "records": docs}, tags
+
+    def _gather_records(
+        self, request: Mapping[str, Any]
+    ) -> tuple[list[dict], dict[str, Any] | None, frozenset[str]]:
+        """Fan out a record-returning request; dedup replicas by uid."""
+        responses = self._fanout(request)
+        tags = frozenset(responses)
+        docs: list[dict] = []
+        seen: set[Any] = set()
+        reachable = 0
+        for name, response in sorted(responses.items()):
+            if response.get("error") == "unavailable":
+                continue
+            if not response.get("ok"):
+                return [], response, tags  # auth/bad_request: uniform verdict
+            reachable += 1
+            for doc in response.get("records", []):
+                uid = doc.get("uid", 0)
+                dedup = uid if uid else json.dumps(doc, sort_keys=True, default=str)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                doc.pop("_id", None)  # shard-local ids are meaningless here
+                docs.append(doc)
+        if reachable == 0:
+            return (
+                [],
+                {"ok": False, "error": "unavailable", "message": "no shard reachable"},
+                tags,
+            )
+        return docs, None, tags
+
+    def _merge_problems(
+        self, request: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], frozenset[str]]:
+        responses = self._fanout(request)
+        tags = frozenset(responses)
+        names: set[str] = set()
+        reachable = 0
+        for _, response in sorted(responses.items()):
+            if response.get("error") == "unavailable":
+                continue
+            if not response.get("ok"):
+                return response, tags
+            reachable += 1
+            names.update(response.get("problems", []))
+        if reachable == 0:
+            return (
+                {"ok": False, "error": "unavailable", "message": "no shard reachable"},
+                tags,
+            )
+        return {"ok": True, "problems": sorted(names)}, tags
+
+    def _dedup_problem_records(
+        self, request: Mapping[str, Any]
+    ) -> tuple[list[PerformanceRecord] | None, dict[str, Any] | None, frozenset[str]]:
+        """Deduplicated records of one problem (failures included)."""
+        inner = {
+            "route": "query",
+            "api_key": request.get("api_key"),
+            "problem_name": request.get("problem_name"),
+            "require_success": False,
+        }
+        docs, error, tags = self._gather_records(inner)
+        if error is not None:
+            return None, error, tags
+        return [PerformanceRecord.from_doc(d) for d in docs], None, tags
+
+    def _route_leaderboard(
+        self, request: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], frozenset[str]]:
+        records, error, tags = self._dedup_problem_records(request)
+        if error is not None:
+            return error, tags
+        rows = leaderboard_from_records(records)
+        return (
+            {
+                "ok": True,
+                "rows": [
+                    {
+                        "task_parameters": r.task_parameters,
+                        "best_output": r.best_output,
+                        "best_configuration": r.best_configuration,
+                        "best_owner": r.best_owner,
+                        "n_samples": r.n_samples,
+                        "n_failures": r.n_failures,
+                    }
+                    for r in rows
+                ],
+            },
+            tags,
+        )
+
+    def _route_contributors(
+        self, request: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], frozenset[str]]:
+        records, error, tags = self._dedup_problem_records(request)
+        if error is not None:
+            return error, tags
+        return (
+            {"ok": True, "contributors": contributor_stats_from_records(records)},
+            tags,
+        )
+
+    def _route_query_models(
+        self, request: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], frozenset[str]]:
+        responses = self._fanout(request)
+        tags = frozenset(responses)
+        models: list[dict] = []
+        reachable = 0
+        for _, response in sorted(responses.items()):
+            if response.get("error") == "unavailable":
+                continue
+            if not response.get("ok"):
+                return response, tags
+            reachable += 1
+            models.extend(response.get("models", []))
+        if reachable == 0:
+            return (
+                {"ok": False, "error": "unavailable", "message": "no shard reachable"},
+                tags,
+            )
+        return {"ok": True, "models": models}, tags
+
+    def routes(self) -> list[str]:
+        return sorted(
+            _ACCOUNT
+            | _CACHEABLE
+            | {"upload", "upload_model"}
+        )
+
+
+def _bad_request(message: str) -> dict[str, Any]:
+    return {"ok": False, "error": "bad_request", "message": message}

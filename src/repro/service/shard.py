@@ -1,0 +1,178 @@
+"""Consistent-hash sharding of the crowd repository.
+
+:class:`ShardRing` places shard names on a 64-bit hash ring with virtual
+nodes (classic consistent hashing: adding or removing one shard only
+remaps ~1/N of the keys).  Records are keyed by ``(problem_name, task
+parameters)`` — one task's samples always live together, so the router
+serves a task-pinned query from a single shard while problem-wide
+queries fan out.
+
+:class:`CrowdShard` is one storage node: a full
+:class:`~repro.crowd.server.CrowdServer` whose document store is made
+durable by the write-ahead log of :mod:`repro.service.wal`.  Shards
+share one :class:`~repro.crowd.users.UserRegistry` (accounts are not
+sharded, mirroring the usual service split of an auth tier in front of
+storage tiers); credentials never touch the WAL or snapshots, matching
+the repository's existing never-persist-credentials rule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from bisect import bisect_right
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core import perf
+from ..crowd.configmatch import TagMatcher
+from ..crowd.repository import CrowdRepository
+from ..crowd.server import CrowdServer
+from ..crowd.users import UserRegistry
+from . import wal as _wal
+
+__all__ = ["ShardRing", "CrowdShard", "shard_key"]
+
+
+def shard_key(problem_name: str, task_parameters: Mapping[str, Any] | None) -> str:
+    """Canonical routing key for a record or a task-pinned query."""
+    task = json.dumps(dict(task_parameters or {}), sort_keys=True, default=str)
+    return f"{problem_name}\x00{task}"
+
+
+def _ring_hash(value: str) -> int:
+    return int.from_bytes(hashlib.sha256(value.encode()).digest()[:8], "little")
+
+
+class ShardRing:
+    """Consistent hashing of keys onto named shards with replication."""
+
+    def __init__(self, names: list[str], *, vnodes: int = 64) -> None:
+        if not names:
+            raise ValueError("ring needs at least one shard")
+        if len(set(names)) != len(names):
+            raise ValueError("shard names must be unique")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.names = list(names)
+        self.vnodes = int(vnodes)
+        points: list[tuple[int, str]] = []
+        for name in names:
+            for v in range(vnodes):
+                points.append((_ring_hash(f"{name}#{v}"), name))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def preference(self, key: str, k: int = 1) -> list[str]:
+        """The first ``k`` distinct shards clockwise of ``key``'s hash.
+
+        Index 0 is the primary; the rest are the replicas, in fallback
+        order.  ``k`` is capped at the number of shards.
+        """
+        k = min(max(int(k), 1), len(self.names))
+        start = bisect_right(self._hashes, _ring_hash(key))
+        out: list[str] = []
+        for i in range(len(self._owners)):
+            name = self._owners[(start + i) % len(self._owners)]
+            if name not in out:
+                out.append(name)
+                if len(out) == k:
+                    break
+        return out
+
+    def primary(self, key: str) -> str:
+        return self.preference(key, 1)[0]
+
+
+class CrowdShard:
+    """One durable crowd-serving node.
+
+    Without ``data_dir`` the shard is memory-only (tests, throwaway
+    demos).  With it, every store mutation is journaled before the
+    response leaves :meth:`handle`, a snapshot is taken every
+    ``snapshot_every`` journaled ops, and constructing a shard over an
+    existing directory recovers snapshot + WAL tail to exactly the last
+    acknowledged state.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data_dir: str | Path | None = None,
+        *,
+        users: UserRegistry | None = None,
+        matcher: TagMatcher | None = None,
+        snapshot_every: int = 256,
+        fsync_every: int = 1,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.name = name
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.snapshot_every = int(snapshot_every)
+        self._wal: _wal.WriteAheadLog | None = None
+        self._ops_since_snapshot = 0
+        self._snapshot_due = False
+
+        if self.data_dir is not None:
+            store, last_seq = _wal.load_shard_state(self.data_dir)
+        else:
+            store, last_seq = None, 0
+        self.repository = CrowdRepository(store=store, users=users, matcher=matcher)
+        # resume the logical clock past every recovered record so new
+        # uploads keep strictly increasing timestamps
+        for doc in self.repository.store["performance_records"].find({}):
+            self.repository.advance_clock(float(doc.get("timestamp", 0.0)))
+        self.server = CrowdServer(self.repository)
+
+        if self.data_dir is not None:
+            self._wal = _wal.WriteAheadLog(
+                _wal.wal_path(self.data_dir), fsync_every=fsync_every
+            )
+            self._wal.start_from(last_seq)
+            # journal every mutation from here on (recovery replay above
+            # ran before the observer existed, so it never re-journals)
+            self.repository.store.set_observer(self._journal)
+
+    # -- durability ---------------------------------------------------------
+    def _journal(self, op: dict[str, Any]) -> None:
+        assert self._wal is not None
+        self._wal.append(op)
+        self._ops_since_snapshot += 1
+        if self._ops_since_snapshot >= self.snapshot_every:
+            # deferred: snapshotting inside the observer runs under the
+            # collection lock; handle() runs it after the request instead
+            self._snapshot_due = True
+
+    def snapshot(self) -> None:
+        """Write a full store image and truncate the journal."""
+        if self._wal is None:
+            return
+        self._wal.sync()
+        _wal.write_snapshot(self.data_dir, self.repository.store, self._wal.seq)
+        self._wal.truncate()
+        self._ops_since_snapshot = 0
+        self._snapshot_due = False
+
+    # -- serving ------------------------------------------------------------
+    def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Serve one request; durability holds before the response."""
+        with perf.timer(f"shard.{self.name}"):
+            response = self.server.handle(request)
+        perf.incr(f"shard_requests.{self.name}")
+        if self._snapshot_due:
+            self.snapshot()
+        perf.gauge(f"shard_records.{self.name}", self.repository.count())
+        return response
+
+    def count(self) -> int:
+        return self.repository.count()
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = self.data_dir if self.data_dir is not None else "memory"
+        return f"<CrowdShard {self.name} @ {where}, {self.count()} records>"

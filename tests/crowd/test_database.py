@@ -161,6 +161,50 @@ class TestIndexes:
         coll.create_index("value")
         assert {d["name"] for d in coll.find({"value": {"$gte": 3}})} == {"b", "c"}
 
+    def test_mass_delete_leaves_no_empty_buckets(self):
+        c = Collection("x")
+        c.create_index("k")
+        c.insert_many([{"k": f"key-{i}", "grp": i % 2} for i in range(200)])
+        assert len(c._indexes["k"]) == 200
+        c.delete({"grp": 0})
+        # every deleted distinct value's bucket is pruned, not left empty
+        assert all(bucket for bucket in c._indexes["k"].values())
+        assert len(c._indexes["k"]) == 100
+        c.delete({})
+        assert c._indexes["k"] == {}
+
+    def test_update_prunes_abandoned_buckets(self):
+        c = Collection("x")
+        c.create_index("k")
+        c.insert({"k": "old"})
+        c.update({"k": "old"}, {"k": "new"})
+        assert "old" not in {k for k in c._indexes["k"]}
+        assert len(c.find({"k": "new"})) == 1
+
+    def test_count_uses_index(self):
+        c = Collection("x")
+        c.insert_many([{"k": "a", "v": i} for i in range(5)])
+        c.insert_many([{"k": "b", "v": i} for i in range(3)])
+        c.create_index("k")
+        # narrow the pool through the index, then apply the rest of
+        # the filter to the candidates only
+        assert c.count({"k": "a"}) == 5
+        assert c.count({"k": "a", "v": {"$lt": 2}}) == 2
+        assert c.count({"k": "missing"}) == 0
+        assert c.count() == 8
+
+    def test_unsorted_find_with_limit_short_circuits(self):
+        c = Collection("x")
+        c.insert_many([{"v": i % 3} for i in range(50)])
+        got = c.find({"v": 1}, limit=4)
+        assert len(got) == 4
+        assert all(d["v"] == 1 for d in got)
+        assert c.find({"v": 1}, limit=0) == []
+        assert c.find({"v": 1}, limit=-2) == []
+        # sorted queries still see every match before limiting
+        top = c.find({}, sort="v", descending=True, limit=2)
+        assert [d["v"] for d in top] == [2, 2]
+
 
 class TestStore:
     def test_collection_creation(self):

@@ -20,7 +20,26 @@ class TestBuildFilter:
 
     def test_success_filter_default(self):
         flt = build_filter("demo")
-        assert {"output": {"$ne": None}} in flt["$and"]
+        # single-key clauses fold into one flat conjunction, so the
+        # equality on problem_name stays visible to the hash indexes
+        assert flt == {"problem_name": "demo", "output": {"$ne": None}}
+
+    def test_task_parameters_pin_exact_values(self):
+        flt = build_filter("demo", task_parameters={"t": 3, "m": 100})
+        assert flt == {
+            "problem_name": "demo",
+            "output": {"$ne": None},
+            "task_parameters.t": 3,
+            "task_parameters.m": 100,
+        }
+
+    def test_non_mergeable_clauses_keep_the_and(self):
+        cs = {"machine_configurations": [{"Cori": {}}, {"Summit": {}}]}
+        flt = build_filter("demo", configuration_space=cs, require_success=False)
+        assert set(flt) == {"$and"}
+        assert {"problem_name": "demo"} in flt["$and"] or any(
+            c.get("problem_name") == "demo" for c in flt["$and"]
+        )
 
     def test_input_space_bounds(self):
         ps = {"input_space": [{"name": "t", "lower_bound": 1, "upper_bound": 10}]}

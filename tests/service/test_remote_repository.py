@@ -1,0 +1,140 @@
+"""The crowd-tuning API (CrowdClient + TLA) over the sharded service.
+
+`RemoteRepository` adapts the service protocol back to the repository
+surface, so everything downstream — `query_source_data`, transfer
+tuning, evaluation sync — must behave exactly as against an in-process
+`CrowdRepository`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.synthetic import DemoFunction
+from repro.crowd import CrowdClient, MetaDescription, PerformanceRecord
+from repro.crowd.users import AuthError
+from repro.service import build_service
+from repro.tla import MultitaskTS
+
+
+@pytest.fixture()
+def svc():
+    service = build_service(3, replication=2)
+    yield service
+    service.close()
+
+
+@pytest.fixture()
+def remote(svc):
+    return svc.repository_view()
+
+
+@pytest.fixture()
+def key(svc):
+    return svc.register_user("user_A", "a@lab.gov")[1]
+
+
+@pytest.fixture()
+def problem():
+    return DemoFunction().make_problem(noisy=False)
+
+
+def _meta(key, sync="no"):
+    return MetaDescription.from_dict(
+        {
+            "api_key": key,
+            "tuning_problem_name": "demo",
+            "problem_space": {
+                "input_space": [
+                    {"name": "t", "type": "real", "lower_bound": 0, "upper_bound": 10}
+                ],
+                "parameter_space": [
+                    {
+                        "name": "x",
+                        "type": "real",
+                        "lower_bound": 0.0,
+                        "upper_bound": 1.0,
+                    }
+                ],
+                "output_space": [{"name": "y", "type": "output"}],
+            },
+            "sync_crowd_repo": sync,
+        }
+    )
+
+
+def _seed_tasks(remote, key, problem, tasks, n, seed=0):
+    rng = np.random.default_rng(seed)
+    space = problem.parameter_space
+    for task in tasks:
+        for _ in range(n):
+            cfg = space.sample(rng)
+            remote.upload(
+                PerformanceRecord(
+                    problem_name=problem.name,
+                    task_parameters=dict(task),
+                    tuning_parameters=cfg,
+                    output=problem.objective(task, cfg),
+                ),
+                key,
+            )
+
+
+class TestRemoteRepository:
+    def test_upload_and_query_round_trip(self, remote, key, problem):
+        _seed_tasks(remote, key, problem, [{"t": 1.0}, {"t": 2.0}], 4)
+        records = remote.query(key, problem_name="demo")
+        assert len(records) == 8
+        assert {r.owner for r in records} == {"user_A"}
+        pinned = remote.query(key, problem_name="demo", task_parameters={"t": 1.0})
+        assert len(pinned) == 4
+
+    def test_query_sql_and_problems(self, remote, key, problem):
+        _seed_tasks(remote, key, problem, [{"t": 3.0}], 5)
+        assert remote.problems(key) == ["demo"]
+        top = remote.query_sql(
+            key, "SELECT * WHERE problem_name = 'demo' ORDER BY output LIMIT 2"
+        )
+        assert len(top) == 2
+        assert top[0].output <= top[1].output
+
+    def test_bad_key_raises_auth_error(self, remote, key, problem):
+        with pytest.raises(AuthError):
+            remote.query("not-a-key", problem_name="demo")
+        with pytest.raises(AuthError):
+            remote.users.authenticate("not-a-key")
+
+
+class TestCrowdClientOverService:
+    def test_client_authenticates_via_whoami(self, remote, key):
+        client = CrowdClient(remote, _meta(key))
+        assert client.user.username == "user_A"
+        with pytest.raises(AuthError):
+            CrowdClient(remote, _meta("bogus-key"))
+
+    def test_query_source_data_groups_per_task(self, remote, key, problem):
+        _seed_tasks(remote, key, problem, [{"t": 1.0}, {"t": 5.0}], 6)
+        client = CrowdClient(remote, _meta(key))
+        sources = client.query_source_data(problem.parameter_space)
+        assert len(sources) == 2
+        assert all(s.n == 6 for s in sources)
+
+    def test_tune_transfer_learns_from_crowd_data(self, remote, key, problem):
+        _seed_tasks(remote, key, problem, [{"t": 2.0}, {"t": 8.0}], 8, seed=1)
+        client = CrowdClient(remote, _meta(key, sync="yes"))
+        result = client.tune(
+            problem,
+            {"t": 5.0},
+            6,
+            strategy=MultitaskTS(),
+            seed=0,
+            min_source_samples=5,
+        )
+        assert len(result.history) == 6
+        assert np.isfinite(result.best_output)
+        # sync_crowd_repo=yes: the run's evaluations landed in the service
+        target = remote.query(
+            key, problem_name="demo", task_parameters={"t": 5.0}
+        )
+        assert len(target) == 6

@@ -1,0 +1,313 @@
+"""Router semantics: replication, pinned reads, fan-out merge, cache,
+throttling, and degraded-mode behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd.users import UserRegistry
+from repro.service import (
+    CrowdRouter,
+    CrowdShard,
+    RouterOptions,
+    build_service,
+)
+
+
+def _upload(endpoint, key, i, problem="demo", task=None):
+    return endpoint.handle(
+        {
+            "route": "upload",
+            "api_key": key,
+            "problem_name": problem,
+            "task_parameters": task if task is not None else {"t": i % 5},
+            "tuning_parameters": {"x": i},
+            "output": float(i),
+        }
+    )
+
+
+@pytest.fixture()
+def svc():
+    service = build_service(4, replication=2)
+    yield service
+    service.close()
+
+
+@pytest.fixture()
+def key(svc):
+    return svc.register_user("alice", "alice@lab.gov")[1]
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _manual_router(**options):
+    """Router over bare shards with an injectable clock."""
+    users = UserRegistry()
+    users.register("alice", "alice@lab.gov")
+    api_key = users.issue_api_key("alice")
+    shards = {f"s{i}": CrowdShard(f"s{i}", None, users=users) for i in range(3)}
+    clock = _Clock()
+    router = CrowdRouter(shards, RouterOptions(**options), clock=clock)
+    return router, api_key, clock
+
+
+class TestReplication:
+    def test_each_record_stored_on_replication_shards(self, svc, key):
+        for i in range(20):
+            assert _upload(svc.client, key, i)["ok"]
+        assert svc.total_records() == 40  # 20 records x replication=2
+
+    def test_replicas_carry_identical_uid_and_timestamp(self, svc, key):
+        _upload(svc.client, key, 0)
+        docs = [
+            d
+            for shard in svc.shards.values()
+            for d in shard.repository.store["performance_records"].find({})
+        ]
+        assert len(docs) == 2
+        assert docs[0]["uid"] == docs[1]["uid"]
+        assert docs[0]["timestamp"] == docs[1]["timestamp"]
+
+    def test_fanout_query_dedups_replicas(self, svc, key):
+        for i in range(15):
+            _upload(svc.client, key, i)
+        response = svc.client.handle(
+            {"route": "query", "api_key": key, "problem_name": "demo"}
+        )
+        assert response["ok"]
+        assert len(response["records"]) == 15
+        uids = [r["uid"] for r in response["records"]]
+        assert len(set(uids)) == 15
+
+    def test_write_survives_one_dead_replica(self, svc, key):
+        svc.kill_shard("shard-0")
+        for i in range(20):
+            assert _upload(svc.client, key, i)["ok"]
+        response = svc.client.handle(
+            {"route": "query", "api_key": key, "problem_name": "demo"}
+        )
+        assert len(response["records"]) == 20
+
+
+class TestPinnedReads:
+    def test_pinned_query_served_without_fanout(self, svc, key):
+        for i in range(12):
+            _upload(svc.client, key, i)
+        before = {n: t.n_requests for n, t in svc.transports.items()}
+        response = svc.client.handle(
+            {
+                "route": "query",
+                "api_key": key,
+                "problem_name": "demo",
+                "task_parameters": {"t": 2},
+            }
+        )
+        assert response["ok"]
+        assert len(response["records"]) == sum(1 for i in range(12) if i % 5 == 2)
+        touched = [
+            n for n, t in svc.transports.items() if t.n_requests > before[n]
+        ]
+        assert len(touched) == 1  # single owning shard, no fan-out
+
+    def test_pinned_query_falls_back_to_replica(self, svc, key):
+        for i in range(12):
+            _upload(svc.client, key, i)
+        task = {"t": 3}
+        expected = sum(1 for i in range(12) if i % 5 == 3)
+        # kill shards until the primary for this task is certainly dead,
+        # keeping one replica alive (replication=2 tolerates 1 failure)
+        from repro.service.shard import shard_key
+
+        prefs = svc.router.ring.preference(shard_key("demo", task), 2)
+        svc.kill_shard(prefs[0])
+        response = svc.client.handle(
+            {
+                "route": "query",
+                "api_key": key,
+                "problem_name": "demo",
+                "task_parameters": task,
+            }
+        )
+        assert response["ok"]
+        assert len(response["records"]) == expected
+
+    def test_pinned_query_unavailable_when_all_replicas_dead(self, svc, key):
+        _upload(svc.client, key, 0, task={"t": 0})
+        for name in svc.transports:
+            svc.kill_shard(name)
+        response = svc.router.handle(
+            {
+                "route": "query",
+                "api_key": key,
+                "problem_name": "demo",
+                "task_parameters": {"t": 0},
+            }
+        )
+        assert response == {
+            "ok": False,
+            "error": "unavailable",
+            "message": response["message"],
+        }
+
+
+class TestMerges:
+    def test_query_sql_merge_respects_global_order_and_limit(self, svc, key):
+        for i in range(10):
+            _upload(svc.client, key, i)
+        response = svc.client.handle(
+            {
+                "route": "query_sql",
+                "api_key": key,
+                "sql": (
+                    "SELECT * WHERE problem_name = 'demo' "
+                    "ORDER BY output DESC LIMIT 4"
+                ),
+            }
+        )
+        assert response["ok"]
+        outputs = [r["output"] for r in response["records"]]
+        assert outputs == [9.0, 8.0, 7.0, 6.0]
+
+    def test_problems_is_a_union_over_shards(self, svc, key):
+        for i, problem in enumerate(["alpha", "beta", "gamma", "alpha"]):
+            _upload(svc.client, key, i, problem=problem, task={"t": i})
+        response = svc.client.handle({"route": "problems", "api_key": key})
+        assert response == {"ok": True, "problems": ["alpha", "beta", "gamma"]}
+
+    def test_leaderboard_not_skewed_by_replication(self, svc, key):
+        for i in range(9):
+            _upload(svc.client, key, i)
+        response = svc.client.handle(
+            {"route": "leaderboard", "api_key": key, "problem_name": "demo"}
+        )
+        assert response["ok"]
+        total = sum(row["n_samples"] for row in response["rows"])
+        assert total == 9  # replicas deduplicated before aggregation
+
+    def test_contributors_counts_each_record_once(self, svc, key):
+        for i in range(7):
+            _upload(svc.client, key, i)
+        response = svc.client.handle(
+            {"route": "contributors", "api_key": key, "problem_name": "demo"}
+        )
+        assert response["ok"]
+        (row,) = response["contributors"]
+        assert row["user"] == "alice"
+        assert row["samples"] == 7
+
+    def test_browse_html_is_rejected(self, svc, key):
+        response = svc.client.handle({"route": "browse_html", "api_key": key})
+        assert response["error"] == "bad_request"
+
+    def test_unknown_route(self, svc, key):
+        assert svc.client.handle({"route": "nope"})["error"] == "not_found"
+
+
+class TestCache:
+    def test_repeat_query_is_served_from_cache(self, svc, key):
+        for i in range(6):
+            _upload(svc.client, key, i)
+        request = {"route": "query", "api_key": key, "problem_name": "demo"}
+        first = svc.client.handle(request)
+        before = {n: t.n_requests for n, t in svc.transports.items()}
+        second = svc.client.handle(request)
+        assert second == first
+        # cache hit: no shard saw the second request
+        assert {n: t.n_requests for n, t in svc.transports.items()} == before
+
+    def test_cached_response_is_a_copy(self, svc, key):
+        _upload(svc.client, key, 0)
+        request = {"route": "query", "api_key": key, "problem_name": "demo"}
+        first = svc.client.handle(request)
+        first["records"][0]["output"] = -1.0
+        second = svc.client.handle(request)
+        assert second["records"][0]["output"] == 0.0
+
+    def test_write_invalidates_cache_of_owning_shards(self, svc, key):
+        _upload(svc.client, key, 0, task={"t": 0})
+        request = {"route": "query", "api_key": key, "problem_name": "demo"}
+        assert len(svc.client.handle(request)["records"]) == 1
+        # fan-out queries are tagged with every shard, so any write
+        # invalidates them: the next read sees the new record, not stale
+        _upload(svc.client, key, 1, task={"t": 1})
+        assert len(svc.client.handle(request)["records"]) == 2
+
+    def test_cache_entry_expires_after_ttl(self):
+        router, api_key, clock = _manual_router(
+            replication=1, cache_ttl_s=10.0
+        )
+        _upload(router, api_key, 0)
+        request = {"route": "query", "api_key": api_key, "problem_name": "demo"}
+        router.handle(request)
+        assert router._cache.hits == 0
+        router.handle(request)
+        assert router._cache.hits == 1
+        clock.now = 11.0  # past the TTL
+        router.handle(request)
+        assert router._cache.hits == 1
+        router.close()
+
+    def test_cache_disabled_with_size_zero(self):
+        router, api_key, _ = _manual_router(replication=1, cache_size=0)
+        _upload(router, api_key, 0)
+        request = {"route": "query", "api_key": api_key, "problem_name": "demo"}
+        router.handle(request)
+        router.handle(request)
+        assert len(router._cache) == 0
+        router.close()
+
+
+class TestThrottling:
+    def test_over_rate_requests_get_retry_after(self):
+        router, api_key, clock = _manual_router(
+            replication=1, rate_limit=1.0, burst=3
+        )
+        request = {"route": "problems", "api_key": api_key}
+        for _ in range(3):
+            assert router.handle(request)["ok"]
+        response = router.handle(request)
+        assert response["ok"] is False
+        assert response["error"] == "throttled"
+        assert response["retry_after"] > 0
+        # tokens refill with the clock
+        clock.now += response["retry_after"] + 0.001
+        assert router.handle(request)["ok"]
+        router.close()
+
+    def test_keys_are_throttled_independently(self):
+        router, api_key, _ = _manual_router(replication=1, rate_limit=1.0, burst=1)
+        assert router.handle({"route": "problems", "api_key": api_key})["ok"]
+        assert (
+            router.handle({"route": "problems", "api_key": api_key})["error"]
+            == "throttled"
+        )
+        # a different key has its own bucket (fails auth, not throttle)
+        other = router.handle({"route": "problems", "api_key": "nope"})
+        assert other["error"] == "auth"
+        router.close()
+
+
+class TestAccounts:
+    def test_account_routes_live_on_admin_shard(self, svc):
+        username, api_key = svc.register_user("bob", "bob@lab.gov")
+        assert username == "bob"
+        who = svc.client.handle({"route": "whoami", "api_key": api_key})
+        assert who["ok"] and who["username"] == "bob"
+        # shared registry: the key authenticates on every shard
+        for shard in svc.shards.values():
+            assert shard.repository.users.authenticate(api_key).username == "bob"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrowdRouter({})
+        with pytest.raises(ValueError):
+            RouterOptions(replication=0)
+        with pytest.raises(ValueError):
+            build_service(0)

@@ -1,0 +1,69 @@
+"""Tests for consistent-hash sharding (ShardRing, shard_key)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.service.shard import ShardRing, shard_key
+
+NAMES4 = [f"shard-{i}" for i in range(4)]
+
+
+def _keys(n):
+    return [shard_key("demo", {"t": i, "m": i % 7}) for i in range(n)]
+
+
+class TestShardKey:
+    def test_key_is_order_insensitive_in_task(self):
+        assert shard_key("p", {"a": 1, "b": 2}) == shard_key("p", {"b": 2, "a": 1})
+
+    def test_key_separates_problem_and_task(self):
+        assert shard_key("p", {"a": 1}) != shard_key("q", {"a": 1})
+        assert shard_key("p", {"a": 1}) != shard_key("p", {"a": 2})
+
+
+class TestShardRing:
+    def test_deterministic(self):
+        r1 = ShardRing(NAMES4)
+        r2 = ShardRing(NAMES4)
+        for key in _keys(50):
+            assert r1.preference(key, 3) == r2.preference(key, 3)
+
+    def test_preference_distinct_and_capped(self):
+        ring = ShardRing(NAMES4)
+        for key in _keys(50):
+            prefs = ring.preference(key, 3)
+            assert len(prefs) == len(set(prefs)) == 3
+            # k beyond the shard count is capped, never an error
+            assert len(ring.preference(key, 99)) == 4
+
+    def test_primary_is_first_preference(self):
+        ring = ShardRing(NAMES4)
+        for key in _keys(20):
+            assert ring.primary(key) == ring.preference(key, 2)[0]
+
+    def test_distribution_roughly_balanced(self):
+        ring = ShardRing(NAMES4, vnodes=128)
+        owners = Counter(ring.primary(k) for k in _keys(2000))
+        assert set(owners) == set(NAMES4)
+        for count in owners.values():
+            # 4 shards, 2000 keys: each should get a meaningful share
+            assert 200 <= count <= 900
+
+    def test_adding_a_shard_remaps_a_minority_of_keys(self):
+        keys = _keys(2000)
+        before = ShardRing(NAMES4, vnodes=128)
+        after = ShardRing(NAMES4 + ["shard-4"], vnodes=128)
+        moved = sum(1 for k in keys if before.primary(k) != after.primary(k))
+        # consistent hashing: ~1/5 of keys move, never a wholesale reshuffle
+        assert moved < len(keys) // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRing([])
+        with pytest.raises(ValueError):
+            ShardRing(["a", "a"])
+        with pytest.raises(ValueError):
+            ShardRing(["a"], vnodes=0)

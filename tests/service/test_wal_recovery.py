@@ -1,0 +1,229 @@
+"""Durability tests: WAL, snapshots, and crash recovery.
+
+The pinned acceptance test is :func:`TestCrashRecovery.
+test_shard_killed_mid_stream_recovers_bit_identical`: a shard is killed
+(its in-memory state simply dropped, no close/snapshot) in the middle of
+a write stream and must recover snapshot + WAL tail to *bit-identical*
+``DocumentStore`` contents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.crowd.users import UserRegistry
+from repro.service import CrowdShard, WriteAheadLog, load_shard_state
+from repro.service.wal import read_wal, wal_path, write_snapshot
+
+
+def _upload(shard, key, i, problem="demo"):
+    return shard.handle(
+        {
+            "route": "upload",
+            "api_key": key,
+            "problem_name": problem,
+            "task_parameters": {"t": i % 3},
+            "tuning_parameters": {"x": i},
+            "output": float(i),
+        }
+    )
+
+
+def _new_shard(tmp_path, name="s0", **kwargs):
+    users = UserRegistry()
+    users.register("alice", "a@lab.gov")
+    key = users.issue_api_key("alice")
+    shard = CrowdShard(name, tmp_path / name, users=users, **kwargs)
+    return shard, key
+
+
+def _store_bytes(shard) -> str:
+    return json.dumps(shard.repository.store.to_jsonable(), sort_keys=True)
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_increasing_seq(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        assert wal.append({"op": "insert", "c": "x", "doc": {"_id": 1}}) == 1
+        assert wal.append({"op": "delete", "c": "x", "flt": {}}) == 2
+        wal.close()
+        ops = read_wal(tmp_path / "wal.jsonl")
+        assert [o["seq"] for o in ops] == [1, 2]
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path)
+        wal.append({"op": "insert", "c": "x", "doc": {"_id": 1}})
+        wal.close()
+        with open(path, "a") as fh:
+            fh.write('{"seq": 2, "op": "insert", "c": "x", "doc": {"_i')
+        ops = read_wal(path)
+        assert len(ops) == 1
+
+    def test_corrupt_middle_entry_raises(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        path.write_text('not json\n{"seq": 1, "op": "drop", "c": "x"}\n')
+        with pytest.raises(ValueError, match="corrupt WAL entry"):
+            read_wal(path)
+
+    def test_fsync_batching(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl", fsync_every=3)
+        for i in range(4):
+            wal.append({"op": "drop", "c": f"c{i}"})
+        wal.sync()
+        wal.close()
+        assert len(read_wal(tmp_path / "wal.jsonl")) == 4
+
+    def test_rejects_bad_config(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "w", fsync_every=0)
+
+
+class TestCrashRecovery:
+    def test_shard_killed_mid_stream_recovers_bit_identical(self, tmp_path):
+        """PINNED: kill a shard mid-write-stream; snapshot + WAL tail
+        must reproduce the exact DocumentStore contents."""
+        shard, key = _new_shard(tmp_path, snapshot_every=7)
+        for i in range(23):  # crosses several snapshot boundaries
+            assert _upload(shard, key, i)["ok"]
+        pre = _store_bytes(shard)
+        # crash: drop the object without close()/snapshot()
+        del shard
+        recovered, _ = _new_shard(tmp_path, snapshot_every=7)
+        assert _store_bytes(recovered) == pre
+        recovered.close()
+
+    def test_recovery_with_no_snapshot_yet(self, tmp_path):
+        shard, key = _new_shard(tmp_path, snapshot_every=10_000)
+        for i in range(5):
+            _upload(shard, key, i)
+        pre = _store_bytes(shard)
+        del shard
+        recovered, _ = _new_shard(tmp_path, snapshot_every=10_000)
+        assert _store_bytes(recovered) == pre
+        assert recovered.count() == 5
+        recovered.close()
+
+    def test_recovery_tolerates_torn_wal_tail(self, tmp_path):
+        shard, key = _new_shard(tmp_path)
+        for i in range(6):
+            _upload(shard, key, i)
+        pre = _store_bytes(shard)
+        del shard
+        with open(wal_path(tmp_path / "s0"), "a") as fh:
+            fh.write('{"seq": 999, "op": "insert", "c": "performance_re')
+        recovered, _ = _new_shard(tmp_path)
+        assert _store_bytes(recovered) == pre
+        recovered.close()
+
+    def test_replay_skips_ops_covered_by_snapshot(self, tmp_path):
+        """Even if WAL truncation never ran after a snapshot, replay is
+        idempotent: ops with seq <= snapshot.wal_seq are skipped."""
+        shard, key = _new_shard(tmp_path, snapshot_every=10_000)
+        for i in range(4):
+            _upload(shard, key, i)
+        data_dir = tmp_path / "s0"
+        # snapshot manually but DO NOT truncate the WAL (simulates a
+        # crash between snapshot write and truncation)
+        shard._wal.sync()
+        write_snapshot(data_dir, shard.repository.store, shard._wal.seq)
+        pre = _store_bytes(shard)
+        del shard
+        store, last_seq = load_shard_state(data_dir)
+        assert json.dumps(store.to_jsonable(), sort_keys=True) == pre
+        assert store["performance_records"].count({}) == 4
+
+    def test_uploads_continue_after_recovery(self, tmp_path):
+        users = UserRegistry()
+        users.register("alice", "a@lab.gov")
+        key = users.issue_api_key("alice")
+        shard = CrowdShard("s0", tmp_path / "s0", users=users, snapshot_every=4)
+        for i in range(6):
+            _upload(shard, key, i)
+        timestamps = {
+            d["timestamp"]
+            for d in shard.repository.store["performance_records"].find({})
+        }
+        del shard
+        recovered = CrowdShard("s0", tmp_path / "s0", users=users, snapshot_every=4)
+        _upload(recovered, key, 99)
+        docs = recovered.repository.store["performance_records"].find({})
+        assert len(docs) == 7
+        # the post-recovery record's timestamp continues past the
+        # recovered clock — never a duplicate of a replayed stamp
+        new_ts = {d["timestamp"] for d in docs} - timestamps
+        assert len(new_ts) == 1
+        assert next(iter(new_ts)) > max(timestamps)
+        recovered.close()
+
+    def test_service_restart_resumes_router_uids(self, tmp_path):
+        # rebuilding a persisted deployment must seed the router past
+        # every recovered uid — a reset counter would re-issue uid 1 and
+        # the new record would dedup-collide with a pre-crash one
+        from repro.service import build_service
+
+        svc = build_service(3, replication=2, data_dir=tmp_path, snapshot_every=8)
+        _, key = svc.register_user("alice", "a@lab.gov")
+        for i in range(17):
+            response = svc.client.handle(
+                {
+                    "route": "upload",
+                    "api_key": key,
+                    "problem_name": "demo",
+                    "task_parameters": {"t": i % 3},
+                    "tuning_parameters": {"x": i},
+                    "output": float(i),
+                }
+            )
+            assert response["ok"]
+        svc.close()
+
+        revived = build_service(
+            3, replication=2, data_dir=tmp_path, users=svc.users
+        )
+        assert revived.router._next_uid == 18
+        response = revived.client.handle(
+            {
+                "route": "upload",
+                "api_key": key,
+                "problem_name": "demo",
+                "task_parameters": {"t": 99},
+                "tuning_parameters": {"x": 99},
+                "output": 99.0,
+            }
+        )
+        assert response["ok"]
+        records = revived.client.handle(
+            {"route": "query", "api_key": key, "problem_name": "demo"}
+        )["records"]
+        uids = [r["uid"] for r in records]
+        assert len(records) == 18
+        assert len(set(uids)) == 18
+        revived.close()
+
+    def test_snapshot_truncates_wal(self, tmp_path):
+        shard, key = _new_shard(tmp_path, snapshot_every=10_000)
+        for i in range(5):
+            _upload(shard, key, i)
+        assert len(read_wal(wal_path(tmp_path / "s0"))) == 5
+        shard.snapshot()
+        assert read_wal(wal_path(tmp_path / "s0")) == []
+        # state still fully recoverable from the snapshot alone
+        pre = _store_bytes(shard)
+        del shard
+        recovered, _ = _new_shard(tmp_path, snapshot_every=10_000)
+        assert _store_bytes(recovered) == pre
+        recovered.close()
+
+    def test_memory_only_shard_has_no_files(self, tmp_path):
+        users = UserRegistry()
+        users.register("alice", "a@lab.gov")
+        key = users.issue_api_key("alice")
+        shard = CrowdShard("mem", None, users=users)
+        _upload(shard, key, 0)
+        assert shard.count() == 1
+        assert list(Path(tmp_path).iterdir()) == []
+        shard.close()
