@@ -1,14 +1,26 @@
 """Table I: the TLA algorithm pool of GPTuneCrowd.
 
-A descriptive table — the benchmark verifies the pool's inventory and
-provenance metadata match the paper, and times pool instantiation (the
-cost of standing up all eight strategies)."""
+Two parts:
+
+* the descriptive check — the pool's inventory and provenance metadata
+  must match the paper's Table I exactly, and
+* the pool *sweep* — repeats x strategies fanned across a process pool
+  (``run_comparison(n_jobs=...)``) with deterministic per-cell seeding.
+  The parallel sweep must return exactly the sequential sweep's
+  matrices, and running the strategies through a shared
+  :class:`repro.tla.SourceModelStore` must fit each source dataset once
+  instead of once per strategy.
+"""
 
 from __future__ import annotations
 
-from repro.tla import STRATEGY_REGISTRY, get_strategy, pool_table
+import numpy as np
 
-from harness import save_results
+from repro.apps.synthetic import DemoFunction
+from repro.core import perf
+from repro.tla import STRATEGY_REGISTRY, SourceModelStore, get_strategy, pool_table
+
+from harness import SMOKE, collect_source, run_comparison, save_results
 
 #: (name, first autotuner) rows exactly as printed in the paper's Table I
 PAPER_TABLE1 = {
@@ -19,6 +31,11 @@ PAPER_TABLE1 = {
     "Stacking": "[12]",
     "Ensemble (proposed)": "GPTuneCrowd",
 }
+
+SWEEP_TUNERS = ["weighted-sum-dynamic", "stacking", "multitask-ts"]
+N_EVALS = 3 if SMOKE else 5
+REPEATS = 2
+N_SRC = 15 if SMOKE else 30
 
 
 def test_table1_pool(benchmark):
@@ -40,3 +57,56 @@ def test_table1_pool(benchmark):
     # the two naive ensemble baselines of Sec. V-E are also in the pool
     assert "Ensemble (toggling)" in table and "Ensemble (prob)" in table
     del rows
+
+
+def _sweep(app, sources, n_jobs):
+    return run_comparison(
+        app,
+        {"t": 1.1},
+        sources,
+        tuners=SWEEP_TUNERS,
+        n_evals=N_EVALS,
+        repeats=REPEATS,
+        show_perf=False,
+        n_jobs=n_jobs,
+    )
+
+
+def test_parallel_sweep_matches_sequential(benchmark):
+    """Process-pool fan-out is a pure throughput knob: identical results."""
+    app = DemoFunction()
+    sources = [
+        collect_source(app, {"t": t}, N_SRC, seed=i, label=f"t={t}")
+        for i, t in enumerate((0.8, 1.0))
+    ]
+
+    seq = _sweep(app, sources, n_jobs=1)
+    par = benchmark.pedantic(
+        _sweep, args=(app, sources, 2), rounds=1, iterations=1
+    )
+
+    assert set(seq) == set(par)
+    for key in seq:
+        assert np.array_equal(seq[key], par[key], equal_nan=True), key
+    save_results(
+        "table1_pool_sweep",
+        {"tuners": SWEEP_TUNERS, "n_evals": N_EVALS, "repeats": REPEATS,
+         "parallel_equals_sequential": True},
+    )
+
+
+def test_shared_store_fits_each_source_once():
+    """A pool sweep through one store: 1x source fits, rest are hits."""
+    app = DemoFunction()
+    sources = [
+        collect_source(app, {"t": t}, N_SRC, seed=i, label=f"t={t}")
+        for i, t in enumerate((0.8, 1.0))
+    ]
+    store = SourceModelStore()
+    rng = np.random.default_rng(0)
+    with perf.collect() as stats:
+        for key in SWEEP_TUNERS:
+            get_strategy(key).prepare_from_store(store, sources, rng)
+    counters = stats.snapshot()["counters"]
+    assert counters["tla_source_fits"] == len(sources)
+    assert counters["tla_source_cache_hits"] == (len(SWEEP_TUNERS) - 1) * len(sources)

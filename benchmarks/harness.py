@@ -113,6 +113,27 @@ def make_tuner(
     return TransferTuner(problem, strategy, list(sources))
 
 
+def _run_cell(
+    app: HPCApplication,
+    task: Mapping[str, Any],
+    sources: Sequence[TaskData],
+    key: str,
+    n_evals: int,
+    rep: int,
+    strategy_kwargs: Mapping[str, Any],
+) -> tuple[str, int, list[float], Any]:
+    """One (tuner, repeat) cell; module-level so process pools can ship it.
+
+    Seeding is a pure function of the cell coordinates (``seed=rep``), so
+    the sweep's results are independent of worker scheduling: a parallel
+    run returns exactly what the sequential loop returns.
+    """
+    problem = app.make_problem(run=rep)
+    tuner = make_tuner(key, problem, sources, **strategy_kwargs)
+    result: TuningResult = tuner.tune(task, n_evals, seed=rep)
+    return key, rep, list(result.best_so_far()), result.perf
+
+
 def run_comparison(
     app: HPCApplication,
     task: Mapping[str, Any],
@@ -123,6 +144,7 @@ def run_comparison(
     repeats: int,
     strategy_kwargs: Mapping[str, Any] | None = None,
     show_perf: bool = True,
+    n_jobs: int = 1,
 ) -> dict[str, np.ndarray]:
     """Run every tuner ``repeats`` times; returns best-so-far matrices.
 
@@ -130,22 +152,46 @@ def run_comparison(
     first success of a run (the paper's "do not draw points" convention
     for runs with failures, Fig. 5(c)).  With ``show_perf`` each tuner's
     aggregated :mod:`repro.core.perf` counters/timers are printed, so
-    every benchmark doubles as a hot-path profile."""
+    every benchmark doubles as a hot-path profile.
+
+    ``n_jobs > 1`` fans the repeats x strategies cells across a process
+    pool.  Each cell is seeded by its coordinates alone, so parallel and
+    sequential runs produce identical matrices (pinned by the Table-I
+    pool benchmark).  A ``SourceModelStore`` in ``strategy_kwargs`` is
+    pickled per worker: sharing amortizes fits *within* each cell (e.g.
+    across an ensemble's members), not across processes.
+    """
+    kwargs = dict(strategy_kwargs or {})
+    cells = [(key, rep) for key in tuners for rep in range(repeats)]
+    rows: dict[str, list] = {key: [None] * repeats for key in tuners}
+    perfs: dict[str, list] = {key: [] for key in tuners}
+
+    if n_jobs > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            futures = [
+                pool.submit(_run_cell, app, task, sources, key, n_evals, rep, kwargs)
+                for key, rep in cells
+            ]
+            results = [f.result() for f in futures]
+    else:
+        results = [
+            _run_cell(app, task, sources, key, n_evals, rep, kwargs)
+            for key, rep in cells
+        ]
+
+    for key, rep, best, perf in results:
+        rows[key][rep] = best
+        if perf is not None:
+            perfs[key].append(perf)
+
     out: dict[str, np.ndarray] = {}
     for key in tuners:
-        rows = []
-        perfs = []
-        for rep in range(repeats):
-            problem = app.make_problem(run=rep)
-            tuner = make_tuner(key, problem, sources, **(strategy_kwargs or {}))
-            result: TuningResult = tuner.tune(task, n_evals, seed=rep)
-            rows.append(result.best_so_far())
-            if result.perf is not None:
-                perfs.append(result.perf)
-        out[key] = np.asarray(rows, dtype=float)
-        if show_perf and perfs:
+        out[key] = np.asarray(rows[key], dtype=float)
+        if show_perf and perfs[key]:
             print(f"[perf] {DISPLAY_NAMES.get(key, key)} ({repeats} runs)")
-            print(format_perf(aggregate_perf(perfs)))
+            print(format_perf(aggregate_perf(perfs[key])))
     return out
 
 

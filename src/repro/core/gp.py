@@ -139,6 +139,9 @@ class GaussianProcess:
         self.cache = bool(cache)
         self._rng = np.random.default_rng(seed)
         self._state: _FitState | None = None
+        #: bumped on every fit()/update(); lets external caches (the TLA
+        #: frozen-prediction memo) detect that a model changed
+        self.version = 0
         #: theta-keyed factorization cache, valid for the current data only
         self._factor_cache: OrderedDict[bytes, tuple[np.ndarray, float]] = OrderedDict()
         #: pinned factorization at the best NLL seen during the current MLE
@@ -152,6 +155,18 @@ class GaussianProcess:
     @property
     def n_train(self) -> int:
         return 0 if self._state is None else self._state.X.shape[0]
+
+    @property
+    def fit_state(self) -> _FitState:
+        """The cached factorization (read-only view for fast predictors).
+
+        External consumers (:class:`repro.tla.store.FrozenGP`) use this
+        to pre-extract ``(X, alpha, L, y-statistics)`` once for frozen
+        models; they must treat the arrays as immutable.
+        """
+        if self._state is None:
+            raise RuntimeError("fit_state before fit()")
+        return self._state
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianProcess":
         """Fit to data; ``X`` is ``(n, d)`` in the unit cube, ``y`` ``(n,)``."""
@@ -192,6 +207,7 @@ class GaussianProcess:
             y_raw=y.copy(),
             jitter=jitter,
         )
+        self.version += 1
         perf.incr("gp_fits")
         return self
 
@@ -272,6 +288,7 @@ class GaussianProcess:
             jitter=st.jitter,
         )
         self._factor_cache.clear()
+        self.version += 1
         perf.incr("gp_incremental_updates", m)
         return self
 

@@ -155,11 +155,14 @@ class Tuner:
         self.problem.input_space.validate(task)
         rng = np.random.default_rng(seed)
         hist = history if history is not None else History(task, self.problem.parameter_space)
-        self._prepare(task, rng)
 
         sampler = self.options.make_sampler()
         feasible = lambda cfg: self.problem.feasible(task, cfg)
         with perf.collect() as stats:
+            # inside the collect window so preparation work (e.g. TLA
+            # source-surrogate fits and store hits) shows up in .perf
+            with perf.timer("prepare"):
+                self._prepare(task, rng)
             for _ in range(n_samples):
                 with perf.timer("iteration"):
                     if hist.n_successes < self.options.n_initial:

@@ -163,7 +163,6 @@ class AsyncTuner(Tuner):
         self.problem.input_space.validate(task)
         rng = np.random.default_rng(seed)
         hist = history if history is not None else History(task, self.problem.parameter_space)
-        self._prepare(task, rng)
         eng = self.engine
 
         evaluate = lambda cfg: self.problem.evaluate(task, cfg)
@@ -182,6 +181,10 @@ class AsyncTuner(Tuner):
         completed = 0
         t0 = time.perf_counter()
         with perf.collect() as stats, pool:
+            # same scoping as the sequential tuner: preparation counters
+            # (TLA source fits, store hits) belong to this run's .perf
+            with perf.timer("prepare"):
+                self._prepare(task, rng)
 
             def refill() -> None:
                 while (

@@ -100,11 +100,12 @@ def sobol_indices(
     rng = np.random.default_rng(seed)
     n = design.n_base
     if n_bootstrap > 0 and n >= 4:
-        s1_bs = np.empty((n_bootstrap, design.dim))
-        st_bs = np.empty((n_bootstrap, design.dim))
-        for b in range(n_bootstrap):
-            idx = rng.integers(0, n, size=n)
-            s1_bs[b], st_bs[b], _ = _estimate(f_A[idx], f_B[idx], f_AB[:, idx])
+        # one (n_bootstrap, n) index matrix + one batched estimate instead
+        # of n_bootstrap Python-level iterations; the C-order fill of
+        # Generator.integers draws the same stream as that many sequential
+        # size-n calls, so the resampled rows are identical to the loop
+        idx = rng.integers(0, n, size=(n_bootstrap, n))
+        s1_bs, st_bs = _estimate_batch(f_A[idx], f_B[idx], f_AB[:, idx])
         S1_conf = _Z95 * np.std(s1_bs, axis=0, ddof=1)
         ST_conf = _Z95 * np.std(st_bs, axis=0, ddof=1)
     else:
@@ -120,6 +121,25 @@ def sobol_indices(
         variance=float(var),
         n_base=n,
     )
+
+
+def _estimate_batch(f_A, f_B, f_AB):
+    """Batched bootstrap replicates of :func:`_estimate`.
+
+    ``f_A``/``f_B`` are ``(B, n)`` resampled outputs, ``f_AB`` is
+    ``(dim, B, n)``.  Returns ``(S1, ST)`` of shape ``(B, dim)``; rows
+    whose resampled variance is (near-)zero get zero indices, matching
+    the scalar estimator's guard.
+    """
+    all_f = np.concatenate([f_A, f_B], axis=1)  # (B, 2n)
+    var = np.var(all_f, axis=1)  # (B,)
+    S1 = np.mean(f_B[None, :, :] * (f_AB - f_A[None, :, :]), axis=2)  # (dim, B)
+    ST = 0.5 * np.mean((f_A[None, :, :] - f_AB) ** 2, axis=2)
+    degenerate = var < 1e-300
+    safe = np.where(degenerate, 1.0, var)
+    S1 = np.where(degenerate[None, :], 0.0, S1 / safe[None, :])
+    ST = np.where(degenerate[None, :], 0.0, ST / safe[None, :])
+    return S1.T, ST.T
 
 
 def _estimate(f_A, f_B, f_AB):

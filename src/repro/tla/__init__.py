@@ -20,6 +20,7 @@ from .ensemble import (
 )
 from .multitask import MultitaskPS, MultitaskTS
 from .stacking import Stacking
+from .store import FrozenGP, SourceModelStore
 from .tuner import TransferTuner
 from .weighted_sum import WeightedSumDynamic, WeightedSumStatic, dynamic_weights
 
@@ -28,10 +29,12 @@ __all__ = [
     "EnsembleProb",
     "EnsembleProposed",
     "EnsembleToggling",
+    "FrozenGP",
     "GPTuneBand",
     "MultiFidelityObjective",
     "MultitaskPS",
     "MultitaskTS",
+    "SourceModelStore",
     "Stacking",
     "TLAStrategy",
     "TransferTuner",

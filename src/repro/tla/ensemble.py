@@ -82,6 +82,12 @@ class _EnsembleBase(TLAStrategy):
         super().prepare(sources, rng)
         self._n_parameters = sources[0].dim
         for strategy in self.pool:
+            # share the ensemble's surrogate store with its members: the
+            # shell fit above already populated it, so each member's
+            # prepare() reuses the fitted source GPs instead of re-running
+            # the MLE (1x fits per ensemble prepare instead of 1 + pool)
+            if self.store is not None and strategy.store is None:
+                strategy.store = self.store
             strategy.prepare(sources, rng)
         self.best_outputs = [math.inf] * len(self.pool)
         self._chosen = None
@@ -156,6 +162,12 @@ class EnsembleToggling(_EnsembleBase):
 
     def __init__(self, pool: list[TLAStrategy] | None = None, **kwargs) -> None:
         super().__init__(pool, **kwargs)
+        self._counter = 0
+
+    def prepare(self, sources: list[TaskData], rng: np.random.Generator) -> None:
+        # re-preparation must restart the round-robin cycle at member 0;
+        # a surviving cursor would skew the toggling baseline on reuse
+        super().prepare(sources, rng)
         self._counter = 0
 
     def _choose(self, target: TaskData, rng: np.random.Generator) -> int:

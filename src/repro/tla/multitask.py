@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core import perf
 from ..core.acquisition import PredictFn
 from ..core.history import TaskData
 from ..core.lcm import LCM, LCMFitError
@@ -46,16 +47,16 @@ class _MultitaskBase(TLAStrategy):
         *,
         n_latent: int = 1,
         lcm_max_fun: int = 50,
-        refit_every: int = 1,
         max_source_samples: int | None = 150,
         lcm_n_restarts: int = 0,
         lcm_n_jobs: int | None = None,
         **kwargs,
     ) -> None:
+        # ``refit_every`` is the base-class knob (shared with the GP-only
+        # strategies' target refits); here it gates the LCM MLE cadence
         super().__init__(**kwargs)
         self.n_latent = n_latent
         self.lcm_max_fun = lcm_max_fun
-        self.refit_every = max(int(refit_every), 1)
         self.max_source_samples = max_source_samples
         self.lcm_n_restarts = int(lcm_n_restarts)
         self.lcm_n_jobs = lcm_n_jobs
@@ -88,6 +89,7 @@ class _MultitaskBase(TLAStrategy):
                 except (LCMFitError, ValueError):
                     pass  # fall through to the full (non-optimizing) fit
                 else:
+                    perf.incr("tla_incremental_refits")
                     return lambda X: lcm.predict(target_index, X)
 
         lcm = LCM(
@@ -161,7 +163,7 @@ class MultitaskPS(_MultitaskBase):
 
     def model(self, target: TaskData, rng: np.random.Generator) -> PredictFn | None:
         if target.n == 0:
-            return equal_weight_model(self.source_gps)
+            return equal_weight_model(self.source_gps, store=self.store)
         source_sets = [
             (np.vstack(xs), np.asarray(ys, dtype=float)) for xs, ys in self._pseudo
         ]

@@ -1,0 +1,274 @@
+"""Shared source-surrogate store for the fast TLA pool (paper Sec. V).
+
+Every strategy in the paper's Table I pool pre-trains one GP per source
+dataset during :meth:`TLAStrategy.prepare`.  Without sharing, an
+``Ensemble(proposed)`` run fits every source four times (the shell plus
+its three members), and a full Table-I sweep fits them once per strategy
+per repeat.  The :class:`SourceModelStore` removes that redundancy:
+
+* **Content-keyed model cache** — fitted GPs are cached under
+  ``(sha1(X, y), kernel, max_fun)``, so any strategy (or repeat) asking
+  for a surrogate of the *same data with the same model settings* gets
+  the already-fitted GP back instead of re-running the MLE.  Hits and
+  misses are counted (``tla_source_cache_hits`` / ``tla_source_fits``).
+* **Frozen-prediction memo** — source GPs never change after
+  ``prepare()``, so their predictions at re-used points (the growing
+  target history that ``dynamic_weights`` re-evaluates every iteration,
+  the stacking residual anchor points) are memoized per row with a
+  bounded LRU.
+* **Frozen fast predictors** — :class:`FrozenGP` pre-extracts a fitted
+  GP's ``(alpha, L, scaled train inputs, y-statistics)`` once and serves
+  batch predictions with the train-side quantities cached and the
+  triangular solve done through raw LAPACK ``trtrs``.  The arithmetic
+  mirrors :meth:`GaussianProcess.predict` operation for operation, so
+  the fast path is bit-identical to the plain one — pure amortization,
+  not an approximation.
+
+Determinism contract: strategies draw their GP seeds from the shared
+``rng`` stream *before* consulting the store, so enabling the store
+never shifts the random stream.  A cache hit reuses the GP fitted by
+the first requester (whose MLE used the first requester's seed); with
+the store disabled every strategy fits its own GP exactly as before,
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+from scipy.linalg import get_lapack_funcs
+
+from ..core import perf
+from ..core.gp import GaussianProcess
+from ..core.kernels import RBF, Matern32, Matern52, kernel_from_name
+
+__all__ = ["SourceModelStore", "FrozenGP"]
+
+(_trtrs,) = get_lapack_funcs(("trtrs",), (np.empty(0, dtype=np.float64),))
+
+#: kernels whose prediction math FrozenGP can replay (all are functions
+#: of the ARD-scaled squared distance)
+_FAST_KERNELS = (RBF, Matern52, Matern32)
+
+
+def _data_key(X: np.ndarray, y: np.ndarray) -> bytes:
+    """Content hash of a dataset (the cache key's data component)."""
+    h = hashlib.sha1()
+    X = np.ascontiguousarray(np.asarray(X, dtype=float))
+    y = np.ascontiguousarray(np.asarray(y, dtype=float).ravel())
+    h.update(str(X.shape).encode())
+    h.update(X.tobytes())
+    h.update(y.tobytes())
+    return h.digest()
+
+
+class FrozenGP:
+    """Pre-extracted state of a fitted, never-again-refit GP.
+
+    Prediction replays :meth:`GaussianProcess.predict` with the same
+    operations in the same order (scaled-difference expansion, LAPACK
+    ``trtrs`` for the variance solve), but the train-side quantities —
+    the lengthscale-scaled training inputs and their squared norms —
+    are computed once here instead of on every call.
+    """
+
+    __slots__ = (
+        "kernel", "variance", "lengthscales", "B", "b_norms",
+        "L", "alpha", "noise", "y_mean", "y_std",
+    )
+
+    def __init__(self, gp: GaussianProcess) -> None:
+        if not isinstance(gp.kernel, _FAST_KERNELS):
+            raise TypeError(f"unsupported kernel {type(gp.kernel).__name__}")
+        st = gp.fit_state
+        self.kernel = type(gp.kernel)
+        self.variance = float(gp.kernel.variance)
+        self.lengthscales = gp.kernel.lengthscales.copy()
+        self.B = st.X / self.lengthscales
+        self.b_norms = np.sum(self.B * self.B, axis=1)
+        self.L = np.asfortranarray(st.L)
+        self.alpha = st.alpha
+        self.noise = float(gp.noise_variance)
+        self.y_mean = st.y_mean
+        self.y_std = st.y_std
+
+    def _cross_cov(self, X: np.ndarray) -> np.ndarray:
+        A = X / self.lengthscales
+        d2 = (
+            np.sum(A * A, axis=1)[:, None]
+            + self.b_norms[None, :]
+            - 2.0 * (A @ self.B.T)
+        )
+        d2 = np.maximum(d2, 0.0)
+        if self.kernel is RBF:
+            return self.variance * np.exp(-0.5 * d2)
+        r = np.sqrt(d2)
+        if self.kernel is Matern52:
+            s = np.sqrt(5.0) * r
+            return self.variance * (1.0 + s + s * s / 3.0) * np.exp(-s)
+        s = np.sqrt(3.0) * r  # Matern32
+        return self.variance * (1.0 + s) * np.exp(-s)
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and std at ``X`` (original target scale)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Ks = self._cross_cov(X)
+        mean = Ks @ self.alpha * self.y_std + self.y_mean
+        v, _ = _trtrs(self.L, Ks.T, lower=1, trans=0)
+        var = self.variance + self.noise - np.sum(v * v, axis=0)
+        std = np.sqrt(np.maximum(var, 1e-12)) * self.y_std
+        return mean, std
+
+
+def frozen_view(gp: GaussianProcess) -> FrozenGP | None:
+    """The (cached) :class:`FrozenGP` for a fitted GP, or ``None``.
+
+    ``None`` when the GP is unfitted or uses a kernel the fast path does
+    not support (e.g. the mixed-space kernel).  The extraction is cached
+    on the GP keyed by its fit version, so a later ``fit``/``update``
+    invalidates it automatically.
+    """
+    if not gp.fitted or not isinstance(gp.kernel, _FAST_KERNELS):
+        return None
+    cached = getattr(gp, "_frozen_cache", None)
+    if cached is not None and cached[0] == gp.version:
+        return cached[1]
+    frozen = FrozenGP(gp)
+    gp._frozen_cache = (gp.version, frozen)
+    return frozen
+
+
+class SourceModelStore:
+    """Content-keyed cache of fitted source GPs + frozen-prediction memo.
+
+    Thread-safe for concurrent readers/writers (a single lock guards the
+    two LRU maps; GP fitting itself happens outside the lock).
+
+    Parameters
+    ----------
+    max_models:
+        Bound on cached fitted GPs (LRU-evicted beyond this).
+    max_memo_rows:
+        Bound on memoized per-point predictions across all models.
+    """
+
+    def __init__(self, *, max_models: int = 128, max_memo_rows: int = 100_000) -> None:
+        self.max_models = int(max_models)
+        self.max_memo_rows = int(max_memo_rows)
+        self._models: OrderedDict[tuple, GaussianProcess] = OrderedDict()
+        self._memo: OrderedDict[tuple, tuple[float, float]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- pickling (process-pool benchmarks ship stores to workers) --------
+    def __getstate__(self):
+        with self._lock:
+            return {
+                "max_models": self.max_models,
+                "max_memo_rows": self.max_memo_rows,
+                "_models": OrderedDict(self._models),
+                "_memo": OrderedDict(self._memo),
+            }
+
+    def __setstate__(self, state):
+        self.max_models = state["max_models"]
+        self.max_memo_rows = state["max_memo_rows"]
+        self._models = state["_models"]
+        self._memo = state["_memo"]
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    # -- fitted-model cache ----------------------------------------------
+    def fit_gp(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        seed: int,
+        *,
+        kernel: str = "rbf",
+        max_fun: int = 80,
+        counter: str = "source",
+    ) -> GaussianProcess:
+        """A GP fitted to ``(X, y)``, reusing a cached fit when available.
+
+        ``seed`` must be drawn from the caller's rng *unconditionally*
+        (also on what turns out to be a cache hit), so the store never
+        shifts the caller's random stream.  ``counter`` names the perf
+        counters (``tla_{counter}_fits`` / ``tla_{counter}_cache_hits``).
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        key = (_data_key(X, y), str(kernel), int(max_fun))
+        with self._lock:
+            gp = self._models.get(key)
+            if gp is not None:
+                self._models.move_to_end(key)
+        if gp is not None:
+            perf.incr(f"tla_{counter}_cache_hits")
+            return gp
+        gp = GaussianProcess(
+            kernel_from_name(kernel, X.shape[1]), max_fun=max_fun, seed=seed
+        )
+        gp.fit(X, y)
+        perf.incr(f"tla_{counter}_fits")
+        with self._lock:
+            self._models[key] = gp
+            while len(self._models) > self.max_models:
+                self._models.popitem(last=False)
+            n_models = len(self._models)
+        perf.gauge("tla_store_models", n_models)
+        return gp
+
+    # -- frozen-prediction memo ------------------------------------------
+    def predict(self, gp: GaussianProcess, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Predict with ``gp`` at ``X``, memoizing per-row results.
+
+        Only worthwhile for *frozen* GPs evaluated at recurring points
+        (the target history, the incumbent): rows already seen are
+        served from the memo and only the new rows are computed, in one
+        batch.  The memo key includes the GP's fit version, so a GP that
+        is ever refit simply stops hitting its stale entries.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        frozen = frozen_view(gp)
+        token = (id(gp), gp.version)
+        keys = [token + (row.tobytes(),) for row in X]
+        mean = np.empty(X.shape[0])
+        std = np.empty(X.shape[0])
+        miss: list[int] = []
+        with self._lock:
+            for i, k in enumerate(keys):
+                hit = self._memo.get(k)
+                if hit is None:
+                    miss.append(i)
+                else:
+                    self._memo.move_to_end(k)
+                    mean[i], std[i] = hit
+        n_hits = X.shape[0] - len(miss)
+        if n_hits:
+            perf.incr("tla_pred_memo_hits", n_hits)
+        if miss:
+            predictor = frozen.predict if frozen is not None else gp.predict
+            mu, sd = predictor(X[miss])
+            mean[miss] = mu
+            std[miss] = sd
+            with self._lock:
+                for j, i in enumerate(miss):
+                    self._memo[keys[i]] = (float(mu[j]), float(sd[j]))
+                while len(self._memo) > self.max_memo_rows:
+                    self._memo.popitem(last=False)
+        return mean, std
+
+    def cached_predict_fn(self, gp: GaussianProcess):
+        """A ``PredictFn`` bound to :meth:`predict` for this store."""
+
+        def predict(X: np.ndarray):
+            return self.predict(gp, X)
+
+        predict.__wrapped_gp__ = gp
+        return predict

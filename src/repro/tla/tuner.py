@@ -67,7 +67,9 @@ class TransferTuner(Tuner):
             predict = self.strategy.model(target, rng)
         if predict is None:
             try:
-                predict = equal_weight_model(self.strategy.source_gps)
+                predict = equal_weight_model(
+                    self.strategy.source_gps, store=self.strategy.store
+                )
             except ValueError:
                 return self._initial_config(
                     self.options.make_sampler(), hist, self._feasible, rng

@@ -79,7 +79,7 @@ class WeightedSumStatic(TLAStrategy):
     def model(self, target: TaskData, rng: np.random.Generator) -> PredictFn | None:
         target_gp = self._target_gp(target, rng)
         if target_gp is None:
-            return equal_weight_model(self.source_gps)
+            return equal_weight_model(self.source_gps, store=self.store)
         models = [gp.predict for gp in self.source_gps] + [target_gp.predict]
         if self.static_weights is not None:
             if self.static_weights.shape != (len(models),):
@@ -90,7 +90,7 @@ class WeightedSumStatic(TLAStrategy):
             w = self.static_weights
         else:
             w = np.ones(len(models))
-        return combine_weighted(models, w)
+        return combine_weighted(models, w, store=self.store)
 
 
 class WeightedSumDynamic(TLAStrategy):
@@ -102,9 +102,12 @@ class WeightedSumDynamic(TLAStrategy):
     def model(self, target: TaskData, rng: np.random.Generator) -> PredictFn | None:
         target_gp = self._target_gp(target, rng)
         if target_gp is None:
-            return equal_weight_model(self.source_gps)
-        models = [gp.predict for gp in self.source_gps] + [target_gp.predict]
+            return equal_weight_model(self.source_gps, store=self.store)
+        # the Sec. V-C regression re-evaluates the frozen source
+        # surrogates at the growing target history every iteration;
+        # the store-memoized predictors only compute the new rows
+        models = self._source_predict_fns() + [target_gp.predict]
         w = dynamic_weights(models, target)
         if w is None:  # not enough target data yet: paper's equal fallback
             w = np.ones(len(models))
-        return combine_weighted(models, w)
+        return combine_weighted(models, w, store=self.store)

@@ -35,20 +35,48 @@ class TestCombineWeighted:
         with pytest.raises(ValueError):
             combine_weighted([lambda X: (X[:, 0], X[:, 0])], np.array([1.0, 2.0]))
 
-    def test_mean_is_weighted_sum(self):
+    def test_mean_is_normalized_weighted_sum(self):
+        """Weights are normalized to sum 1 (Eq. (1) convex combination)."""
         m1 = lambda X: (np.full(X.shape[0], 2.0), np.full(X.shape[0], 1.0))
         m2 = lambda X: (np.full(X.shape[0], 4.0), np.full(X.shape[0], 1.0))
         combined = combine_weighted([m1, m2], np.array([0.5, 2.0]))
         mean, _ = combined(np.zeros((3, 1)))
-        assert np.allclose(mean, 0.5 * 2.0 + 2.0 * 4.0)
+        assert np.allclose(mean, 0.2 * 2.0 + 0.8 * 4.0)
 
     def test_std_is_weighted_geometric_mean(self):
-        """Eq. (2): sigma = prod sigma_i^{w_i}."""
+        """Eq. (2) with normalized weights: sigma = prod sigma_i^{w_i}."""
         m1 = lambda X: (np.zeros(X.shape[0]), np.full(X.shape[0], 4.0))
         m2 = lambda X: (np.zeros(X.shape[0]), np.full(X.shape[0], 1.0))
         combined = combine_weighted([m1, m2], np.array([0.5, 1.0]))
         _, std = combined(np.zeros((2, 1)))
-        assert np.allclose(std, 4.0**0.5 * 1.0**1.0)
+        assert np.allclose(std, 4.0 ** (1.0 / 3.0) * 1.0 ** (2.0 / 3.0))
+
+    def test_scaled_weights_equivalent(self):
+        """Scaling all weights by a constant does not change the output."""
+        m1 = lambda X: (np.full(X.shape[0], 2.0), np.full(X.shape[0], 3.0))
+        m2 = lambda X: (np.full(X.shape[0], 4.0), np.full(X.shape[0], 1.5))
+        X = np.zeros((2, 1))
+        mu_a, sd_a = combine_weighted([m1, m2], np.array([1.0, 3.0]))(X)
+        mu_b, sd_b = combine_weighted([m1, m2], np.array([10.0, 30.0]))(X)
+        assert np.allclose(mu_a, mu_b)
+        assert np.allclose(sd_a, sd_b)
+
+    def test_negative_weight_rejected(self):
+        m = lambda X: (np.zeros(X.shape[0]), np.ones(X.shape[0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            combine_weighted([m, m], np.array([1.0, -0.5]))
+
+    def test_nonfinite_weight_rejected(self):
+        m = lambda X: (np.zeros(X.shape[0]), np.ones(X.shape[0]))
+        with pytest.raises(ValueError, match="finite"):
+            combine_weighted([m, m], np.array([1.0, np.nan]))
+        with pytest.raises(ValueError, match="finite"):
+            combine_weighted([m, m], np.array([np.inf, 1.0]))
+
+    def test_all_zero_weights_rejected(self):
+        m = lambda X: (np.zeros(X.shape[0]), np.ones(X.shape[0]))
+        with pytest.raises(ValueError, match="zero"):
+            combine_weighted([m, m], np.zeros(2))
 
     def test_zero_std_guarded(self):
         m = lambda X: (np.zeros(X.shape[0]), np.zeros(X.shape[0]))
@@ -66,6 +94,6 @@ class TestEqualWeightModel:
         gps = fit_source_gps([_linear_source(2.0), _linear_source(4.0)], rng)
         model = equal_weight_model(gps)
         mean, std = model(np.array([[0.5]]))
-        # equal weights 1 each: sum of means = 1.0 + 2.0
-        assert mean[0] == pytest.approx(3.0, abs=0.3)
+        # normalized equal weights: average of the source means
+        assert mean[0] == pytest.approx(1.5, abs=0.2)
         assert std[0] > 0

@@ -1,0 +1,186 @@
+"""Fast-TLA-pool determinism and equivalence pins (perf PR regression net).
+
+The store/batched/incremental fast paths are amortizations, not
+approximations; these tests pin the contracts:
+
+* defaults (no store, ``refit_every=1``) run the legacy code path and
+  stay bit-identical across repeats at a fixed seed,
+* the batched ``combine_weighted`` path matches the plain per-model loop
+  to <= 1e-10 on mean and log-std,
+* enabling the store leaves strategy trajectories within numerical noise,
+* sharing a store across an ensemble's members collapses source fitting
+  from (1 + pool-size)x to 1x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import perf
+from repro.tla import SourceModelStore, TransferTuner, get_strategy
+from repro.tla.base import combine_weighted, fit_source_gps
+
+NON_ENSEMBLE = [
+    "multitask-ps",
+    "multitask-ts",
+    "weighted-sum-equal",
+    "weighted-sum-dynamic",
+    "stacking",
+]
+
+
+def _trajectory(problem, key, sources, seed=3, n=5, **strategy_kwargs):
+    strat = get_strategy(key, **strategy_kwargs)
+    res = TransferTuner(problem, strat, sources).tune({"t": 5}, n, seed=seed)
+    xs = [e.config["x"] for e in res.history.evaluations]
+    return xs, res.best_so_far()
+
+
+@pytest.mark.parametrize("key", NON_ENSEMBLE + ["ensemble-proposed"])
+class TestDefaultsBitIdentical:
+    """Pinned: with the store disabled (the default), fixed-seed runs are
+    exactly reproducible — the legacy pre-store behavior."""
+
+    def test_repeat_runs_identical(self, key, shifted_quadratics, source_factory):
+        src = source_factory(shifted_quadratics, {"t": 4}, 25, seed=0)
+        xs1, best1 = _trajectory(shifted_quadratics, key, [src])
+        xs2, best2 = _trajectory(shifted_quadratics, key, [src])
+        assert xs1 == xs2
+        assert best1 == best2
+
+
+class TestBatchedCombineEquivalence:
+    """Acceptance pin: batched combine matches the loop to <= 1e-10."""
+
+    def test_frozen_path_matches_loop(self, rng, shifted_quadratics, source_factory):
+        sources = [
+            source_factory(shifted_quadratics, {"t": t}, 20, seed=t, label=f"t{t}")
+            for t in (0, 2, 4, 6)
+        ]
+        gps = fit_source_gps(sources, rng)
+        models = [gp.predict for gp in gps]
+        w = np.array([1.0, 2.0, 0.5, 1.5])
+        Xq = np.random.default_rng(9).random((64, 1))
+        mu_loop, sd_loop = combine_weighted(models, w)(Xq)
+        mu_fast, sd_fast = combine_weighted(models, w, store=SourceModelStore())(Xq)
+        assert np.max(np.abs(mu_fast - mu_loop)) <= 1e-10
+        assert np.max(np.abs(np.log(sd_fast) - np.log(sd_loop))) <= 1e-10
+
+    def test_batched_counter_increments(self, rng, shifted_quadratics, source_factory):
+        src = source_factory(shifted_quadratics, {"t": 1}, 20, seed=1)
+        gps = fit_source_gps([src], rng)
+        fast = combine_weighted([gps[0].predict], np.ones(1), store=SourceModelStore())
+        with perf.collect() as stats:
+            fast(np.random.default_rng(0).random((4, 1)))
+        assert stats.snapshot()["counters"]["tla_batched_predicts"] == 1
+
+    def test_non_gp_members_still_work(self):
+        # members that are not bound GP predicts fall back to plain calls
+        m = lambda X: (np.full(X.shape[0], 2.0), np.ones(X.shape[0]))
+        fast = combine_weighted([m], np.ones(1), store=SourceModelStore())
+        mu, sd = fast(np.zeros((3, 1)))
+        assert np.allclose(mu, 2.0) and np.allclose(sd, 1.0)
+
+
+@pytest.mark.parametrize("key", NON_ENSEMBLE)
+class TestStoreWithinNoise:
+    """Enabling the store keeps trajectories within numerical noise."""
+
+    def test_store_on_matches_store_off(self, key, shifted_quadratics, source_factory):
+        src = source_factory(shifted_quadratics, {"t": 4}, 25, seed=0)
+        xs_off, best_off = _trajectory(shifted_quadratics, key, [src])
+        xs_on, best_on = _trajectory(
+            shifted_quadratics, key, [src], store=SourceModelStore()
+        )
+        assert np.allclose(xs_on, xs_off, atol=1e-6)
+        assert np.allclose(best_on, best_off, atol=1e-6)
+
+
+class TestIncrementalRefits:
+    def test_refit_every_counter_and_quality(
+        self, shifted_quadratics, source_factory
+    ):
+        src = source_factory(shifted_quadratics, {"t": 4}, 25, seed=0)
+        with perf.collect() as stats:
+            _, best = _trajectory(
+                shifted_quadratics,
+                "weighted-sum-dynamic",
+                [src],
+                n=8,
+                refit_every=3,
+                store=SourceModelStore(),
+            )
+        counters = stats.snapshot()["counters"]
+        assert counters.get("tla_incremental_refits", 0) > 0
+        assert best[-1] < 0.15  # still converges near the optimum
+
+    def test_stacking_incremental_residuals(self, shifted_quadratics, source_factory):
+        src = source_factory(shifted_quadratics, {"t": 4}, 25, seed=0)
+        with perf.collect() as stats:
+            _, best = _trajectory(
+                shifted_quadratics,
+                "stacking",
+                [src],
+                n=8,
+                refit_every=4,
+            )
+        counters = stats.snapshot()["counters"]
+        assert counters.get("tla_incremental_refits", 0) > 0
+        assert best[-1] < 0.15
+
+
+class TestEnsembleSourceFitSharing:
+    """Acceptance pin: 1x source fits per ensemble prepare with the store
+    (vs 1 + pool-size = 4x without)."""
+
+    def _sources(self, problem, source_factory, n_sources=2):
+        return [
+            source_factory(problem, {"t": t}, 20, seed=t, label=f"t{t}")
+            for t in range(n_sources)
+        ]
+
+    def test_without_store_refits_per_member(
+        self, shifted_quadratics, source_factory
+    ):
+        sources = self._sources(shifted_quadratics, source_factory)
+        strat = get_strategy("ensemble-proposed")
+        with perf.collect() as stats:
+            strat.prepare(sources, np.random.default_rng(0))
+        counters = stats.snapshot()["counters"]
+        # shell + 3 members each fit every source from scratch
+        assert counters["tla_source_fits"] == 4 * len(sources)
+        assert "tla_source_cache_hits" not in counters
+
+    def test_with_store_fits_once(self, shifted_quadratics, source_factory):
+        sources = self._sources(shifted_quadratics, source_factory)
+        strat = get_strategy("ensemble-proposed", store=SourceModelStore())
+        with perf.collect() as stats:
+            strat.prepare(sources, np.random.default_rng(0))
+        counters = stats.snapshot()["counters"]
+        assert counters["tla_source_fits"] == len(sources)
+        assert counters["tla_source_cache_hits"] == 3 * len(sources)
+
+    def test_prepare_from_store_shares_across_strategies(
+        self, shifted_quadratics, source_factory
+    ):
+        sources = self._sources(shifted_quadratics, source_factory)
+        store = SourceModelStore()
+        rng = np.random.default_rng(0)
+        with perf.collect() as stats:
+            for key in ("weighted-sum-dynamic", "stacking", "multitask-ts"):
+                get_strategy(key).prepare_from_store(store, sources, rng)
+        counters = stats.snapshot()["counters"]
+        assert counters["tla_source_fits"] == len(sources)
+        assert counters["tla_source_cache_hits"] == 2 * len(sources)
+
+    def test_store_run_converges(self, shifted_quadratics, source_factory):
+        src = source_factory(shifted_quadratics, {"t": 4}, 25, seed=0)
+        _, best = _trajectory(
+            shifted_quadratics,
+            "ensemble-proposed",
+            [src],
+            n=6,
+            store=SourceModelStore(),
+        )
+        assert best[-1] < 0.15

@@ -174,3 +174,80 @@ class TestDefaults:
     def test_empty_pool_rejected(self):
         with pytest.raises(ValueError):
             EnsembleProposed(pool=[])
+
+
+class TestRePrepare:
+    """Re-preparation must fully reset selector state (regression)."""
+
+    def test_toggling_counter_resets(self):
+        ens, _ = _make(EnsembleToggling)
+        rng = np.random.default_rng(0)
+        # advance the round-robin cursor mid-cycle...
+        order = [ens._choose(_target(), rng) for _ in range(4)]
+        assert order == [0, 1, 2, 0]
+        # ...then re-prepare: the cycle must restart at member 0
+        ens.prepare(_sources(), np.random.default_rng(1))
+        order = [ens._choose(_target(), rng) for _ in range(3)]
+        assert order == [0, 1, 2]
+
+    def test_best_outputs_reset(self):
+        ens, _ = _make(EnsembleProb)
+        ens.best_outputs = [1.0, 2.0, 3.0]
+        ens.prepare(_sources(), np.random.default_rng(1))
+        assert all(math.isinf(v) for v in ens.best_outputs)
+        assert ens._chosen is None
+
+    def test_store_propagates_to_members(self):
+        from repro.tla import SourceModelStore
+
+        pool = [_StubStrategy(f"s{i}") for i in range(2)]
+        store = SourceModelStore()
+        ens = EnsembleProb(pool=pool, store=store)
+        ens.prepare(_sources(), np.random.default_rng(0))
+        assert all(m.store is store for m in pool)
+
+    def test_member_store_not_overridden(self):
+        from repro.tla import SourceModelStore
+
+        own = SourceModelStore()
+        pool = [_StubStrategy("s0")]
+        pool[0].store = own
+        ens = EnsembleProb(pool=pool, store=SourceModelStore())
+        ens.prepare(_sources(), np.random.default_rng(0))
+        assert pool[0].store is own
+
+
+class TestFailureBookkeeping:
+    """Best-output tracking under failed evaluations (paper Alg. 1)."""
+
+    def test_probabilities_uniform_until_finite_result(self):
+        ens, _ = _make(EnsembleProb)
+        rng = np.random.default_rng(0)
+        ens.model(_target(), rng)
+        ens.notify_result(np.zeros(2), None)  # failure: no update
+        assert np.allclose(ens._probabilities(), 1.0 / 3.0)
+        ens.model(_target(), rng)
+        ens.notify_result(np.zeros(2), 2.0)  # first finite result
+        p = ens._probabilities()
+        assert not np.allclose(p, 1.0 / 3.0)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_failures_interleaved_with_successes(self):
+        ens, _ = _make(EnsembleProb)
+        rng = np.random.default_rng(0)
+        ens.model(_target(), rng)
+        chosen = ens._chosen
+        ens.notify_result(np.zeros(2), 1.5)
+        ens._chosen = chosen
+        ens.notify_result(np.zeros(2), None)  # later failure must not clobber
+        assert ens.best_outputs[chosen] == 1.5
+
+    def test_all_nonpositive_bests_shifted(self):
+        # every seen best <= 0 exercises the Eq. (3) shift branch
+        ens, _ = _make(EnsembleProb)
+        ens.best_outputs = [-5.0, -1.0, 0.0]
+        p = ens._probabilities()
+        assert np.all(np.isfinite(p)) and np.all(p >= 0)
+        assert p.sum() == pytest.approx(1.0)
+        # ordering preserved: lower (better) best -> higher probability
+        assert p[0] > p[1] > p[2]

@@ -1,0 +1,190 @@
+"""Tests for repro.tla.store: model cache, frozen fast path, prediction memo."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import perf
+from repro.core.gp import GaussianProcess
+from repro.core.kernels import Matern52, kernel_from_name
+from repro.tla.store import FrozenGP, SourceModelStore, frozen_view
+
+
+def _data(seed=0, n=30, d=2):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+    return X, y
+
+
+class TestModelCache:
+    def test_same_content_hits(self):
+        store = SourceModelStore()
+        X, y = _data()
+        with perf.collect() as stats:
+            gp1 = store.fit_gp(X, y, seed=1)
+            gp2 = store.fit_gp(X.copy(), y.copy(), seed=2)  # same content
+        assert gp2 is gp1
+        snap = stats.snapshot()["counters"]
+        assert snap["tla_source_fits"] == 1
+        assert snap["tla_source_cache_hits"] == 1
+
+    def test_different_content_misses(self):
+        store = SourceModelStore()
+        X, y = _data(0)
+        X2, y2 = _data(1)
+        gp1 = store.fit_gp(X, y, seed=1)
+        gp2 = store.fit_gp(X2, y2, seed=1)
+        assert gp2 is not gp1
+        assert len(store) == 2
+
+    def test_kernel_and_max_fun_key(self):
+        store = SourceModelStore()
+        X, y = _data()
+        gp1 = store.fit_gp(X, y, seed=1, kernel="rbf")
+        gp2 = store.fit_gp(X, y, seed=1, kernel="matern52")
+        gp3 = store.fit_gp(X, y, seed=1, kernel="rbf", max_fun=40)
+        assert gp1 is not gp2 and gp1 is not gp3
+
+    def test_counter_namespacing(self):
+        store = SourceModelStore()
+        X, y = _data()
+        with perf.collect() as stats:
+            store.fit_gp(X, y, seed=1, counter="stack")
+            store.fit_gp(X, y, seed=2, counter="stack")
+        snap = stats.snapshot()["counters"]
+        assert snap["tla_stack_fits"] == 1
+        assert snap["tla_stack_cache_hits"] == 1
+        assert "tla_source_fits" not in snap
+
+    def test_lru_eviction(self):
+        store = SourceModelStore(max_models=2)
+        for s in range(3):
+            X, y = _data(s)
+            store.fit_gp(X, y, seed=s)
+        assert len(store) == 2
+
+    def test_pickle_roundtrip(self):
+        store = SourceModelStore()
+        X, y = _data()
+        store.fit_gp(X, y, seed=1)
+        clone = pickle.loads(pickle.dumps(store))
+        assert len(clone) == 1
+        with perf.collect() as stats:
+            clone.fit_gp(X, y, seed=2)
+        assert stats.snapshot()["counters"]["tla_source_cache_hits"] == 1
+
+
+class TestFrozenGP:
+    @pytest.mark.parametrize("kernel", ["rbf", "matern52", "matern32"])
+    def test_bitwise_identical_to_gp_predict(self, kernel):
+        X, y = _data()
+        gp = GaussianProcess(kernel_from_name(kernel, 2), seed=0)
+        gp.fit(X, y)
+        frozen = frozen_view(gp)
+        assert frozen is not None
+        Xq = np.random.default_rng(5).random((40, 2))
+        mu_ref, sd_ref = gp.predict(Xq)
+        mu, sd = frozen.predict(Xq)
+        assert np.array_equal(mu, mu_ref)
+        assert np.array_equal(sd, sd_ref)
+
+    def test_view_cached_per_version(self):
+        X, y = _data()
+        gp = GaussianProcess(Matern52(2), seed=0)
+        gp.fit(X, y)
+        f1 = frozen_view(gp)
+        assert frozen_view(gp) is f1
+        gp.fit(X, y + 1.0)  # version bump invalidates
+        f2 = frozen_view(gp)
+        assert f2 is not f1
+        assert isinstance(f2, FrozenGP)
+
+    def test_unfitted_gp_has_no_view(self):
+        assert frozen_view(GaussianProcess()) is None
+
+
+class TestPredictionMemo:
+    def test_rows_memoized(self):
+        store = SourceModelStore()
+        X, y = _data()
+        gp = store.fit_gp(X, y, seed=1)
+        Xq = np.random.default_rng(2).random((8, 2))
+        mu1, sd1 = store.predict(gp, Xq)
+        with perf.collect() as stats:
+            mu2, sd2 = store.predict(gp, Xq)
+        assert stats.snapshot()["counters"]["tla_pred_memo_hits"] == 8
+        assert np.array_equal(mu1, mu2) and np.array_equal(sd1, sd2)
+
+    def test_partial_hit_computes_only_new_rows(self):
+        store = SourceModelStore()
+        X, y = _data()
+        gp = store.fit_gp(X, y, seed=1)
+        Xq = np.random.default_rng(2).random((8, 2))
+        store.predict(gp, Xq[:5])
+        with perf.collect() as stats:
+            mu, sd = store.predict(gp, Xq)
+        assert stats.snapshot()["counters"]["tla_pred_memo_hits"] == 5
+        mu_ref, sd_ref = gp.predict(Xq)
+        assert np.allclose(mu, mu_ref, atol=1e-12)
+        assert np.allclose(sd, sd_ref, atol=1e-12)
+
+    def test_memo_matches_direct_predict(self):
+        store = SourceModelStore()
+        X, y = _data()
+        gp = store.fit_gp(X, y, seed=1)
+        Xq = np.random.default_rng(3).random((10, 2))
+        mu, sd = store.predict(gp, Xq)
+        mu_ref, sd_ref = gp.predict(Xq)
+        assert np.array_equal(mu, mu_ref) and np.array_equal(sd, sd_ref)
+
+    def test_refit_invalidates_memo(self):
+        store = SourceModelStore()
+        X, y = _data()
+        gp = store.fit_gp(X, y, seed=1)
+        Xq = np.random.default_rng(3).random((4, 2))
+        store.predict(gp, Xq)
+        gp.fit(X, -y)  # version bump: memo keys go stale
+        mu, _ = store.predict(gp, Xq)
+        assert np.array_equal(mu, gp.predict(Xq)[0])
+
+    def test_memo_bounded(self):
+        store = SourceModelStore(max_memo_rows=6)
+        X, y = _data()
+        gp = store.fit_gp(X, y, seed=1)
+        store.predict(gp, np.random.default_rng(4).random((10, 2)))
+        assert len(store._memo) <= 6
+
+    def test_cached_predict_fn_exposes_gp(self):
+        store = SourceModelStore()
+        X, y = _data()
+        gp = store.fit_gp(X, y, seed=1)
+        fn = store.cached_predict_fn(gp)
+        assert fn.__wrapped_gp__ is gp
+        Xq = np.random.default_rng(5).random((3, 2))
+        assert np.array_equal(fn(Xq)[0], gp.predict(Xq)[0])
+
+
+class TestSeedBurning:
+    def test_cache_hit_burns_seed(self):
+        """Stream position must not depend on hit/miss (determinism)."""
+        X, y = _data()
+
+        def run(store):
+            rng = np.random.default_rng(99)
+            seeds = []
+            for _ in range(3):
+                s = int(rng.integers(0, 2**31 - 1))
+                seeds.append(s)
+                store.fit_gp(X, y, s)
+            return seeds, float(rng.random())
+
+        warm = SourceModelStore()
+        warm.fit_gp(X, y, seed=0)  # pre-populate: all three calls hit
+        seeds_cold, tail_cold = run(SourceModelStore())
+        seeds_warm, tail_warm = run(warm)
+        assert seeds_cold == seeds_warm
+        assert tail_cold == tail_warm
