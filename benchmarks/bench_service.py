@@ -12,10 +12,17 @@ The service layer's two performance promises:
   ``query_source_data`` pattern: one problem, all tasks) are served
   from the router's TTL+LRU cache without touching any shard.
 
+* **no silent write loss** — with K-way replication, a shard killed
+  under sustained mixed read/write load and re-added later costs zero
+  acknowledged writes: survivors absorb the traffic, hinted handoff
+  replays the backlog on revival, and one anti-entropy round restores
+  full replication for every acked uid.
+
 Checks: >= 3x read throughput at 4 shards vs 1, >= 3x latency win for
-cached repeats.  Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks budgets
-and drops the thresholds to sanity checks — shared CI runners have
-noisy clocks.
+cached repeats, and every acked write readable at full replication
+after the kill-and-rejoin cycle.  Smoke mode (``REPRO_BENCH_SMOKE=1``)
+shrinks budgets and drops the thresholds to sanity checks — shared CI
+runners have noisy clocks.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ from repro.service import RouterOptions, build_service
 
 from harness import FULL, SMOKE, save_results
 
-SHARD_COUNTS = [1, 2, 4]
+SHARD_COUNTS = [1, 2, 4, 8]
 #: simulated per-request service time of one shard node — large enough
 #: that shard service time, not interpreter overhead, is the bottleneck
 LATENCY_S = 0.002 if SMOKE else 0.010
@@ -211,3 +218,159 @@ def test_cache_hit_speedup():
         f"cached repeat only {speedup:.2f}x faster than the fan-out miss "
         f"(need >= {MIN_CACHE_SPEEDUP}x)"
     )
+
+
+KR_SHARDS = 4
+KR_WRITER_THREADS = 4
+KR_READER_THREADS = 2
+KR_WRITES_PER_THREAD = 25 if SMOKE else 60
+KR_TASKS = 16
+
+
+def test_kill_and_rejoin_loses_no_acked_writes():
+    """Mixed read/write load; one shard dies mid-run and rejoins later.
+
+    The controller is count-driven, not clock-driven: the victim is
+    killed after a third of the writes have been acked and revived after
+    two thirds, so the outage window is deterministic regardless of
+    runner speed.  Afterward every acknowledged uid must be readable at
+    full replication — the bug this layer exists to prevent is an acked
+    write silently vanishing with the shard that briefly held it.
+    """
+    from repro.service import shard_key
+
+    options = RouterOptions(replication=2, cache_size=0)
+    svc = build_service(KR_SHARDS, latency_s=LATENCY_S / 2, options=options)
+    _, key = svc.register_user("bench", "bench@lab.gov")
+
+    total_writes = KR_WRITER_THREADS * KR_WRITES_PER_THREAD
+    acked: list[int] = []
+    outcomes = {"ok": 0, "degraded": 0, "failed": 0, "reads": 0}
+    lock = threading.Lock()
+    killed = threading.Event()
+    revived = threading.Event()
+    # the victim owns real buckets, so the outage actually bites
+    victim = svc.router.ring.primary(shard_key("bench", {"t": 0}))
+
+    def writer(tid: int):
+        for i in range(KR_WRITES_PER_THREAD):
+            n = tid * KR_WRITES_PER_THREAD + i
+            response = svc.client.handle(
+                {
+                    "route": "upload",
+                    "api_key": key,
+                    "problem_name": "bench",
+                    "task_parameters": {"t": n % KR_TASKS},
+                    "tuning_parameters": {"x": float(n)},
+                    "output": float(n),
+                }
+            )
+            with lock:
+                if response.get("ok"):
+                    acked.append(response["uid"])
+                    outcomes[response.get("status", "ok")] += 1
+                    done = len(acked)
+                else:
+                    outcomes["failed"] += 1
+                    done = len(acked)
+            if done >= total_writes // 3 and not killed.is_set():
+                killed.set()
+                svc.kill_shard(victim)
+            elif done >= 2 * total_writes // 3 and not revived.is_set():
+                revived.set()
+                svc.revive_shard(victim)  # on_up replays the hint backlog
+
+    def reader(tid: int):
+        while not revived.is_set():
+            response = svc.client.handle(
+                {
+                    "route": "query",
+                    "api_key": key,
+                    "problem_name": "bench",
+                    "task_parameters": {"t": tid % KR_TASKS},
+                }
+            )
+            assert response["ok"], response
+            with lock:
+                outcomes["reads"] += 1
+
+    stats = perf.PerfStats()
+    threads = [
+        threading.Thread(target=writer, args=(tid,))
+        for tid in range(KR_WRITER_THREADS)
+    ] + [
+        threading.Thread(target=reader, args=(tid,))
+        for tid in range(KR_READER_THREADS)
+    ]
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(2e-4)
+    t0 = time.perf_counter()
+    try:
+        with perf.collect(stats):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            revived.set()  # release readers even if writers raced past
+            if svc.transports[victim].down:
+                svc.revive_shard(victim)
+            heal = svc.router.anti_entropy_round()
+        wall = time.perf_counter() - t0
+    finally:
+        sys.setswitchinterval(old_interval)
+
+    counters = stats.snapshot()["counters"]
+    try:
+        # every acked uid is present on both of its preference replicas
+        lost = []
+        for uid in acked:
+            copies = sum(
+                len(shard.repository.store["performance_records"].find({"uid": uid}))
+                for shard in svc.shards.values()
+            )
+            if copies != options.replication:
+                lost.append((uid, copies))
+        # and readable through the public query path
+        seen: set[int] = set()
+        for t in range(KR_TASKS):
+            response = svc.client.handle(
+                {
+                    "route": "query",
+                    "api_key": key,
+                    "problem_name": "bench",
+                    "task_parameters": {"t": t},
+                }
+            )
+            assert response["ok"], response
+            seen.update(r["uid"] for r in response["records"])
+    finally:
+        svc.close()
+
+    print(
+        f"\nkill-and-rejoin: {len(acked)}/{total_writes} writes acked in "
+        f"{wall:.2f}s ({outcomes['degraded']} degraded, "
+        f"{outcomes['failed']} rejected, {outcomes['reads']} reads), victim "
+        f"{victim}: {counters.get('service_hints_replayed', 0)} hints "
+        f"replayed, {heal['healed']} records healed by anti-entropy"
+    )
+    save_results(
+        "service_kill_rejoin",
+        {
+            "writes_acked": len(acked),
+            "writes_total": total_writes,
+            "degraded": outcomes["degraded"],
+            "rejected": outcomes["failed"],
+            "reads": outcomes["reads"],
+            "hints_replayed": counters.get("service_hints_replayed", 0),
+            "antientropy_healed": heal["healed"],
+            "wall_s": wall,
+        },
+    )
+
+    assert killed.is_set() and revived.is_set(), "outage window never opened"
+    assert outcomes["degraded"] > 0, (
+        "the killed shard took no write traffic; the scenario proved nothing"
+    )
+    assert not lost, f"acked writes under-replicated after heal: {lost[:5]}"
+    missing = set(acked) - seen
+    assert not missing, f"acked writes unreadable after rejoin: {sorted(missing)[:5]}"

@@ -217,7 +217,11 @@ def _cmd_service(args: argparse.Namespace) -> int:
     svc = build_service(
         args.shards,
         data_dir=args.data_dir,
-        options=RouterOptions(replication=args.replication),
+        options=RouterOptions(
+            replication=args.replication,
+            write_quorum=args.write_quorum,
+            read_quorum=args.read_quorum,
+        ),
     )
     try:
         _, key = svc.register_user("cli", "cli@gptunecrowd.local")
@@ -250,7 +254,38 @@ def _cmd_service(args: argparse.Namespace) -> int:
             svc.kill_shard(victim)
             survived = svc.client.handle(query)["records"]
             print(f"after killing {victim}: {len(survived)} records still served")
-            svc.revive_shard(victim)
+            # writes during the outage: at W=1 they ack degraded and the
+            # victim's copy is hinted; at W>1 they may be quorum-rejected
+            acked = rejected = 0
+            for _ in range(4):
+                cfg = space.sample(rng)
+                response = svc.client.handle(
+                    {
+                        "route": "upload",
+                        "api_key": key,
+                        "problem_name": app.name,
+                        "task_parameters": dict(task),
+                        "tuning_parameters": cfg,
+                        "output": app.objective(task, cfg, run=args.seed),
+                    }
+                )
+                if response.get("ok"):
+                    uploaded += 1
+                    acked += 1
+                else:
+                    rejected += 1
+            print(
+                f"4 writes during the outage: {acked} acked, "
+                f"{rejected} quorum-rejected, "
+                f"{svc.router.hints_pending(victim)} hint(s) buffered for {victim}"
+            )
+            svc.revive_shard(victim)  # hinted handoff replays automatically
+            stats = svc.router.anti_entropy_round()
+            print(
+                f"revived {victim}: hints pending now "
+                f"{svc.router.hints_pending(victim)}, anti-entropy healed "
+                f"{stats['healed']} record(s) across {stats['buckets']} bucket(s)"
+            )
 
         board = svc.client.handle(
             {"route": "leaderboard", "api_key": key, "problem_name": app.name}
@@ -350,6 +385,10 @@ def main(argv: list[str] | None = None) -> int:
     p_svc.add_argument("--task", help="task parameters as JSON")
     p_svc.add_argument("--shards", type=int, default=4)
     p_svc.add_argument("--replication", type=int, default=2)
+    p_svc.add_argument("--write-quorum", type=int, default=1,
+                       help="replica acks required before an upload succeeds")
+    p_svc.add_argument("--read-quorum", type=int, default=1,
+                       help="replicas consulted (and read-repaired) per pinned read")
     p_svc.add_argument("--uploads", type=int, default=32)
     p_svc.add_argument("--data-dir", help="persist shard WALs/snapshots here")
     p_svc.add_argument("--seed", type=int, default=0)

@@ -47,6 +47,9 @@ class CrowdRepository:
         coll = self.store.collection(_RECORDS)
         coll.create_index("problem_name")
         coll.create_index("owner")
+        # router-stamped uids: the service's idempotent-upload dedup and
+        # anti-entropy replication both look records up by uid
+        coll.create_index("uid")
         self._clock = 0.0
         self._clock_lock = threading.Lock()
 

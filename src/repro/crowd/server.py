@@ -111,6 +111,15 @@ class CrowdServer:
         # router stamps every replica of one logical write identically so
         # cross-shard reads deduplicate.  End users talk to the router,
         # which never forwards client-supplied values for them.
+        uid = int(req.get("uid", 0))
+        if uid:
+            # idempotent replay: the router re-sends a stamped write when
+            # a client retries after a lost ack (same idempotency token
+            # -> same uid) and when replaying hinted handoff; a record
+            # already stored under this uid must not be duplicated
+            self.repository.users.authenticate(req["api_key"])
+            if self.repository.store["performance_records"].find_one({"uid": uid}):
+                return {"ok": True, "uid": uid, "duplicate": True}
         record = PerformanceRecord(
             problem_name=req["problem_name"],
             task_parameters=dict(req["task_parameters"]),

@@ -90,7 +90,81 @@ class CrowdService:
         self.transports[name].down = True
 
     def revive_shard(self, name: str) -> None:
+        """Bring a killed shard back; the router replays its hints.
+
+        (The transport's ``on_up`` hook fires the router's hinted-handoff
+        replay — wired by :func:`build_service` / :meth:`add_shard`.)
+        """
         self.transports[name].down = False
+
+    def restart_shard(self, name: str) -> None:
+        """Crash-restart a shard from its data directory.
+
+        The in-memory node is discarded and rebuilt by WAL/snapshot
+        recovery — the simulation of a real process restart.  Anything
+        the shard missed while down (or lost to an old snapshot image)
+        is healed by hint replay and the next anti-entropy round.
+        """
+        old = self.shards[name]
+        if old.data_dir is None:
+            raise ValueError(f"shard {name!r} is memory-only; nothing to recover")
+        old.close()
+        shard = CrowdShard(
+            name,
+            old.data_dir,
+            users=self.users,
+            snapshot_every=old.snapshot_every,
+            fsync_every=old._wal.fsync_every if old._wal is not None else 1,
+        )
+        self.shards[name] = shard
+        self.transports[name].target = shard.handle
+
+    def add_shard(
+        self,
+        name: str | None = None,
+        *,
+        data_dir: str | Path | None = None,
+        latency_s: float = 0.0,
+        fault_rate: float = 0.0,
+        seed: int = 0,
+        snapshot_every: int = 256,
+        fsync_every: int = 1,
+        rebalance: bool = True,
+    ) -> str:
+        """Join a new shard node and stream its buckets to it."""
+        if name is None:
+            i = len(self.shards)
+            while f"shard-{i}" in self.shards:
+                i += 1
+            name = f"shard-{i}"
+        if name in self.shards:
+            raise ValueError(f"shard {name!r} already exists")
+        shard = CrowdShard(
+            name,
+            data_dir,
+            users=self.users,
+            snapshot_every=snapshot_every,
+            fsync_every=fsync_every,
+        )
+        transport = SimTransport(
+            shard.handle,
+            name,
+            latency_s=latency_s,
+            fault_rate=fault_rate,
+            seed=seed,
+        )
+        transport.on_up(self.router.replay_hints)
+        self.shards[name] = shard
+        self.transports[name] = transport
+        self.router.add_shard(name, transport, rebalance=rebalance)
+        return name
+
+    def remove_shard(self, name: str, *, graceful: bool = True) -> None:
+        """Leave: graceful removal streams the shard's data out first."""
+        self.router.remove_shard(name, graceful=graceful)
+        self.transports.pop(name, None)
+        shard = self.shards.pop(name)
+        shard.close()
 
     def snapshot_all(self) -> None:
         for shard in self.shards.values():
@@ -110,6 +184,9 @@ def build_service(
     n_shards: int = 4,
     *,
     replication: int = 2,
+    write_quorum: int = 1,
+    read_quorum: int = 1,
+    anti_entropy_interval_s: float | None = None,
     data_dir: str | Path | None = None,
     latency_s: float = 0.0,
     fault_rate: float = 0.0,
@@ -125,12 +202,24 @@ def build_service(
     With ``data_dir``, shard ``i`` persists under ``<data_dir>/shard-i``
     (WAL + snapshots); without it the deployment is memory-only.  All
     shards share one user registry — accounts are not sharded.
+
+    ``write_quorum``/``read_quorum`` set the W/R of the replicated
+    write/read paths; the ``(1, 1)`` default reproduces the original
+    fire-and-forget behavior.  ``anti_entropy_interval_s`` starts the
+    router's background healing thread (rounds can always be driven
+    manually via ``svc.router.anti_entropy_round()``).
     """
     if n_shards < 1:
         raise ValueError("need at least one shard")
     users = users if users is not None else UserRegistry()
     if options is None:
-        options = RouterOptions(replication=replication, retry=retry)
+        options = RouterOptions(
+            replication=replication,
+            retry=retry,
+            write_quorum=write_quorum,
+            read_quorum=read_quorum,
+            anti_entropy_interval_s=anti_entropy_interval_s,
+        )
     shards: dict[str, CrowdShard] = {}
     transports: dict[str, SimTransport] = {}
     for i in range(n_shards):
@@ -160,4 +249,8 @@ def build_service(
             max_uid = max(max_uid, int(doc.get("uid", 0) or 0))
             max_ts = max(max_ts, float(doc.get("timestamp", 0.0) or 0.0))
     router = CrowdRouter(transports, options, next_uid=max_uid + 1, write_clock=max_ts)
+    # hinted handoff: the moment a shard's transport comes back up, the
+    # router replays every write buffered for it while it was down
+    for transport in transports.values():
+        transport.on_up(router.replay_hints)
     return CrowdService(router=router, shards=shards, transports=transports, users=users)

@@ -10,6 +10,14 @@ responses are retried with the engine's bounded exponential backoff
 error response — protocol shaped, never an exception — so callers like
 the streamer degrade exactly as they do against a rejecting server.
 
+Uploads carry a client-generated **idempotency token**, stamped once
+per logical write and shared by every retry attempt.  Without it, an
+ack lost *after* the router applied the write (the transport's
+response-fault model) would make the retry a brand-new write with a
+fresh router uid — two copies of one evaluation.  The router maps the
+token back to the original uid/timestamp stamp and the shards
+deduplicate by uid, so N faulted attempts store exactly one record.
+
 :class:`RemoteRepository` adapts a :class:`ServiceClient` to the subset
 of the :class:`~repro.crowd.repository.CrowdRepository` surface the
 crowd-tuning API uses, so a :class:`~repro.crowd.api.CrowdClient` — and
@@ -20,6 +28,8 @@ sharded service.
 
 from __future__ import annotations
 
+import itertools
+import threading
 import time
 from collections.abc import Mapping
 from typing import Any, Protocol
@@ -31,6 +41,10 @@ from ..engine.faults import RetryPolicy
 from .transport import SimTransport, TransportError
 
 __all__ = ["ServiceClient", "RemoteRepository", "Endpoint"]
+
+#: deployment-unique client tags for idempotency tokens (deterministic:
+#: tags follow client construction order, never wall-clock or pids)
+_client_tags = itertools.count(1)
 
 
 class Endpoint(Protocol):  # pragma: no cover - typing helper
@@ -63,9 +77,32 @@ class ServiceClient:
         self.retry = retry if retry is not None else RetryPolicy()
         self._sleep = sleep
         self.n_retries = 0
+        self._tag = next(_client_tags)
+        self._idem_counter = itertools.count(1)
+        self._idem_lock = threading.Lock()
+
+    def _stamp_idempotency(self, request: Mapping[str, Any]) -> Mapping[str, Any]:
+        """Give an upload one token for *all* its retry attempts.
+
+        Router-stamped requests (``uid`` present) are the router's own
+        replica writes — already idempotent by uid — and a caller's
+        explicit token is preserved.
+        """
+        if (
+            request.get("route") != "upload"
+            or "uid" in request
+            or "idempotency_key" in request
+        ):
+            return request
+        with self._idem_lock:
+            token = f"c{self._tag}-{next(self._idem_counter)}"
+        stamped = dict(request)
+        stamped["idempotency_key"] = token
+        return stamped
 
     def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
         """Send one request, retrying faults and throttles; never raises."""
+        request = self._stamp_idempotency(request)
         attempt = 0
         while True:
             try:

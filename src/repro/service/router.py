@@ -9,9 +9,27 @@ unchanged against the sharded deployment.  Behind the protocol it:
 * **routes writes** to the ``(problem_name, task)`` key's preference
   list on the consistent-hash ring — K-way replication, every replica
   stamped with the same router-assigned ``uid`` and logical timestamp so
-  cross-shard reads deduplicate exactly;
+  cross-shard reads deduplicate exactly.  The router acknowledges only
+  after ``write_quorum`` replicas confirm, reports
+  ``replicas_acked``/``replicas_total`` (plus a ``degraded`` status) in
+  every upload response, and buffers a **hint** for each unreachable
+  replica — replayed automatically when the shard's transport comes
+  back up (hinted handoff);
 * **serves task-pinned reads** from the primary with fallback through
-  the replicas when shards are unreachable;
+  the replicas when shards are unreachable; with ``read_quorum`` > 1 it
+  reads R replicas, merges newest-wins by ``(uid, timestamp)``, and
+  **read-repairs** stale replicas by streaming them the records they
+  miss;
+* **heals in the background** — :meth:`CrowdRouter.anti_entropy_round`
+  exchanges per-bucket digests of each shard's journaled records
+  (bucketed by ``shard_key``) and streams missing or stale records
+  between replicas; an optional interval thread runs rounds
+  continuously;
+* **resizes the cluster** — :meth:`CrowdRouter.add_shard` /
+  :meth:`CrowdRouter.remove_shard` rebuild the consistent-hash ring and
+  stream each rekeyed bucket to its new owners before dropping the old
+  copies (graceful handoff; a crashed shard is simply removed and
+  anti-entropy restores the replication factor from the survivors);
 * **fans out** problem-wide reads (``query``, ``query_sql``,
   ``problems``, ``leaderboard``, ``contributors``, ``query_models``)
   across all shards in parallel and merges: records deduplicate by
@@ -24,11 +42,20 @@ unchanged against the sharded deployment.  Behind the protocol it:
   get ``{"ok": false, "error": "throttled", "retry_after": ...}``
   instead of service time (clients retry after the hint).
 
+The default ``(write_quorum=1, read_quorum=1, anti-entropy off)``
+configuration reproduces the original fire-and-forget behavior: reads
+take exactly the legacy single-replica path and upload responses are
+unchanged except for the documented ``replicas_acked`` /
+``replicas_total`` / ``status`` fields.
+
 Perf wiring: counters ``service_requests``, ``service_cache_hits`` /
 ``_misses`` / ``_invalidations``, ``service_throttled``,
 ``service_fanouts``, ``service_replica_fallbacks``,
-``service_underreplicated_writes``; gauges ``service_cache_size`` and
-``service_cache_hit_rate`` (plus the per-shard ``shard_depth.*`` /
+``service_underreplicated_writes``, ``service_quorum_failures``,
+``service_read_repairs``, ``service_hints_stored`` / ``_replayed`` /
+``_dropped``, ``service_antientropy_rounds`` / ``_records_healed``;
+gauges ``service_cache_size``, ``service_cache_hit_rate`` and
+``service_hints_pending`` (plus the per-shard ``shard_depth.*`` /
 ``shard_records.*`` gauges exported by the transport and shard layers).
 """
 
@@ -50,7 +77,7 @@ from ..crowd.records import PerformanceRecord
 from ..crowd.views import contributor_stats_from_records, leaderboard_from_records
 from ..engine.faults import RetryPolicy
 from .client import ServiceClient
-from .shard import ShardRing, shard_key
+from .shard import ShardRing, record_ident, shard_key
 
 __all__ = ["CrowdRouter", "RouterOptions", "TokenBucket"]
 
@@ -80,12 +107,37 @@ class RouterOptions:
     burst: int = 20
     #: retry policy of the router's own shard connections
     retry: RetryPolicy | None = None
+    #: replicas that must ack before an upload is acknowledged (W);
+    #: 1 = legacy fire-and-forget acknowledgment
+    write_quorum: int = 1
+    #: replicas consulted by a task-pinned read (R); 1 = legacy
+    #: primary-with-fallback, >1 adds newest-wins merge + read-repair
+    read_quorum: int = 1
+    #: seconds between background anti-entropy rounds (None = no thread;
+    #: rounds can always be driven manually via ``anti_entropy_round``)
+    anti_entropy_interval_s: float | None = None
+    #: buffered hinted-handoff writes kept per unreachable shard; the
+    #: oldest hints are dropped beyond this (anti-entropy still heals)
+    max_hints_per_shard: int = 10_000
+    #: remembered ``idempotency_key -> (uid, timestamp)`` stamps, so a
+    #: client retry after a lost ack reuses its original stamp
+    idempotency_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.replication < 1:
             raise ValueError("replication must be >= 1")
         if self.cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if not 1 <= self.write_quorum <= self.replication:
+            raise ValueError("write_quorum must be in [1, replication]")
+        if not 1 <= self.read_quorum <= self.replication:
+            raise ValueError("read_quorum must be in [1, replication]")
+        if self.anti_entropy_interval_s is not None and (
+            self.anti_entropy_interval_s <= 0
+        ):
+            raise ValueError("anti_entropy_interval_s must be positive")
+        if self.max_hints_per_shard < 0:
+            raise ValueError("max_hints_per_shard must be >= 0")
 
 
 class TokenBucket:
@@ -144,9 +196,16 @@ class _QueryCache:
         if self.size <= 0:
             return
         with self._lock:
+            # sweep expired entries first: ``get`` only drops the entry
+            # it touched, so dead entries would otherwise count toward
+            # the size bound and push *live* LRU entries out below
+            now = self._clock()
+            expired = [k for k, e in self._entries.items() if e[1] < now]
+            for k in expired:
+                del self._entries[k]
             self._entries[key] = (
                 json.loads(json.dumps(dict(response))),
-                self._clock() + self.ttl_s,
+                now + self.ttl_s,
                 tags,
             )
             self._entries.move_to_end(key)
@@ -221,15 +280,41 @@ class CrowdRouter:
         self._write_clock = float(write_clock)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        #: idempotency_key -> (uid, timestamp) of the original stamp
+        self._idempotency: OrderedDict[str, tuple[int, float]] = OrderedDict()
+        #: shard name -> uid -> stamped upload request awaiting replay
+        self._hints: dict[str, OrderedDict[int, dict[str, Any]]] = {}
+        self._hints_lock = threading.Lock()
+        self._membership_lock = threading.Lock()
+        self._ae_stop: threading.Event | None = None
+        self._ae_thread: threading.Thread | None = None
+        if self.options.anti_entropy_interval_s is not None:
+            self.start_anti_entropy(self.options.anti_entropy_interval_s)
 
     # -- plumbing ------------------------------------------------------------
-    def _stamp(self) -> tuple[int, float]:
-        """Router-global uid + logical timestamp for one logical write."""
+    def _stamp(self, idempotency_key: str | None = None) -> tuple[int, float]:
+        """Router-global uid + logical timestamp for one logical write.
+
+        A remembered ``idempotency_key`` returns its *original* stamp:
+        the retry of a write whose ack was lost re-runs the replica loop
+        under the same uid, and the shards' uid dedup makes the replay
+        a no-op wherever the first attempt already landed.
+        """
         with self._uid_lock:
+            if idempotency_key:
+                stamp = self._idempotency.get(idempotency_key)
+                if stamp is not None:
+                    self._idempotency.move_to_end(idempotency_key)
+                    return stamp
             uid = self._next_uid
             self._next_uid += 1
             self._write_clock += 1.0
-            return uid, self._write_clock
+            stamp = (uid, self._write_clock)
+            if idempotency_key:
+                self._idempotency[idempotency_key] = stamp
+                while len(self._idempotency) > self.options.idempotency_cache_size:
+                    self._idempotency.popitem(last=False)
+            return stamp
 
     def _fanout(self, request: Mapping[str, Any]) -> dict[str, dict[str, Any]]:
         """Send ``request`` to every shard in parallel; name -> response."""
@@ -267,6 +352,14 @@ class CrowdRouter:
         }
 
     def close(self) -> None:
+        self.stop_anti_entropy()
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _shutdown_pool(self) -> None:
+        """Drop the fan-out pool (membership changed its sizing)."""
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
@@ -334,34 +427,65 @@ class CrowdRouter:
             return _bad_request(str(exc))
         key = shard_key(problem, task)
         prefs = self.ring.preference(key, self.options.replication)
-        uid, ts = self._stamp()
+        quorum = min(self.options.write_quorum, len(prefs))
+        uid, ts = self._stamp(request.get("idempotency_key"))
         stamped = {k: v for k, v in request.items() if k not in ("uid", "timestamp")}
         stamped["uid"] = uid
         stamped["timestamp"] = ts
-        ok_response: dict[str, Any] | None = None
-        failed = 0
+        acked = 0
+        unreachable: list[str] = []
         rejected: dict[str, Any] | None = None
         for name in prefs:
             response = self._shards[name].handle(stamped)
             if response.get("ok"):
-                ok_response = response
+                acked += 1
             elif response.get("error") == "unavailable":
-                failed += 1
+                unreachable.append(name)
             else:
                 rejected = response  # auth / bad_request: same on every shard
                 break
         self._cache.invalidate(frozenset(prefs))
         if rejected is not None:
             return rejected
-        if ok_response is None:
+        if acked == 0:
             return {
                 "ok": False,
                 "error": "unavailable",
                 "message": f"no replica of {prefs} accepted the write",
+                "replicas_acked": 0,
+                "replicas_total": len(prefs),
             }
-        if failed:
+        # the write exists on >= 1 replica: buffer a hint per unreachable
+        # replica so the record reaches full replication when they rejoin
+        for name in unreachable:
+            self._store_hint(name, stamped)
+        if unreachable:
             perf.incr("service_underreplicated_writes")
-        return ok_response
+        degraded = acked < quorum or acked < len(prefs)
+        if acked < quorum:
+            # quorum missed: never report a half-lost write as success —
+            # the client may safely retry (idempotency token + shard uid
+            # dedup make the replay exactly-once) or treat it as failed
+            perf.incr("service_quorum_failures")
+            return {
+                "ok": False,
+                "error": "quorum",
+                "message": (
+                    f"write {uid} acknowledged by {acked}/{len(prefs)} replicas "
+                    f"(quorum {quorum})"
+                ),
+                "uid": uid,
+                "status": "degraded",
+                "replicas_acked": acked,
+                "replicas_total": len(prefs),
+            }
+        return {
+            "ok": True,
+            "uid": uid,
+            "status": "degraded" if degraded else "ok",
+            "replicas_acked": acked,
+            "replicas_total": len(prefs),
+        }
 
     def _route_upload_model(self, request: Mapping[str, Any]) -> dict[str, Any]:
         try:
@@ -387,6 +511,8 @@ class CrowdRouter:
             prefs = self.ring.preference(
                 shard_key(problem, dict(task)), self.options.replication
             )
+            if min(self.options.read_quorum, len(prefs)) > 1:
+                return self._quorum_pinned_read(request, prefs)
             for i, name in enumerate(prefs):
                 response = self._shards[name].handle(request)
                 if response.get("error") == "unavailable":
@@ -411,6 +537,82 @@ class CrowdRouter:
             docs = docs[: max(int(limit), 0)]
         return {"ok": True, "records": docs}, tags
 
+    def _quorum_pinned_read(
+        self, request: Mapping[str, Any], prefs: list[str]
+    ) -> tuple[dict[str, Any], frozenset[str]]:
+        """Read R replicas, merge newest-wins, write repairs back.
+
+        Visibility and ``require_success`` filtering are identical on
+        every replica (record-level data travels with the doc), so a
+        record returned by one replica but not another really is missing
+        or stale there — except under ``limit``, where truncation makes
+        the comparison unsound, so repairs are skipped.
+        """
+        quorum = min(self.options.read_quorum, len(prefs))
+        consulted: list[tuple[str, dict[str, Any]]] = []
+        skipped = 0
+        for name in prefs:
+            if len(consulted) == quorum:
+                break
+            response = self._shards[name].handle(request)
+            if response.get("error") == "unavailable":
+                skipped += 1
+                continue
+            if not response.get("ok"):
+                return response, frozenset(prefs)
+            consulted.append((name, response))
+        if not consulted:
+            return (
+                {
+                    "ok": False,
+                    "error": "unavailable",
+                    "message": f"all replicas of {prefs} are unreachable",
+                },
+                frozenset(prefs),
+            )
+        if skipped:
+            perf.incr("service_replica_fallbacks")
+        merged: dict[str, dict[str, Any]] = {}
+        replica_view: dict[str, dict[str, Any]] = {}
+        for name, response in consulted:
+            view: dict[str, Any] = {}
+            for doc in response.get("records", []):
+                doc = dict(doc)
+                doc.pop("_id", None)
+                ident = record_ident(doc)
+                view[ident] = doc.get("timestamp")
+                current = merged.get(ident)
+                if current is None or _sort_key(doc.get("timestamp")) > _sort_key(
+                    current.get("timestamp")
+                ):
+                    merged[ident] = doc
+            replica_view[name] = view
+        docs = sorted(merged.values(), key=lambda d: _sort_key(d.get("timestamp")))
+        limit = request.get("limit")
+        if limit is None and len(consulted) > 1:
+            repaired: set[str] = set()
+            for name, _ in consulted:
+                view = replica_view[name]
+                stale = [
+                    doc
+                    for ident, doc in merged.items()
+                    if ident not in view
+                    or _sort_key(view[ident]) < _sort_key(doc.get("timestamp"))
+                ]
+                if not stale:
+                    continue
+                fix = self._shards[name].handle(
+                    {"route": "replicate", "records": stale}
+                )
+                if fix.get("ok") and fix.get("applied", 0):
+                    perf.incr("service_read_repairs", int(fix["applied"]))
+                    repaired.add(name)
+            if repaired:
+                self._cache.invalidate(frozenset(repaired))
+        if limit is not None:
+            docs = docs[: max(int(limit), 0)]
+        return {"ok": True, "records": docs}, frozenset(prefs)
+
     def _route_query_sql(
         self, request: Mapping[str, Any]
     ) -> tuple[dict[str, Any], frozenset[str]]:
@@ -433,11 +635,16 @@ class CrowdRouter:
     def _gather_records(
         self, request: Mapping[str, Any]
     ) -> tuple[list[dict], dict[str, Any] | None, frozenset[str]]:
-        """Fan out a record-returning request; dedup replicas by uid."""
+        """Fan out a record-returning request; dedup replicas by uid.
+
+        Divergent replicas (a stale node that rejoined before healing)
+        may return different versions under one uid — the merge keeps
+        the newest timestamp, matching read-repair's newest-wins rule.
+        """
         responses = self._fanout(request)
         tags = frozenset(responses)
         docs: list[dict] = []
-        seen: set[Any] = set()
+        position: dict[str, int] = {}
         reachable = 0
         for name, response in sorted(responses.items()):
             if response.get("error") == "unavailable":
@@ -446,13 +653,16 @@ class CrowdRouter:
                 return [], response, tags  # auth/bad_request: uniform verdict
             reachable += 1
             for doc in response.get("records", []):
-                uid = doc.get("uid", 0)
-                dedup = uid if uid else json.dumps(doc, sort_keys=True, default=str)
-                if dedup in seen:
-                    continue
-                seen.add(dedup)
                 doc.pop("_id", None)  # shard-local ids are meaningless here
-                docs.append(doc)
+                dedup = record_ident(doc)
+                at = position.get(dedup)
+                if at is None:
+                    position[dedup] = len(docs)
+                    docs.append(doc)
+                elif _sort_key(doc.get("timestamp")) > _sort_key(
+                    docs[at].get("timestamp")
+                ):
+                    docs[at] = doc
         if reachable == 0:
             return (
                 [],
@@ -553,6 +763,283 @@ class CrowdRouter:
                 tags,
             )
         return {"ok": True, "models": models}, tags
+
+    # -- hinted handoff ------------------------------------------------------
+    def _store_hint(self, name: str, stamped: Mapping[str, Any]) -> None:
+        """Buffer a stamped write for an unreachable replica."""
+        cap = self.options.max_hints_per_shard
+        if cap == 0:
+            perf.incr("service_hints_dropped")
+            return
+        dropped = 0
+        with self._hints_lock:
+            queue = self._hints.setdefault(name, OrderedDict())
+            queue[int(stamped["uid"])] = dict(stamped)
+            while len(queue) > cap:
+                queue.popitem(last=False)
+                dropped += 1
+        perf.incr("service_hints_stored")
+        if dropped:
+            perf.incr("service_hints_dropped", dropped)
+        self._gauge_hints()
+
+    def hints_pending(self, name: str | None = None) -> int:
+        """Buffered hinted-handoff writes (for one shard or all)."""
+        with self._hints_lock:
+            if name is not None:
+                return len(self._hints.get(name, ()))
+            return sum(len(q) for q in self._hints.values())
+
+    def replay_hints(self, name: str | None = None) -> int:
+        """Deliver buffered hints; returns how many were applied.
+
+        Wired to :meth:`SimTransport.on_up` by the service builder, so a
+        revived shard receives its missed writes immediately.  A replay
+        stops at the first still-unreachable delivery (the shard is down
+        again); hints rejected outright (e.g. a revoked key) are dropped.
+        """
+        with self._hints_lock:
+            names = (
+                [name]
+                if name is not None
+                else sorted(n for n, q in self._hints.items() if q)
+            )
+        replayed: set[str] = set()
+        n_replayed = 0
+        for shard_name in names:
+            client = self._shards.get(shard_name)
+            if client is None:  # shard left the cluster: hints are moot
+                with self._hints_lock:
+                    self._hints.pop(shard_name, None)
+                continue
+            while True:
+                with self._hints_lock:
+                    queue = self._hints.get(shard_name)
+                    if not queue:
+                        break
+                    uid, stamped = next(iter(queue.items()))
+                response = client.handle(stamped)
+                if response.get("error") == "unavailable":
+                    break  # still down: keep the remaining hints
+                with self._hints_lock:
+                    queue = self._hints.get(shard_name)
+                    if queue is not None:
+                        queue.pop(uid, None)
+                if response.get("ok"):
+                    n_replayed += 1
+                    perf.incr("service_hints_replayed")
+                    replayed.add(shard_name)
+        if replayed:
+            self._cache.invalidate(frozenset(replayed))
+        self._gauge_hints()
+        return n_replayed
+
+    def _gauge_hints(self) -> None:
+        perf.gauge("service_hints_pending", self.hints_pending())
+
+    # -- anti-entropy --------------------------------------------------------
+    def anti_entropy_round(self, *, cleanup: bool = False) -> dict[str, Any]:
+        """One digest-exchange round across the cluster.
+
+        Every reachable shard reports a digest per ``shard_key`` bucket
+        of its journaled records.  For each bucket whose preference-list
+        replicas disagree (or miss it entirely), the round pulls the
+        bucket from every holder, merges newest-wins by
+        ``(uid, timestamp)``, and streams the merged records to each
+        replica.  With ``cleanup`` (used by shard handoff), a bucket
+        held by a shard outside its preference list is dropped — but
+        only once every replica in the list holds the identical digest,
+        so a copy is never destroyed before the ring's owners have it.
+
+        Pending hints are replayed first: a freshly revived shard takes
+        its buffered writes before digests are compared.
+        """
+        self.replay_hints()
+        digests: dict[str, dict[str, dict[str, Any]]] = {}
+        for name in sorted(self._shards):
+            response = self._shards[name].handle({"route": "digest"})
+            if response.get("ok"):
+                digests[name] = response.get("digests", {})
+        healed = 0
+        dropped = 0
+        touched: set[str] = set()
+        all_keys = sorted({key for d in digests.values() for key in d})
+        for key in all_keys:
+            prefs = self.ring.preference(key, self.options.replication)
+            holders = {
+                name: digests[name][key]["digest"]
+                for name in digests
+                if key in digests[name]
+            }
+            reachable_prefs = [n for n in prefs if n in digests]
+            pref_digests = {holders.get(n) for n in reachable_prefs}
+            extras = sorted(n for n in holders if n not in prefs)
+            consistent = (
+                len(reachable_prefs) == len(prefs)
+                and len(pref_digests) == 1
+                and None not in pref_digests
+            )
+            if consistent and all(
+                holders[n] == next(iter(pref_digests)) for n in extras
+            ):
+                if cleanup:
+                    for name in extras:
+                        response = self._shards[name].handle(
+                            {"route": "drop_bucket", "key": key}
+                        )
+                        if response.get("ok") and response.get("dropped", 0):
+                            dropped += int(response["dropped"])
+                            touched.add(name)
+                continue
+            merged: dict[str, dict[str, Any]] = {}
+            for name in sorted(set(holders) | set(reachable_prefs)):
+                response = self._shards[name].handle(
+                    {"route": "fetch", "keys": [key]}
+                )
+                if not response.get("ok"):
+                    continue
+                for doc in response.get("buckets", {}).get(key, []):
+                    ident = record_ident(doc)
+                    current = merged.get(ident)
+                    if current is None or _sort_key(
+                        doc.get("timestamp")
+                    ) > _sort_key(current.get("timestamp")):
+                        merged[ident] = doc
+            if not merged:
+                continue
+            records = sorted(
+                merged.values(),
+                key=lambda d: (_sort_key(d.get("timestamp")), record_ident(d)),
+            )
+            bucket_applied = 0
+            replicated_all = len(reachable_prefs) == len(prefs)
+            for name in reachable_prefs:
+                response = self._shards[name].handle(
+                    {"route": "replicate", "records": records}
+                )
+                if not response.get("ok"):
+                    replicated_all = False
+                    continue
+                if response.get("applied", 0):
+                    bucket_applied += int(response["applied"])
+                    healed += int(response["applied"])
+                    touched.add(name)
+            if cleanup and extras and replicated_all and bucket_applied == 0:
+                # every replica already held the merged bucket (zero
+                # applies), so the extras' records — all part of the
+                # merge — are provably covered: safe to drop even though
+                # a stale extra's digest will never match the owners'
+                for name in extras:
+                    response = self._shards[name].handle(
+                        {"route": "drop_bucket", "key": key}
+                    )
+                    if response.get("ok") and response.get("dropped", 0):
+                        dropped += int(response["dropped"])
+                        touched.add(name)
+        if touched:
+            self._cache.invalidate(frozenset(touched))
+        perf.incr("service_antientropy_rounds")
+        if healed:
+            perf.incr("service_antientropy_records_healed", healed)
+        return {
+            "healed": healed,
+            "dropped": dropped,
+            "buckets": len(all_keys),
+            "reachable": sorted(digests),
+        }
+
+    def start_anti_entropy(self, interval_s: float) -> None:
+        """Run :meth:`anti_entropy_round` every ``interval_s`` seconds."""
+        if self._ae_thread is not None:
+            return
+        stop = threading.Event()
+
+        def _loop() -> None:
+            while not stop.wait(interval_s):
+                try:
+                    self.anti_entropy_round()
+                except Exception:  # never kill the daemon on one bad round
+                    perf.incr("service_antientropy_errors")
+
+        self._ae_stop = stop
+        self._ae_thread = threading.Thread(
+            target=_loop, name="crowd-antientropy", daemon=True
+        )
+        self._ae_thread.start()
+
+    def stop_anti_entropy(self) -> None:
+        if self._ae_thread is None:
+            return
+        assert self._ae_stop is not None
+        self._ae_stop.set()
+        self._ae_thread.join()
+        self._ae_thread = None
+        self._ae_stop = None
+
+    # -- membership ----------------------------------------------------------
+    def add_shard(self, name: str, channel: Any, *, rebalance: bool = True) -> dict:
+        """Join a shard: rebuild the ring and stream its buckets to it.
+
+        With ``rebalance`` (the default) the join blocks until handoff
+        converges: every bucket the new shard now owns has been streamed
+        in and copies on shards that lost ownership are dropped.
+        """
+        with self._membership_lock:
+            if name in self._shards:
+                raise ValueError(f"shard {name!r} already in the cluster")
+            retry = self.options.retry
+            self._shards[name] = (
+                channel
+                if isinstance(channel, ServiceClient)
+                else ServiceClient(channel, retry=retry)
+            )
+            self.ring = ShardRing(list(self._shards), vnodes=self.options.vnodes)
+            self._shutdown_pool()
+            self._cache.invalidate(frozenset(self._shards))
+            return self.rebalance() if rebalance else {}
+
+    def remove_shard(self, name: str, *, graceful: bool = True) -> dict:
+        """Leave: stream the shard's buckets out first when graceful.
+
+        Graceful removal recomputes the ring without the shard while it
+        is still connected, then runs handoff rounds — its buckets are
+        fetched from it and replicated to the new owners before it is
+        disconnected.  Non-graceful removal (a crashed node) skips the
+        streaming; the surviving replicas restore the replication factor
+        on the next anti-entropy round.
+        """
+        with self._membership_lock:
+            if name not in self._shards:
+                raise KeyError(f"unknown shard {name!r}")
+            if len(self._shards) == 1:
+                raise ValueError("cannot remove the last shard")
+            survivors = [n for n in self._shards if n != name]
+            self.ring = ShardRing(survivors, vnodes=self.options.vnodes)
+            stats = self.rebalance() if graceful else {}
+            with self._hints_lock:
+                self._hints.pop(name, None)
+            del self._shards[name]
+            if self._admin == name:
+                self._admin = next(iter(self._shards))
+            self._shutdown_pool()
+            self._cache.invalidate(frozenset(self._shards) | {name})
+            self._gauge_hints()
+            return stats
+
+    def rebalance(self, max_rounds: int = 5) -> dict:
+        """Anti-entropy with cleanup until the placement is quiescent."""
+        totals = {"healed": 0, "dropped": 0, "rounds": 0}
+        for _ in range(max_rounds):
+            stats = self.anti_entropy_round(cleanup=True)
+            totals["healed"] += stats["healed"]
+            totals["dropped"] += stats["dropped"]
+            totals["rounds"] += 1
+            if stats["healed"] == 0 and stats["dropped"] == 0:
+                break
+        return totals
+
+    def shard_names(self) -> list[str]:
+        return list(self._shards)
 
     def routes(self) -> list[str]:
         return sorted(

@@ -31,13 +31,43 @@ from ..crowd.server import CrowdServer
 from ..crowd.users import UserRegistry
 from . import wal as _wal
 
-__all__ = ["ShardRing", "CrowdShard", "shard_key"]
+__all__ = ["ShardRing", "CrowdShard", "shard_key", "record_ident", "bucket_digest"]
+
+#: trusted intra-cluster routes served by the shard itself, never by the
+#: public :class:`CrowdServer` protocol and never forwarded by the
+#: router's public dispatch — only the router's healing machinery
+#: (read-repair, anti-entropy, hinted handoff, shard handoff) calls them
+_INTERNAL_ROUTES = frozenset({"replicate", "digest", "fetch", "drop_bucket"})
+
+_RECORDS = "performance_records"
 
 
 def shard_key(problem_name: str, task_parameters: Mapping[str, Any] | None) -> str:
     """Canonical routing key for a record or a task-pinned query."""
     task = json.dumps(dict(task_parameters or {}), sort_keys=True, default=str)
     return f"{problem_name}\x00{task}"
+
+
+def record_ident(doc: Mapping[str, Any]) -> str:
+    """Replica-stable identity of one stored record.
+
+    Router-stamped records are identified by their global ``uid``;
+    unstamped records (uid 0, uploaded outside the router) fall back to
+    a content hash so replicas still compare equal field-for-field.
+    """
+    uid = int(doc.get("uid", 0) or 0)
+    if uid:
+        return str(uid)
+    blob = json.dumps(
+        {k: v for k, v in doc.items() if k != "_id"}, sort_keys=True, default=str
+    )
+    return "#" + hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def bucket_digest(entries: list[tuple[str, Any]]) -> str:
+    """Order-independent digest of one bucket's ``(ident, timestamp)``s."""
+    lines = sorted(f"{ident}@{ts!r}" for ident, ts in entries)
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
 
 
 def _ring_hash(value: str) -> int:
@@ -158,13 +188,93 @@ class CrowdShard:
     # -- serving ------------------------------------------------------------
     def handle(self, request: Mapping[str, Any]) -> dict[str, Any]:
         """Serve one request; durability holds before the response."""
+        route = request.get("route") if isinstance(request, Mapping) else None
         with perf.timer(f"shard.{self.name}"):
-            response = self.server.handle(request)
+            if route in _INTERNAL_ROUTES:
+                try:
+                    response = getattr(self, f"_route_{route}")(request)
+                except (KeyError, TypeError, ValueError) as exc:
+                    response = {
+                        "ok": False,
+                        "error": "bad_request",
+                        "message": str(exc),
+                    }
+            else:
+                response = self.server.handle(request)
         perf.incr(f"shard_requests.{self.name}")
         if self._snapshot_due:
             self.snapshot()
         perf.gauge(f"shard_records.{self.name}", self.repository.count())
         return response
+
+    # -- intra-cluster healing protocol --------------------------------------
+    # These routes are the trust boundary of the replication machinery:
+    # they move full record documents (owner, uid, timestamp included)
+    # between replicas, so they are reachable only over the router's own
+    # shard connections — the public router dispatch rejects the route
+    # names and CrowdServer does not know them.
+
+    def _route_replicate(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        """Store full record docs verbatim, newest-wins by timestamp."""
+        coll = self.repository.store[_RECORDS]
+        applied = 0
+        for doc in req["records"]:
+            doc = {k: v for k, v in dict(doc).items() if k != "_id"}
+            uid = int(doc.get("uid", 0) or 0)
+            if uid:
+                existing = coll.find_one({"uid": uid})
+                if existing is not None:
+                    if float(existing.get("timestamp", 0.0) or 0.0) >= float(
+                        doc.get("timestamp", 0.0) or 0.0
+                    ):
+                        continue  # already have this version or newer
+                    coll.delete({"_id": existing["_id"]})
+            elif coll.find_one(doc) is not None:
+                continue  # unstamped record already present field-for-field
+            coll.insert(doc)
+            self.repository.advance_clock(float(doc.get("timestamp", 0.0) or 0.0))
+            applied += 1
+        return {"ok": True, "applied": applied}
+
+    def _route_digest(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        """Per-bucket digests of this shard's records (anti-entropy)."""
+        buckets: dict[str, list[tuple[str, Any]]] = {}
+        for doc in self.repository.store[_RECORDS].find({}):
+            key = shard_key(doc.get("problem_name", ""), doc.get("task_parameters"))
+            buckets.setdefault(key, []).append(
+                (record_ident(doc), doc.get("timestamp", 0.0))
+            )
+        return {
+            "ok": True,
+            "digests": {
+                key: {"digest": bucket_digest(entries), "count": len(entries)}
+                for key, entries in buckets.items()
+            },
+        }
+
+    def _route_fetch(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        """Full records of the requested buckets (healing stream)."""
+        keys = {str(k) for k in req["keys"]}
+        out: dict[str, list[dict[str, Any]]] = {key: [] for key in keys}
+        for doc in self.repository.store[_RECORDS].find({}):
+            key = shard_key(doc.get("problem_name", ""), doc.get("task_parameters"))
+            if key in keys:
+                doc.pop("_id", None)
+                out[key].append(doc)
+        return {"ok": True, "buckets": out}
+
+    def _route_drop_bucket(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        """Drop one bucket this shard no longer owns (post-handoff)."""
+        key = str(req["key"])
+        coll = self.repository.store[_RECORDS]
+        doomed = sorted(
+            doc["_id"]
+            for doc in coll.find({})
+            if shard_key(doc.get("problem_name", ""), doc.get("task_parameters"))
+            == key
+        )
+        dropped = coll.delete({"_id": {"$in": doomed}}) if doomed else 0
+        return {"ok": True, "dropped": dropped}
 
     def count(self) -> int:
         return self.repository.count()

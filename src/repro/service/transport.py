@@ -19,7 +19,15 @@ Faults use the *request-lost* model: a dropped request never reaches the
 endpoint (no half-applied writes), the client sees
 :class:`TransportError` and retries.  This matches the paper's service
 reality — an HTTPS POST that fails to connect — while keeping upload
-retries exactly-once on the storage side.
+retries exactly-once on the storage side.  ``scripted_response_faults``
+models the nastier *ack-lost* failure: the request IS delivered and
+applied, then the response is dropped on the way back — the case that
+makes blind client retries duplicate writes unless an idempotency token
+deduplicates them (see :class:`~repro.service.client.ServiceClient`).
+
+``down`` simulates a crashed endpoint; flipping it back to ``False``
+fires every callback registered with :meth:`on_up` — the router uses
+this to replay hinted-handoff writes the moment a shard rejoins.
 """
 
 from __future__ import annotations
@@ -64,6 +72,9 @@ class SimTransport:
     scripted_faults:
         Explicit sequence numbers to drop (regression tests); applied on
         top of ``fault_rate``.  Sequence numbers start at 1.
+    scripted_response_faults:
+        Sequence numbers whose *response* is dropped: the request is
+        delivered and applied by the endpoint, then the ack is lost.
     """
 
     def __init__(
@@ -75,6 +86,7 @@ class SimTransport:
         fault_rate: float = 0.0,
         seed: int = 0,
         scripted_faults: Iterable[int] = (),
+        scripted_response_faults: Iterable[int] = (),
     ) -> None:
         if not 0.0 <= fault_rate < 1.0:
             raise ValueError(f"fault rate must be in [0, 1), got {fault_rate}")
@@ -86,11 +98,33 @@ class SimTransport:
         self.fault_rate = float(fault_rate)
         self.seed = int(seed)
         self.scripted_faults = {int(s) for s in scripted_faults}
-        self.down = False  # hard-failed endpoint (crash simulations)
+        self.scripted_response_faults = {int(s) for s in scripted_response_faults}
+        self._down = False  # hard-failed endpoint (crash simulations)
+        self._on_up: list[Callable[[str], None]] = []
         self._lock = threading.Lock()
         self._seq = 0
         self._seq_lock = threading.Lock()
         self._waiting = 0
+
+    @property
+    def down(self) -> bool:
+        """Hard-failed endpoint (crash simulations)."""
+        return self._down
+
+    @down.setter
+    def down(self, value: bool) -> None:
+        was_down, self._down = self._down, bool(value)
+        if was_down and not self._down:
+            for callback in list(self._on_up):
+                callback(self.name)
+
+    def on_up(self, callback: Callable[[str], None]) -> None:
+        """Register ``callback(name)`` to fire when ``down`` clears.
+
+        The router registers its hinted-handoff replay here so writes
+        buffered while the endpoint was down land as soon as it rejoins.
+        """
+        self._on_up.append(callback)
 
     def _next_seq(self) -> int:
         with self._seq_lock:
@@ -123,7 +157,12 @@ class SimTransport:
             with self._lock:  # one request at a time per endpoint
                 if self.latency_s > 0.0:
                     time.sleep(self.latency_s * (0.75 + 0.5 * u))
-                return self.target(request)
+                response = self.target(request)
+            if seq in self.scripted_response_faults:
+                # the endpoint applied the request; only the ack is lost
+                perf.incr("transport_faults")
+                raise TransportError(f"response {seq} from {self.name} lost")
+            return response
         finally:
             with self._seq_lock:
                 self._waiting -= 1

@@ -22,7 +22,11 @@ acknowledged state:
 * replay is idempotent: ops already covered by the snapshot are skipped
   by sequence number even if truncation never ran,
 * snapshots are written to a temp file and ``os.replace``-d into place,
-  so a crash mid-snapshot leaves the previous snapshot intact.
+  so a crash mid-snapshot leaves the previous snapshot intact; the
+  parent directory is fsynced after the rename (POSIX), so a crash
+  right after :func:`write_snapshot` returns cannot roll the rename
+  back and resurrect a pre-snapshot image older than the truncated WAL
+  expects.
 
 Perf counters: ``wal_appends``, ``wal_fsyncs``, ``wal_snapshots``,
 ``wal_replayed``, ``wal_torn_tail``.
@@ -156,8 +160,26 @@ def write_snapshot(data_dir: str | Path, store: DocumentStore, wal_seq: int) -> 
         os.fsync(fh.fileno())
     final = data_dir / _SNAP_NAME
     os.replace(tmp, final)
+    _fsync_dir(data_dir)
     perf.incr("wal_snapshots")
     return final
+
+
+def _fsync_dir(path: Path) -> None:
+    """Make a rename in ``path`` durable (no-op where unsupported).
+
+    ``os.replace`` updates the directory entry, not the file — without
+    syncing the directory a power cut can lose the rename and bring the
+    old snapshot back, behind the already-truncated WAL.
+    """
+    flags = getattr(os, "O_DIRECTORY", None)
+    if flags is None:  # pragma: no cover - non-POSIX platforms
+        return
+    fd = os.open(path, os.O_RDONLY | flags)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def load_shard_state(data_dir: str | Path) -> tuple[DocumentStore, int]:

@@ -1,0 +1,459 @@
+"""Self-healing replication: quorum writes/reads, hinted handoff,
+read-repair, anti-entropy, idempotent retry, and live membership."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.core import perf
+from repro.engine.faults import RetryPolicy
+from repro.service import (
+    RouterOptions,
+    ServiceClient,
+    SimTransport,
+    build_service,
+)
+from repro.service.shard import shard_key
+
+_RECORDS = "performance_records"
+
+
+def _upload(endpoint, key, i, problem="demo", task=None):
+    return endpoint.handle(
+        {
+            "route": "upload",
+            "api_key": key,
+            "problem_name": problem,
+            "task_parameters": task if task is not None else {"t": i % 5},
+            "tuning_parameters": {"x": i},
+            "output": float(i),
+        }
+    )
+
+
+def _pinned_query(endpoint, key, task, problem="demo"):
+    return endpoint.handle(
+        {
+            "route": "query",
+            "api_key": key,
+            "problem_name": problem,
+            "task_parameters": task,
+        }
+    )
+
+
+def _copies(svc, uid: int) -> int:
+    """Stored replicas of one uid across the whole cluster."""
+    return sum(
+        len(shard.repository.store[_RECORDS].find({"uid": uid}))
+        for shard in svc.shards.values()
+    )
+
+
+@pytest.fixture()
+def svc():
+    service = build_service(4, replication=2)
+    yield service
+    service.close()
+
+
+@pytest.fixture()
+def key(svc):
+    return svc.register_user("alice", "alice@lab.gov")[1]
+
+
+class TestUploadStatus:
+    def test_healthy_upload_response_is_pinned(self, svc, key):
+        # the documented default-mode response: the legacy fields plus
+        # exactly the three replication-visibility keys, nothing else
+        assert _upload(svc.client, key, 0) == {
+            "ok": True,
+            "uid": 1,
+            "status": "ok",
+            "replicas_acked": 2,
+            "replicas_total": 2,
+        }
+
+    def test_degraded_status_when_a_replica_is_down(self, svc, key):
+        task = {"t": 0}
+        prefs = svc.router.ring.preference(shard_key("demo", task), 2)
+        svc.kill_shard(prefs[1])
+        response = _upload(svc.client, key, 0, task=task)
+        assert response["ok"] is True  # legacy W=1: one ack suffices
+        assert response["status"] == "degraded"
+        assert response["replicas_acked"] == 1
+        assert response["replicas_total"] == 2
+        assert svc.router.hints_pending(prefs[1]) == 1
+
+    def test_degraded_status_when_primary_is_down(self, svc, key):
+        task = {"t": 1}
+        prefs = svc.router.ring.preference(shard_key("demo", task), 2)
+        svc.kill_shard(prefs[0])
+        response = _upload(svc.client, key, 0, task=task)
+        assert response["ok"] is True
+        assert response["status"] == "degraded"
+
+    def test_unavailable_reports_zero_acks(self, svc, key):
+        for name in svc.transports:
+            svc.kill_shard(name)
+        response = _upload(svc.router, key, 0)
+        assert response["ok"] is False
+        assert response["error"] == "unavailable"
+        assert response["replicas_acked"] == 0
+        assert response["replicas_total"] == 2
+        # nothing landed anywhere: no hint may resurrect a nacked write
+        assert svc.router.hints_pending() == 0
+
+
+class TestQuorumWrites:
+    def test_quorum_met_upload_acks(self):
+        svc = build_service(4, replication=2, write_quorum=2)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            response = _upload(svc.client, key, 0)
+            assert response["ok"] is True
+            assert response["status"] == "ok"
+            assert response["replicas_acked"] == 2
+        finally:
+            svc.close()
+
+    def test_quorum_miss_is_an_error_not_a_silent_ok(self):
+        svc = build_service(4, replication=2, write_quorum=2)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            task = {"t": 0}
+            prefs = svc.router.ring.preference(shard_key("demo", task), 2)
+            svc.kill_shard(prefs[1])
+            stats = perf.PerfStats()
+            with perf.collect(stats):
+                response = _upload(svc.client, key, 0, task=task)
+            assert response["ok"] is False
+            assert response["error"] == "quorum"
+            assert response["status"] == "degraded"
+            assert response["replicas_acked"] == 1
+            assert response["replicas_total"] == 2
+            counters = stats.snapshot()["counters"]
+            assert counters["service_quorum_failures"] == 1
+            # the surviving replica holds the write; the dead one is
+            # hinted, so the record reaches full replication on revive
+            assert _copies(svc, response["uid"]) == 1
+            svc.revive_shard(prefs[1])
+            assert _copies(svc, response["uid"]) == 2
+        finally:
+            svc.close()
+
+    def test_quorum_options_validated(self):
+        with pytest.raises(ValueError):
+            RouterOptions(replication=2, write_quorum=3)
+        with pytest.raises(ValueError):
+            RouterOptions(replication=2, write_quorum=0)
+        with pytest.raises(ValueError):
+            RouterOptions(replication=2, read_quorum=3)
+        with pytest.raises(ValueError):
+            RouterOptions(anti_entropy_interval_s=0.0)
+
+
+class TestHintedHandoff:
+    def test_kill_mid_stream_then_replay_on_recovery(self, svc, key):
+        victim = "shard-0"
+        acked = []
+        for i in range(10):
+            acked.append(_upload(svc.client, key, i)["uid"])
+        svc.kill_shard(victim)
+        stats = perf.PerfStats()
+        with perf.collect(stats):
+            for i in range(10, 30):
+                response = _upload(svc.client, key, i)
+                assert response["ok"]
+                acked.append(response["uid"])
+            pending = svc.router.hints_pending(victim)
+            # revive fires the transport's on_up hook -> automatic replay
+            svc.revive_shard(victim)
+        counters = stats.snapshot()["counters"]
+        assert pending > 0
+        assert counters["service_hints_stored"] == pending
+        assert counters["service_hints_replayed"] == pending
+        assert svc.router.hints_pending(victim) == 0
+        # every acked write is fully replicated again
+        for uid in acked:
+            assert _copies(svc, uid) == 2
+
+    def test_hint_buffer_is_bounded(self):
+        svc = build_service(
+            2,
+            options=RouterOptions(replication=2, max_hints_per_shard=3),
+        )
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            svc.kill_shard("shard-0")
+            stats = perf.PerfStats()
+            with perf.collect(stats):
+                for i in range(8):
+                    # shard-0 is in every 2-of-2 preference list
+                    assert _upload(svc.client, key, i)["ok"]
+            assert svc.router.hints_pending("shard-0") == 3
+            counters = stats.snapshot()["counters"]
+            assert counters["service_hints_dropped"] == 5
+            # dropped hints are not lost data: anti-entropy still heals
+            svc.revive_shard("shard-0")
+            svc.router.anti_entropy_round()
+            assert svc.shards["shard-0"].count() == 8
+        finally:
+            svc.close()
+
+
+class TestReadRepair:
+    def _stale_replica(self, svc, key, task):
+        """Upload, then wipe one replica's copy of the task's bucket."""
+        uids = [_upload(svc.client, key, i, task=task)["uid"] for i in range(4)]
+        prefs = svc.router.ring.preference(shard_key("demo", task), 2)
+        stale = prefs[1]
+        svc.shards[stale].repository.store[_RECORDS].delete(
+            {"uid": {"$in": uids}}
+        )
+        return uids, prefs, stale
+
+    def test_quorum_read_converges_a_stale_replica(self):
+        svc = build_service(4, replication=2, read_quorum=2)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            task = {"t": 7}
+            uids, prefs, stale = self._stale_replica(svc, key, task)
+            assert svc.shards[stale].repository.store[_RECORDS].find({}) == []
+            stats = perf.PerfStats()
+            with perf.collect(stats):
+                response = _pinned_query(svc.client, key, task)
+            # the merged read is complete despite the stale replica...
+            assert sorted(r["uid"] for r in response["records"]) == uids
+            # ...and the stale replica was repaired in passing
+            counters = stats.snapshot()["counters"]
+            assert counters["service_read_repairs"] == len(uids)
+            for uid in uids:
+                assert _copies(svc, uid) == 2
+            # second read: nothing left to repair
+            stats2 = perf.PerfStats()
+            with perf.collect(stats2):
+                again = _pinned_query(svc.client, key, task)
+            assert again["records"] == response["records"]
+            assert "service_read_repairs" not in stats2.snapshot()["counters"]
+        finally:
+            svc.close()
+
+    def test_legacy_read_quorum_1_does_not_repair(self, svc, key):
+        task = {"t": 7}
+        uids, prefs, stale = self._stale_replica(svc, key, task)
+        stats = perf.PerfStats()
+        with perf.collect(stats):
+            response = _pinned_query(svc.client, key, task)
+        assert response["ok"]
+        assert "service_read_repairs" not in stats.snapshot()["counters"]
+        assert svc.shards[stale].repository.store[_RECORDS].find({}) == []
+
+    def test_fanout_merge_is_newest_wins(self, svc, key):
+        task = {"t": 2}
+        uid = _upload(svc.client, key, 0, task=task)["uid"]
+        prefs = svc.router.ring.preference(shard_key("demo", task), 2)
+        # plant an older divergent version of the same uid on one replica
+        doc = svc.shards[prefs[0]].repository.store[_RECORDS].find(
+            {"uid": uid}
+        )[0]
+        doc.pop("_id")
+        doc["output"] = -99.0
+        doc["timestamp"] = doc["timestamp"] - 0.5
+        svc.shards[prefs[1]].repository.store[_RECORDS].delete({"uid": uid})
+        svc.shards[prefs[1]].handle({"route": "replicate", "records": [doc]})
+        response = svc.client.handle(
+            {"route": "query", "api_key": key, "problem_name": "demo"}
+        )
+        (record,) = response["records"]
+        assert record["output"] == 0.0  # newest version won the merge
+
+
+class TestIdempotentRetry:
+    def test_exactly_one_record_after_n_faulted_attempts(self):
+        svc = build_service(2, replication=2)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            # acks 1 and 2 are lost *after* the router applied the write
+            flaky = SimTransport(
+                svc.router.handle, "router", scripted_response_faults=[1, 2]
+            )
+            client = ServiceClient(
+                flaky,
+                retry=RetryPolicy(max_retries=4, base_s=0.0),
+                sleep=lambda s: None,
+            )
+            response = _upload(client, key, 0)
+            assert response["ok"]
+            assert response["uid"] == 1  # retries reuse the original stamp
+            assert flaky.n_requests == 3  # two lost acks + the success
+            assert svc.total_records() == 2  # replication, not duplication
+            assert _copies(svc, 1) == 2
+        finally:
+            svc.close()
+
+    def test_without_token_retries_would_duplicate(self):
+        # the regression the token fixes: strip the idempotency key and
+        # the same fault schedule stores two copies per replica
+        svc = build_service(2, replication=2)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+
+            class _Stripping(ServiceClient):
+                def _stamp_idempotency(self, request):
+                    return request
+
+            flaky = SimTransport(
+                svc.router.handle, "router", scripted_response_faults=[1]
+            )
+            client = _Stripping(
+                flaky,
+                retry=RetryPolicy(max_retries=4, base_s=0.0),
+                sleep=lambda s: None,
+            )
+            assert _upload(client, key, 0)["ok"]
+            assert svc.total_records() == 4  # 2 uids x 2 replicas
+        finally:
+            svc.close()
+
+    def test_distinct_uploads_are_not_deduplicated(self, svc, key):
+        first = _upload(svc.client, key, 0, task={"t": 0})
+        second = _upload(svc.client, key, 1, task={"t": 0})
+        assert first["uid"] != second["uid"]
+        response = _pinned_query(svc.client, key, {"t": 0})
+        assert len(response["records"]) == 2
+
+
+class TestAntiEntropy:
+    def test_heals_replica_restored_from_old_snapshot(self, tmp_path):
+        svc = build_service(3, replication=2, data_dir=tmp_path, snapshot_every=4)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            for i in range(8):
+                assert _upload(svc.client, key, i, task={"t": i})["ok"]
+            svc.snapshot_all()
+            victim = max(svc.shards, key=lambda n: svc.shards[n].count())
+            backup = tmp_path / "backup"
+            shutil.copytree(tmp_path / victim, backup)
+            for i in range(8, 16):
+                assert _upload(svc.client, key, i, task={"t": i})["ok"]
+            full_count = svc.shards[victim].count()
+
+            # crash the node and restore it from the stale image
+            svc.shards[victim].close()
+            shutil.rmtree(tmp_path / victim)
+            shutil.copytree(backup, tmp_path / victim)
+            svc.restart_shard(victim)
+            assert svc.shards[victim].count() < full_count
+
+            stats = perf.PerfStats()
+            with perf.collect(stats):
+                round_stats = svc.router.anti_entropy_round()
+            assert svc.shards[victim].count() == full_count
+            counters = stats.snapshot()["counters"]
+            assert counters["service_antientropy_rounds"] == 1
+            assert (
+                counters["service_antientropy_records_healed"]
+                == round_stats["healed"]
+                > 0
+            )
+            # converged: a second round heals nothing
+            assert svc.router.anti_entropy_round()["healed"] == 0
+            for i in range(16):
+                response = _pinned_query(svc.client, key, {"t": i})
+                assert len(response["records"]) == 1
+        finally:
+            svc.close()
+
+    def test_background_thread_heals_without_manual_rounds(self):
+        svc = build_service(
+            3,
+            options=RouterOptions(replication=2, anti_entropy_interval_s=0.02),
+        )
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            uid = _upload(svc.client, key, 0, task={"t": 0})["uid"]
+            prefs = svc.router.ring.preference(shard_key("demo", {"t": 0}), 2)
+            svc.shards[prefs[1]].repository.store[_RECORDS].delete({"uid": uid})
+            deadline = 200
+            import time
+
+            while _copies(svc, uid) < 2 and deadline:
+                time.sleep(0.01)
+                deadline -= 1
+            assert _copies(svc, uid) == 2
+        finally:
+            svc.close()
+
+
+class TestMembership:
+    def _fill(self, svc, key, n=24):
+        uids = []
+        for i in range(n):
+            response = _upload(svc.client, key, i, task={"t": i % 8})
+            assert response["ok"]
+            uids.append(response["uid"])
+        return uids
+
+    def test_join_streams_buckets_to_the_new_shard(self):
+        svc = build_service(3, replication=2)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            uids = self._fill(svc, key)
+            assert svc.total_records() == 2 * len(uids)
+            name = svc.add_shard()
+            assert name == "shard-3"
+            # handoff converged: exactly K copies of everything, the new
+            # shard took real ownership, and every read still works
+            assert svc.total_records() == 2 * len(uids)
+            assert svc.shards[name].count() > 0
+            for uid in uids:
+                assert _copies(svc, uid) == 2
+            for t in range(8):
+                response = _pinned_query(svc.client, key, {"t": t})
+                assert len(response["records"]) == 3
+        finally:
+            svc.close()
+
+    def test_graceful_leave_streams_data_out_first(self):
+        svc = build_service(4, replication=2)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            uids = self._fill(svc, key)
+            victim = max(svc.shards, key=lambda n: svc.shards[n].count())
+            svc.remove_shard(victim)
+            assert victim not in svc.shards
+            assert svc.total_records() == 2 * len(uids)
+            for uid in uids:
+                assert _copies(svc, uid) == 2
+            for t in range(8):
+                response = _pinned_query(svc.client, key, {"t": t})
+                assert len(response["records"]) == 3
+        finally:
+            svc.close()
+
+    def test_crash_leave_then_anti_entropy_restores_replication(self):
+        svc = build_service(4, replication=2)
+        try:
+            key = svc.register_user("alice", "a@lab.gov")[1]
+            uids = self._fill(svc, key)
+            victim = max(svc.shards, key=lambda n: svc.shards[n].count())
+            svc.kill_shard(victim)
+            svc.remove_shard(victim, graceful=False)
+            # some uids are down to one copy until the next healing round
+            assert min(_copies(svc, uid) for uid in uids) == 1
+            svc.router.anti_entropy_round()
+            for uid in uids:
+                assert _copies(svc, uid) == 2
+        finally:
+            svc.close()
+
+    def test_remove_last_shard_is_rejected(self):
+        svc = build_service(1, replication=1)
+        try:
+            with pytest.raises(ValueError):
+                svc.remove_shard("shard-0")
+        finally:
+            svc.close()
