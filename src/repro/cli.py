@@ -209,7 +209,7 @@ def _cmd_bandit(args: argparse.Namespace) -> int:
 
 def _cmd_service(args: argparse.Namespace) -> int:
     """Demo a sharded crowd service: upload, query, survive a crash."""
-    from .service import RouterOptions, build_service
+    from .service import RegistryOptions, RouterOptions, build_service
 
     app = build_app(args.app, args.machine, args.nodes)
     task = _parse_task(app, args.task)
@@ -222,6 +222,7 @@ def _cmd_service(args: argparse.Namespace) -> int:
             write_quorum=args.write_quorum,
             read_quorum=args.read_quorum,
         ),
+        registry=RegistryOptions() if args.registry else None,
     )
     try:
         _, key = svc.register_user("cli", "cli@gptunecrowd.local")
@@ -295,6 +296,38 @@ def _cmd_service(args: argparse.Namespace) -> int:
                 f"best {row['best_output']:.5g} by {row['best_owner']} "
                 f"({row['n_samples']} samples, {row['n_failures']} failures)"
             )
+        if args.registry:
+            # server-side prediction: register the space, then ask the
+            # frozen model — no GP is fit on the client, and repeated
+            # calls are served from the registry without refitting
+            svc.client.handle(
+                {
+                    "route": "register_problem",
+                    "api_key": key,
+                    "problem_name": app.name,
+                    "problem_space": {"parameter_space": space.to_list()},
+                }
+            )
+            probe = [space.sample(rng) for _ in range(4)]
+            pred = svc.client.handle(
+                {
+                    "route": "predict",
+                    "api_key": key,
+                    "problem_name": app.name,
+                    "task_parameters": dict(task),
+                    "configurations": probe,
+                }
+            )
+            if pred.get("ok"):
+                best = min(pred["mean"])
+                print(
+                    f"registry predict: {len(probe)} configs served from a "
+                    f"frozen model of {pred['n_samples']} samples "
+                    f"(data_version {pred['data_version']}), "
+                    f"best predicted output {best:.5g}"
+                )
+            else:
+                print(f"registry predict unavailable: {pred.get('message')}")
         if args.data_dir:
             svc.snapshot_all()
             print(f"snapshots + WALs persisted under {args.data_dir}")
@@ -391,6 +424,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="replicas consulted (and read-repaired) per pinned read")
     p_svc.add_argument("--uploads", type=int, default=32)
     p_svc.add_argument("--data-dir", help="persist shard WALs/snapshots here")
+    p_svc.add_argument("--registry", action="store_true",
+                       help="attach the frozen surrogate-model registry "
+                            "and demo server-side prediction")
     p_svc.add_argument("--seed", type=int, default=0)
     p_svc.set_defaults(func=_cmd_service)
 

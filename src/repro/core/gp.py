@@ -463,8 +463,15 @@ class GaussianProcess:
     def to_dict(self) -> dict:
         """Portable description (kernel hyperparameters + training stats).
 
-        Used by the crowd repository's ``QuerySurrogateModel`` to ship
-        models between users without pickling.
+        Used by the crowd repository's ``QuerySurrogateModel`` and the
+        frozen-model registry to ship models between users without
+        pickling.  The snapshot carries the *raw* kernel parameters, the
+        fitted noise variance, the jitter the Cholesky ladder settled on
+        and the raw targets, so :meth:`from_dict` reproduces the fitted
+        predictor bit for bit — log-space ``theta`` round-trips
+        (``exp(log(x))``) and re-running the jitter ladder can both drift
+        the factor by an ulp, which is enough to break the registry's
+        served-equals-local guarantee.
         """
         if self._state is None:
             raise RuntimeError("cannot serialize an unfitted GP")
@@ -472,9 +479,14 @@ class GaussianProcess:
         return {
             "kernel": type(self.kernel).__name__.lower(),
             "theta": self._theta().tolist(),
+            "variance": float(self.kernel.variance),
+            "lengthscales": self.kernel.lengthscales.tolist(),
+            "noise_variance": float(self.noise_variance),
+            "jitter": float(st.jitter),
             "X": st.X.tolist(),
             "y_mean": st.y_mean,
             "y_std": st.y_std,
+            "y_raw": st.y_raw.tolist(),
             "alpha": st.alpha.tolist(),
         }
 
@@ -483,16 +495,45 @@ class GaussianProcess:
         from .kernels import kernel_from_name
 
         X = np.asarray(doc["X"], dtype=float)
-        gp = GaussianProcess(kernel_from_name(doc["kernel"], X.shape[1]), optimize=False)
-        theta = np.asarray(doc["theta"], dtype=float)
-        gp.kernel.set_theta(theta[:-1])
-        gp.noise_variance = float(np.exp(theta[-1]))
-        K = gp.kernel(X) + gp.noise_variance * np.eye(X.shape[0])
-        L, jitter = cholesky_with_jitter(K)
+        if "variance" in doc:
+            # exact path: raw parameters, no log round-trip
+            kernel = kernel_from_name(
+                doc["kernel"],
+                X.shape[1],
+                variance=float(doc["variance"]),
+                lengthscales=doc["lengthscales"],
+            )
+            gp = GaussianProcess(
+                kernel, noise_variance=float(doc["noise_variance"]), optimize=False
+            )
+        else:  # legacy theta-only snapshot
+            gp = GaussianProcess(
+                kernel_from_name(doc["kernel"], X.shape[1]), optimize=False
+            )
+            theta = np.asarray(doc["theta"], dtype=float)
+            gp.kernel.set_theta(theta[:-1])
+            gp.noise_variance = float(np.exp(theta[-1]))
+        eye = np.eye(X.shape[0])
+        K = gp.kernel(X) + gp.noise_variance * eye
+        jitter = float(doc.get("jitter", 0.0))
+        if "jitter" in doc:
+            # replay the fit's factorization exactly: same matrix, same
+            # jitter rung, one cholesky call — identical L to the fit's
+            try:
+                L = sla.cholesky(K if jitter == 0.0 else K + jitter * eye, lower=True)
+            except sla.LinAlgError:
+                # snapshot from a different BLAS/platform: fall back to
+                # the ladder rather than refusing to load
+                L, jitter = cholesky_with_jitter(K)
+        else:
+            L, jitter = cholesky_with_jitter(K)
         alpha = np.asarray(doc["alpha"], dtype=float)
-        # reconstruct the raw targets so incremental updates keep working
-        ys = L @ (L.T @ alpha)
-        y_raw = ys * float(doc["y_std"]) + float(doc["y_mean"])
+        if "y_raw" in doc:
+            y_raw = np.asarray(doc["y_raw"], dtype=float)
+        else:
+            # reconstruct the raw targets so incremental updates keep working
+            ys = L @ (L.T @ alpha)
+            y_raw = ys * float(doc["y_std"]) + float(doc["y_mean"])
         gp._state = _FitState(
             X=X,
             alpha=alpha,
@@ -502,4 +543,5 @@ class GaussianProcess:
             y_raw=y_raw,
             jitter=jitter,
         )
+        gp.version += 1
         return gp

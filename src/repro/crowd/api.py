@@ -79,6 +79,44 @@ class MetaDescription:
             entries = self.problem_space.get(block, [])
             if entries:
                 Space.from_list(entries)  # raises on malformed entries
+        self._validate_configuration_space()
+
+    def _validate_configuration_space(self) -> None:
+        """Reject malformed restriction blocks at construction time.
+
+        Without this, a machine entry that is not a mapping (say, a bare
+        machine-name string) survives until query time and explodes deep
+        inside filter construction with an ``AttributeError`` — which the
+        service layer's error net does not even translate to a
+        ``bad_request``.
+        """
+        config = self.configuration_space
+        if not isinstance(config, Mapping):
+            raise ValueError("configuration_space must be a mapping")
+        for block in ("machine_configurations", "software_configurations"):
+            entries = config.get(block, [])
+            if isinstance(entries, (str, Mapping)) or not isinstance(
+                entries, (list, tuple)
+            ):
+                raise ValueError(f"{block} must be a list of mappings")
+            for entry in entries:
+                if not isinstance(entry, Mapping):
+                    raise ValueError(f"{block} entry is not a mapping: {entry!r}")
+        for sw in config.get("software_configurations", []):
+            for package, constraint in sw.items():
+                if not isinstance(constraint, Mapping):
+                    continue  # presence-only constraint
+                for bound in ("version_from", "version_to"):
+                    if bound in constraint and not isinstance(
+                        constraint[bound], (list, tuple)
+                    ):
+                        raise ValueError(
+                            f"software constraint {package!r}.{bound} must be "
+                            f"a version list, got {constraint[bound]!r}"
+                        )
+        users = config.get("user_configurations", [])
+        if isinstance(users, str) or not isinstance(users, (list, tuple)):
+            raise ValueError("user_configurations must be a list of usernames")
 
     def parameter_space(self) -> Space:
         entries = self.problem_space.get("parameter_space", [])
@@ -120,12 +158,63 @@ class MetaDescription:
 class CrowdClient:
     """A user's handle on the crowd repository (Sec. IV-B utilities)."""
 
-    def __init__(self, repository: CrowdRepository, meta: MetaDescription) -> None:
+    def __init__(
+        self,
+        repository: CrowdRepository,
+        meta: MetaDescription,
+        *,
+        use_registry: bool = True,
+    ) -> None:
         self.repository = repository
         self.meta = meta
         # authenticate eagerly so a bad key fails at construction
         self.user = repository.users.authenticate(meta.api_key)
         self._machine_config, self._software_config = meta.resolve_environment()
+        # registry consultation is an optimization: it needs a repository
+        # that speaks the registry routes (the service's RemoteRepository;
+        # the in-process CrowdRepository does not) and degrades to the
+        # fit-locally path on any miss or mismatch
+        self._use_registry = bool(use_registry) and hasattr(repository, "predict")
+        self._registry_ready = False
+
+    # -- registry consultation ------------------------------------------------
+    def _registry_usable(self, task: Mapping[str, Any] | None) -> bool:
+        """Whether a registry answer would match this client's query.
+
+        Registry models are fit per exact task on the *public* record
+        set under the registered problem space alone — so a client
+        restricting by ``configuration_space`` (or asking across tasks)
+        needs the local path.  Clients holding private/group data fall
+        back too, via the fingerprint/staleness checks failing to beat
+        an explicit opt-out: the served predictions simply reflect the
+        public view, which :meth:`query_surrogate_model` documents.
+        """
+        return self._use_registry and task is not None and not self.meta.configuration_space
+
+    def _ensure_registered(self) -> bool:
+        """Register this problem's space with the service once."""
+        if self._registry_ready:
+            return True
+        try:
+            response = self.repository.register_problem(
+                self.meta.api_key,
+                self.meta.tuning_problem_name,
+                self.meta.problem_space,
+            )
+        except Exception:
+            response = {"ok": False}
+        if not response.get("ok"):
+            # no registry attached (or the space was rejected): stop
+            # paying a round-trip per query, this client fits locally
+            self._use_registry = False
+            return False
+        self._registry_ready = True
+        return True
+
+    def _meta_fingerprint(self) -> str:
+        from ..registry.entry import space_fingerprint
+
+        return space_fingerprint(self.meta.problem_space)
 
     # -- QueryFunctionEvaluations -------------------------------------------
     def query_function_evaluations(
@@ -163,10 +252,37 @@ class CrowdClient:
 
     # -- QuerySurrogateModel -------------------------------------------------------
     def query_surrogate_model(
-        self, task: Mapping[str, Any] | None = None, *, kernel: str = "rbf"
+        self,
+        task: Mapping[str, Any] | None = None,
+        *,
+        kernel: str = "rbf",
+        seed: int | None = None,
     ) -> GaussianProcess:
-        """Fit a surrogate on the queried data (optionally one task's)."""
+        """A surrogate of the queried data (optionally one task's).
+
+        With a registry-backed repository and a task-pinned query, the
+        service's frozen model is fetched and reconstructed instead of
+        refitting — bit-identical to the served predictor.  Registry
+        models are fit on the *public* record set; clients whose queries
+        depend on private/group data, on ``configuration_space``
+        restrictions, or on a different kernel fit locally.  ``seed``
+        pins the local fit's MLE restart draw (the registry's own fits
+        are seeded by its options).
+        """
         space = self.meta.parameter_space()
+        if self._registry_usable(task) and self._ensure_registered():
+            response = self.repository.model_meta(
+                self.meta.api_key,
+                self.meta.tuning_problem_name,
+                task,
+                include_model=True,
+            )
+            if (
+                response.get("ok")
+                and response.get("kernel") == kernel
+                and response.get("space_fingerprint") == self._meta_fingerprint()
+            ):
+                return GaussianProcess.from_dict(dict(response["model"]))
         records = self.query_function_evaluations()
         if task is not None:
             records = [r for r in records if task_key(r.task_parameters) == task_key(task)]
@@ -178,7 +294,7 @@ class CrowdClient:
         y = np.array([r.output for r in records], dtype=float)
         from ..core.kernels import kernel_from_name
 
-        gp = GaussianProcess(kernel_from_name(kernel, space.dim), n_restarts=1)
+        gp = GaussianProcess(kernel_from_name(kernel, space.dim), n_restarts=1, seed=seed)
         gp.fit(X, y)
         return gp
 
@@ -187,10 +303,31 @@ class CrowdClient:
         self,
         configurations: list[Mapping[str, Any]],
         task: Mapping[str, Any] | None = None,
+        *,
+        seed: int | None = None,
     ) -> np.ndarray:
-        """Predicted outputs for given configurations."""
+        """Predicted outputs for given configurations.
+
+        Registry-backed: a task-pinned call sends the configurations to
+        the service and gets batched frozen-model predictions back — no
+        model shipping, no GP fit anywhere on the hot path.  Falls back
+        to fitting locally (see :meth:`query_surrogate_model`) when the
+        registry cannot answer for this client.
+        """
         space = self.meta.parameter_space()
-        gp = self.query_surrogate_model(task)
+        if self._registry_usable(task) and self._ensure_registered():
+            response = self.repository.predict(
+                self.meta.api_key,
+                self.meta.tuning_problem_name,
+                task,
+                configurations,
+            )
+            if (
+                response.get("ok")
+                and response.get("space_fingerprint") == self._meta_fingerprint()
+            ):
+                return np.asarray(response["mean"], dtype=float)
+        gp = self.query_surrogate_model(task, seed=seed)
         return gp.predict_mean(space.to_unit_array(configurations))
 
     # -- cross-task performance prediction ------------------------------------------
@@ -231,8 +368,46 @@ class CrowdClient:
         seed: int | None = None,
         max_samples: int | None = None,
     ) -> SensitivityReport:
-        """The paper's Sobol' pipeline over queried data (Tables IV-V)."""
+        """The paper's Sobol' pipeline over queried data (Tables IV-V).
+
+        Registry-backed (task-pinned, no ``max_samples`` subsetting): the
+        service runs the Sobol' analysis against its frozen surrogate and
+        ships the indices plus the model snapshot back, so the client
+        builds the same :class:`SensitivityReport` without fitting a GP.
+        """
         space = self.meta.parameter_space()
+        if (
+            max_samples is None
+            and self._registry_usable(task)
+            and self._ensure_registered()
+        ):
+            response = self.repository.sensitivity(
+                self.meta.api_key,
+                self.meta.tuning_problem_name,
+                task,
+                n_base=n_base,
+                seed=seed,
+                include_model=True,
+            )
+            if (
+                response.get("ok")
+                and response.get("space_fingerprint") == self._meta_fingerprint()
+            ):
+                from ..sensitivity.sobol import SobolIndices
+
+                indices = SobolIndices(
+                    names=list(response["names"]),
+                    S1=np.asarray(response["S1"], dtype=float),
+                    ST=np.asarray(response["ST"], dtype=float),
+                    S1_conf=np.asarray(response["S1_conf"], dtype=float),
+                    ST_conf=np.asarray(response["ST_conf"], dtype=float),
+                    variance=float(response["variance"]),
+                    n_base=int(response["n_base"]),
+                )
+                surrogate = GaussianProcess.from_dict(dict(response["model"]))
+                return SensitivityReport(
+                    indices, space, surrogate, int(response["n_samples"])
+                )
         records = self.query_function_evaluations()
         if task is not None:
             records = [r for r in records if task_key(r.task_parameters) == task_key(task)]

@@ -118,6 +118,20 @@ class ModelStore:
             visible = sorted(newest.values(), key=lambda d: d["timestamp"])
         return [StoredModel(d) for d in visible]
 
+    def load_latest(
+        self, api_key: str, problem_name: str, task: Mapping[str, Any]
+    ) -> StoredModel | None:
+        """The newest visible model for a task, across all owners.
+
+        Duplicate uploads resolve newest-wins by timestamp (ties by
+        insertion order, the collection's stable sort) — the counterpart
+        of :meth:`query_best_model`'s most-samples-wins policy.
+        """
+        models = self.query_models(
+            api_key, problem_name, task=task, latest_only=False
+        )
+        return models[-1] if models else None
+
     def query_best_model(
         self, api_key: str, problem_name: str, task: Mapping[str, Any]
     ) -> StoredModel | None:

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import json
 from collections.abc import Mapping
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..registry import ModelRegistry
 
 from .models import ModelStore
 from .records import Accessibility, PerformanceRecord
@@ -36,9 +39,17 @@ __all__ = ["CrowdServer"]
 class CrowdServer:
     """Transport-free request dispatcher for the crowd service."""
 
-    def __init__(self, repository: CrowdRepository | None = None) -> None:
+    def __init__(
+        self,
+        repository: CrowdRepository | None = None,
+        *,
+        registry: "ModelRegistry | None" = None,
+    ) -> None:
         self.repository = repository if repository is not None else CrowdRepository()
         self.models = ModelStore(self.repository)
+        #: optional frozen-model registry (repro.registry); the four
+        #: registry routes answer not_found when none is attached
+        self.registry = registry
         self._routes: dict[str, Callable[[Mapping[str, Any]], dict[str, Any]]] = {
             "register": self._route_register,
             "issue_key": self._route_issue_key,
@@ -52,6 +63,10 @@ class CrowdServer:
             "leaderboard": self._route_leaderboard,
             "contributors": self._route_contributors,
             "browse_html": self._route_browse_html,
+            "register_problem": self._route_register_problem,
+            "predict": self._route_predict,
+            "model_meta": self._route_model_meta,
+            "sensitivity": self._route_sensitivity,
         }
 
     # -- dispatch ----------------------------------------------------------
@@ -73,6 +88,11 @@ class CrowdServer:
             return {"ok": False, "error": "auth", "message": str(exc)}
         except (KeyError, TypeError, ValueError) as exc:
             return _bad_request(str(exc))
+        # KeyError (missing request field -> bad_request) is a LookupError
+        # subclass, so this clause must stay below the tuple above; what
+        # reaches it is the registry's "no such model" signal
+        except LookupError as exc:
+            return {"ok": False, "error": "not_found", "message": str(exc)}
 
     def handle_json(self, payload: str) -> str:
         """Wire-format entry point: JSON string in, JSON string out."""
@@ -134,6 +154,8 @@ class CrowdServer:
         self.repository.upload(
             record, req["api_key"], timestamp=None if ts is None else float(ts)
         )
+        if self.registry is not None:
+            self.registry.notify_record(record)
         return {"ok": True, "uid": record.uid}
 
     def _route_query(self, req: Mapping[str, Any]) -> dict[str, Any]:
@@ -186,6 +208,67 @@ class CrowdServer:
                 for m in models
             ],
         }
+
+    # -- registry routes ---------------------------------------------------------------
+    def _registry(self) -> "ModelRegistry":
+        if self.registry is None:
+            raise LookupError("no model registry attached to this server")
+        return self.registry
+
+    def _route_register_problem(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        registry = self._registry()
+        self.repository.users.authenticate(req["api_key"])
+        ts = req.get("timestamp")
+        changed = registry.register_problem(
+            req["problem_name"],
+            dict(req["problem_space"]),
+            uid=str(req.get("uid", "")),
+            timestamp=None if ts is None else float(ts),
+        )
+        from ..registry import space_fingerprint
+
+        return {
+            "ok": True,
+            "changed": changed,
+            "space_fingerprint": space_fingerprint(req["problem_space"]),
+        }
+
+    def _route_predict(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        registry = self._registry()
+        self.repository.users.authenticate(req["api_key"])
+        out = registry.predict(
+            req["problem_name"],
+            dict(req["task_parameters"]),
+            list(req["configurations"]),
+        )
+        out["ok"] = True
+        return out
+
+    def _route_model_meta(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        registry = self._registry()
+        self.repository.users.authenticate(req["api_key"])
+        out = registry.model_meta(
+            req["problem_name"],
+            dict(req["task_parameters"]),
+            include_model=bool(req.get("include_model", False)),
+        )
+        out["ok"] = True
+        return out
+
+    def _route_sensitivity(self, req: Mapping[str, Any]) -> dict[str, Any]:
+        registry = self._registry()
+        self.repository.users.authenticate(req["api_key"])
+        seed = req.get("seed")
+        out = registry.sensitivity(
+            req["problem_name"],
+            dict(req["task_parameters"]),
+            n_base=int(req.get("n_base", 1024)),
+            n_bootstrap=int(req.get("n_bootstrap", 100)),
+            seed=None if seed is None else int(seed),
+            include_model=bool(req.get("include_model", False)),
+        )
+        out["ok"] = True
+        return out
 
     # -- browse routes ------------------------------------------------------------------
     def _route_leaderboard(self, req: Mapping[str, Any]) -> dict[str, Any]:

@@ -1,0 +1,42 @@
+"""Frozen surrogate-model registry serving the crowd read path.
+
+The registry removes the per-query GP refits from the crowd prediction
+utilities: each ``(problem_name, task)`` surrogate is fitted once per
+data version on the write side (debounced by
+:class:`~repro.registry.builder.RegistryBuilder`), frozen, persisted
+through the owning shard's WAL, and served as batched vectorized
+predictions from a resident :class:`~repro.tla.store.FrozenGP`.
+
+Entry points:
+
+* :class:`ModelRegistry` / :class:`RegistryOptions` — the subsystem,
+  attached per shard (``CrowdShard(..., registry=RegistryOptions())``
+  or ``build_service(..., registry=...)``).
+* :class:`RegistryEntry` — the stored document schema.
+* :class:`DataVersionTracker` — per-key eligible-record counters.
+* :func:`space_fingerprint` — the registered-space hash clients use to
+  confirm a served model answers *their* query semantics.
+"""
+
+from .builder import RegistryBuilder
+from .entry import (
+    REGISTRY_MODELS,
+    REGISTRY_PROBLEMS,
+    RegistryEntry,
+    record_counts,
+    space_fingerprint,
+)
+from .registry import ModelRegistry, RegistryOptions
+from .versions import DataVersionTracker
+
+__all__ = [
+    "REGISTRY_MODELS",
+    "REGISTRY_PROBLEMS",
+    "DataVersionTracker",
+    "ModelRegistry",
+    "RegistryBuilder",
+    "RegistryEntry",
+    "RegistryOptions",
+    "record_counts",
+    "space_fingerprint",
+]

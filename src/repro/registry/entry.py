@@ -1,0 +1,112 @@
+"""Registry document schema: entries, collection names, fingerprints.
+
+One :class:`RegistryEntry` is the frozen surrogate of a single
+``(problem_name, task)`` pair at one data version.  Entries are *content
+determined*: ``data_version`` is the number of eligible records the fit
+consumed, ``timestamp`` is the newest eligible record's timestamp, and
+the GP fit itself is seeded deterministically — so two replicas holding
+the same record set build byte-identical entries, and the service's
+digest-based anti-entropy sees them as already consistent.
+
+Only **public, successful** records are eligible (:func:`record_counts`):
+a registry model is served to every authenticated user, so a fit that
+ingested private or group-restricted samples would leak them through the
+posterior.  Users whose queries depend on restricted data keep the
+fit-locally path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "REGISTRY_MODELS",
+    "REGISTRY_PROBLEMS",
+    "RegistryEntry",
+    "record_counts",
+    "space_fingerprint",
+]
+
+#: store collection holding one frozen-model entry per (problem, task)
+REGISTRY_MODELS = "registry_models"
+#: store collection holding one problem-space document per problem
+REGISTRY_PROBLEMS = "registry_problems"
+
+
+def space_fingerprint(problem_space: Mapping[str, Any] | None) -> str:
+    """Stable hash of a meta description's ``problem_space`` block.
+
+    Predict responses echo the fingerprint of the registered space the
+    model was built against; a client whose own meta disagrees falls
+    back to fitting locally instead of silently mixing query semantics.
+    """
+    blob = json.dumps(dict(problem_space or {}), sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def record_counts(doc: Mapping[str, Any]) -> bool:
+    """Whether a stored performance record feeds the registry fit."""
+    if doc.get("output") is None:
+        return False
+    acc = doc.get("accessibility") or {}
+    return acc.get("level", "public") == "public"
+
+
+@dataclass
+class RegistryEntry:
+    """One frozen surrogate snapshot as stored in ``registry_models``."""
+
+    problem_name: str
+    task_parameters: dict[str, Any]
+    task_key: str
+    data_version: int
+    n_samples: int
+    kernel: str
+    seed: int
+    model: dict[str, Any]
+    timestamp: float
+    space_fingerprint: str = ""
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "problem_name": self.problem_name,
+            "task_parameters": dict(self.task_parameters),
+            "task_key": self.task_key,
+            "data_version": int(self.data_version),
+            "n_samples": int(self.n_samples),
+            "kernel": self.kernel,
+            "seed": int(self.seed),
+            "model": dict(self.model),
+            "timestamp": float(self.timestamp),
+            "space_fingerprint": self.space_fingerprint,
+        }
+
+    @staticmethod
+    def from_doc(doc: Mapping[str, Any]) -> "RegistryEntry":
+        return RegistryEntry(
+            problem_name=doc["problem_name"],
+            task_parameters=dict(doc.get("task_parameters", {})),
+            task_key=doc["task_key"],
+            data_version=int(doc.get("data_version", 0)),
+            n_samples=int(doc.get("n_samples", 0)),
+            kernel=doc.get("kernel", "rbf"),
+            seed=int(doc.get("seed", 0)),
+            model=dict(doc["model"]),
+            timestamp=float(doc.get("timestamp", 0.0)),
+            space_fingerprint=doc.get("space_fingerprint", ""),
+        )
+
+    def meta(self) -> dict[str, Any]:
+        """The metadata payload of a ``model_meta`` response."""
+        return {
+            "problem_name": self.problem_name,
+            "task_parameters": dict(self.task_parameters),
+            "data_version": int(self.data_version),
+            "n_samples": int(self.n_samples),
+            "kernel": self.kernel,
+            "timestamp": float(self.timestamp),
+            "space_fingerprint": self.space_fingerprint,
+        }

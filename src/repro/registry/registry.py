@@ -1,0 +1,478 @@
+"""The frozen surrogate-model registry (fit once, serve many).
+
+:class:`ModelRegistry` turns the crowd's prediction utilities from a
+compute workload into a read workload.  The paper's Sec. IV-B calls —
+``QuerySurrogateModel`` / ``QueryPredictOutput`` /
+``QuerySensitivityAnalysis`` — each fit a fresh GP per invocation;
+the registry fits each surrogate **once** per
+``(problem_name, task, data_version)`` and answers every subsequent
+prediction from the frozen factorization:
+
+* **write side** — every eligible record upload bumps the key's data
+  version (:class:`~repro.registry.versions.DataVersionTracker`) and
+  notifies the :class:`~repro.registry.builder.RegistryBuilder`, which
+  refits when the debounce policy says so.  Built entries are plain
+  store documents in the ``registry_models`` collection, so the owning
+  shard's WAL + snapshot machinery persists, recovers and anti-entropy
+  heals them exactly like performance records.
+* **read side** — ``predict`` / ``model_meta`` / ``sensitivity``
+  deserialize the entry once into a resident
+  :class:`~repro.tla.store.FrozenGP` (bounded LRU, gauge
+  ``registry_models_resident``) and serve batched vectorized
+  predictions.  Zero GP fits after the first build.
+
+Entries are *content determined* (see :mod:`repro.registry.entry`):
+the fit consumes the timestamp-sorted public successful records under
+the registered problem space with a fixed seed, so replicas holding the
+same record set build byte-identical entries and the digest-based
+anti-entropy protocol treats them as already converged.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core import perf
+from ..core.gp import GaussianProcess
+from ..core.kernels import kernel_from_name
+from ..core.problem import task_key
+from ..core.space import Space
+from ..crowd.query import build_filter
+from ..crowd.records import PerformanceRecord
+from ..crowd.repository import CrowdRepository
+from .builder import RegistryBuilder
+from .entry import (
+    REGISTRY_MODELS,
+    REGISTRY_PROBLEMS,
+    RegistryEntry,
+    record_counts,
+    space_fingerprint,
+)
+from .versions import DataVersionTracker
+
+__all__ = ["ModelRegistry", "RegistryOptions"]
+
+_RECORDS = "performance_records"
+
+
+@dataclass(frozen=True)
+class RegistryOptions:
+    """Registry policy knobs.
+
+    The defaults favour freshness and determinism: rebuild after every
+    eligible upload (``min_new_samples=1``), synchronously, with a fixed
+    fit seed so replicas converge on identical entries.
+    """
+
+    kernel: str = "rbf"
+    seed: int = 0
+    min_samples: int = 2
+    min_new_samples: int = 1
+    max_staleness_s: float | None = None
+    background: bool = False
+    max_resident: int = 64
+
+
+class ModelRegistry:
+    """Frozen-model registry bound to one shard's repository."""
+
+    def __init__(
+        self,
+        repository: CrowdRepository,
+        options: RegistryOptions | None = None,
+    ) -> None:
+        self.repository = repository
+        self.options = options if options is not None else RegistryOptions()
+        models = repository.store.collection(REGISTRY_MODELS)
+        models.create_index("problem_name")
+        models.create_index("task_key")
+        problems = repository.store.collection(REGISTRY_PROBLEMS)
+        problems.create_index("problem_name")
+        self.versions = DataVersionTracker()
+        self._init_versions()
+        self.builder = RegistryBuilder(
+            self.build,
+            min_new_samples=self.options.min_new_samples,
+            max_staleness_s=self.options.max_staleness_s,
+            background=self.options.background,
+        )
+        # (problem, task_key) -> (data_version, timestamp, predictor, entry)
+        self._resident: OrderedDict[
+            tuple[str, str], tuple[int, float, Any, RegistryEntry]
+        ] = OrderedDict()
+        # problem -> (doc timestamp, Space, fingerprint, problem_space dict)
+        self._space_cache: dict[str, tuple[float, Space, str, dict[str, Any]]] = {}
+        self._lock = threading.Lock()
+        self._build_lock = threading.Lock()
+
+    def _init_versions(self) -> None:
+        """Rebuild the version counters from the store (WAL recovery)."""
+        for doc in self.repository.store[_RECORDS].find({}):
+            if record_counts(doc):
+                self.versions.bump(
+                    doc.get("problem_name", ""),
+                    repr(task_key(doc.get("task_parameters", {}))),
+                )
+
+    # -- problem registration ------------------------------------------------
+    def register_problem(
+        self,
+        problem_name: str,
+        problem_space: Mapping[str, Any],
+        *,
+        uid: str = "",
+        timestamp: float | None = None,
+    ) -> bool:
+        """Install (or refresh, newest-wins) one problem's space document.
+
+        The registered ``problem_space`` defines both the eligible-record
+        filter the build applies and the :class:`Space` used to vectorize
+        configurations — it must match the client's meta description
+        (clients verify via :func:`space_fingerprint`).  Raises
+        ``ValueError`` for a space without a usable ``parameter_space``.
+        """
+        if not problem_name:
+            raise ValueError("register_problem needs a problem_name")
+        entries = (problem_space or {}).get("parameter_space") or []
+        if not entries:
+            raise ValueError("problem_space has no parameter_space block")
+        Space.from_list(entries)  # raises on malformed entries
+        if timestamp is None:
+            timestamp = self.repository._now()
+        doc = {
+            "problem_name": problem_name,
+            "problem_space": dict(problem_space),
+            "uid": uid,
+            "timestamp": float(timestamp),
+        }
+        return self.apply_problem(doc)
+
+    def apply_problem(self, doc: Mapping[str, Any]) -> bool:
+        """Newest-wins upsert of a problem document (registration or
+        replication/healing); returns whether the store changed."""
+        name = doc["problem_name"]
+        coll = self.repository.store[REGISTRY_PROBLEMS]
+        existing = coll.find_one({"problem_name": name})
+        ts = float(doc.get("timestamp", 0.0))
+        if existing is not None and float(existing.get("timestamp", 0.0)) >= ts:
+            return False
+        clean = {k: v for k, v in doc.items() if k != "_id"}
+        coll.delete({"problem_name": name})
+        coll.insert(clean)
+        with self._lock:
+            self._space_cache.pop(name, None)
+        return True
+
+    def problem_doc(self, problem_name: str) -> dict[str, Any] | None:
+        return self.repository.store[REGISTRY_PROBLEMS].find_one(
+            {"problem_name": problem_name}
+        )
+
+    def _space_for(
+        self, problem_name: str
+    ) -> tuple[Space, str, dict[str, Any]] | None:
+        """(Space, fingerprint, problem_space) for a registered problem."""
+        doc = self.problem_doc(problem_name)
+        if doc is None:
+            return None
+        ts = float(doc.get("timestamp", 0.0))
+        with self._lock:
+            cached = self._space_cache.get(problem_name)
+            if cached is not None and cached[0] == ts:
+                return cached[1], cached[2], cached[3]
+        ps = dict(doc.get("problem_space", {}))
+        space = Space.from_list(ps.get("parameter_space") or [])
+        fp = space_fingerprint(ps)
+        with self._lock:
+            self._space_cache[problem_name] = (ts, space, fp, ps)
+        return space, fp, ps
+
+    def problem_space(self, problem_name: str) -> Space | None:
+        resolved = self._space_for(problem_name)
+        return resolved[0] if resolved is not None else None
+
+    # -- write-side notifications --------------------------------------------
+    def notify_record(self, record: PerformanceRecord) -> None:
+        """One record was uploaded to this shard's repository."""
+        if record.output is None or record.accessibility.level != "public":
+            return
+        tk = repr(task_key(record.task_parameters))
+        self.versions.bump(record.problem_name, tk)
+        self.builder.notify(record.problem_name, dict(record.task_parameters), tk)
+
+    def notify_docs(self, docs: list[Mapping[str, Any]]) -> None:
+        """Records arrived below the upload path (replication / healing)."""
+        for doc in docs:
+            if not record_counts(doc):
+                continue
+            task = dict(doc.get("task_parameters", {}))
+            tk = repr(task_key(task))
+            self.versions.bump(doc.get("problem_name", ""), tk)
+            self.builder.notify(doc.get("problem_name", ""), task, tk)
+
+    # -- building ------------------------------------------------------------
+    def _eligible_docs(
+        self,
+        problem_name: str,
+        problem_space: Mapping[str, Any],
+        task_parameters: Mapping[str, Any],
+    ) -> list[dict[str, Any]]:
+        """The build's record set, selected exactly like the client's
+        fit-locally path: problem-space filter, timestamp sort, then task
+        grouping by :func:`task_key` — restricted to public records."""
+        flt = build_filter(problem_name, problem_space, None, require_success=True)
+        docs = self.repository.store[_RECORDS].find(flt, sort="timestamp")
+        target = repr(task_key(task_parameters))
+        return [
+            d
+            for d in docs
+            if record_counts(d)
+            and repr(task_key(d.get("task_parameters", {}))) == target
+        ]
+
+    def build(
+        self, problem_name: str, task_parameters: Mapping[str, Any]
+    ) -> RegistryEntry | None:
+        """Fit + freeze + persist one ``(problem, task)`` entry.
+
+        Returns ``None`` (without touching the store) when the problem is
+        unregistered or has too few eligible samples.  Deterministic:
+        fixed kernel/seed over timestamp-sorted records, so the entry's
+        bytes are a function of the record set alone.
+        """
+        resolved = self._space_for(problem_name)
+        if resolved is None:
+            return None
+        space, fp, ps = resolved
+        tk = repr(task_key(task_parameters))
+        with self._build_lock:
+            docs = self._eligible_docs(problem_name, ps, task_parameters)
+            if len(docs) < max(2, self.options.min_samples):
+                return None
+            X = space.to_unit_array([d["tuning_parameters"] for d in docs])
+            y = np.array([d["output"] for d in docs], dtype=float)
+            gp = GaussianProcess(
+                kernel_from_name(self.options.kernel, space.dim),
+                n_restarts=1,
+                seed=self.options.seed,
+            )
+            with perf.timer("registry_build"):
+                gp.fit(X, y)
+            entry = RegistryEntry(
+                problem_name=problem_name,
+                task_parameters=dict(task_parameters),
+                task_key=tk,
+                data_version=len(docs),
+                n_samples=len(docs),
+                kernel=self.options.kernel,
+                seed=self.options.seed,
+                model=gp.to_dict(),
+                timestamp=float(docs[-1].get("timestamp", 0.0)),
+                space_fingerprint=fp,
+            )
+            coll = self.repository.store[REGISTRY_MODELS]
+            coll.delete({"problem_name": problem_name, "task_key": tk})
+            coll.insert(entry.to_doc())
+            self._install_resident(entry, gp)
+            self.builder.note_built(problem_name, tk)
+            perf.incr("registry_builds")
+        return entry
+
+    def apply_entry(self, doc: Mapping[str, Any]) -> bool:
+        """Upsert a replicated/healed entry document, newest-wins by
+        ``(data_version, timestamp)``; returns whether the store changed."""
+        name, tk = doc["problem_name"], doc["task_key"]
+        coll = self.repository.store[REGISTRY_MODELS]
+        existing = coll.find_one({"problem_name": name, "task_key": tk})
+        incoming = (int(doc.get("data_version", 0)), float(doc.get("timestamp", 0.0)))
+        if existing is not None:
+            held = (
+                int(existing.get("data_version", 0)),
+                float(existing.get("timestamp", 0.0)),
+            )
+            if held >= incoming:
+                return False
+        clean = {k: v for k, v in doc.items() if k != "_id"}
+        coll.delete({"problem_name": name, "task_key": tk})
+        coll.insert(clean)
+        with self._lock:
+            self._resident.pop((name, tk), None)
+            perf.gauge("registry_models_resident", len(self._resident))
+        return True
+
+    # -- serving -------------------------------------------------------------
+    def entry_for(
+        self, problem_name: str, task_parameters: Mapping[str, Any]
+    ) -> RegistryEntry | None:
+        doc = self.repository.store[REGISTRY_MODELS].find_one(
+            {
+                "problem_name": problem_name,
+                "task_key": repr(task_key(task_parameters)),
+            }
+        )
+        return RegistryEntry.from_doc(doc) if doc is not None else None
+
+    def _install_resident(self, entry: RegistryEntry, gp: GaussianProcess) -> Any:
+        from ..tla.store import frozen_view
+
+        predictor = frozen_view(gp) or gp
+        key = (entry.problem_name, entry.task_key)
+        with self._lock:
+            self._resident[key] = (
+                entry.data_version,
+                entry.timestamp,
+                predictor,
+                entry,
+            )
+            self._resident.move_to_end(key)
+            while len(self._resident) > max(1, self.options.max_resident):
+                self._resident.popitem(last=False)
+            perf.gauge("registry_models_resident", len(self._resident))
+        return predictor
+
+    def _predictor_for(self, entry: RegistryEntry) -> Any:
+        """The resident frozen predictor of one entry (LRU, doc-validated:
+        a healed/rebuilt entry evicts the stale resident automatically)."""
+        key = (entry.problem_name, entry.task_key)
+        with self._lock:
+            cached = self._resident.get(key)
+            if cached is not None and cached[:2] == (
+                entry.data_version,
+                entry.timestamp,
+            ):
+                self._resident.move_to_end(key)
+                return cached[2]
+        gp = GaussianProcess.from_dict(entry.model)
+        return self._install_resident(entry, gp)
+
+    def _serve(
+        self, problem_name: str, task_parameters: Mapping[str, Any]
+    ) -> tuple[RegistryEntry, Any, bool]:
+        """(entry, predictor, stale) for a read; builds on first demand.
+
+        Raises ``LookupError`` when no entry exists and none can be built
+        (unregistered problem / not enough samples yet).
+        """
+        entry = self.entry_for(problem_name, task_parameters)
+        if entry is None:
+            entry = self.build(problem_name, task_parameters)
+            if entry is None:
+                raise LookupError(
+                    f"no registry model for problem {problem_name!r}, "
+                    f"task {dict(task_parameters)!r}"
+                )
+        else:
+            perf.incr("registry_hits")
+        predictor = self._predictor_for(entry)
+        current = self.versions.get(problem_name, entry.task_key)
+        stale = entry.data_version < current
+        if stale:
+            perf.incr("registry_stale_served")
+        return entry, predictor, stale
+
+    def _response_base(self, entry: RegistryEntry, stale: bool) -> dict[str, Any]:
+        return {
+            "data_version": int(entry.data_version),
+            "n_samples": int(entry.n_samples),
+            "stale": bool(stale),
+            "space_fingerprint": entry.space_fingerprint,
+        }
+
+    def predict(
+        self,
+        problem_name: str,
+        task_parameters: Mapping[str, Any],
+        configurations: list[Mapping[str, Any]],
+    ) -> dict[str, Any]:
+        """Batched posterior mean/std at the given configurations."""
+        entry, predictor, stale = self._serve(problem_name, task_parameters)
+        space = self.problem_space(problem_name)
+        if space is None:  # entry healed in, problem doc not (yet)
+            raise LookupError(f"problem {problem_name!r} is not registered")
+        X = space.to_unit_array(configurations)
+        mean, std = predictor.predict(X)
+        perf.incr("registry_predict_batches")
+        out = self._response_base(entry, stale)
+        out["mean"] = [float(v) for v in np.asarray(mean).ravel()]
+        out["std"] = [float(v) for v in np.asarray(std).ravel()]
+        return out
+
+    def model_meta(
+        self,
+        problem_name: str,
+        task_parameters: Mapping[str, Any],
+        *,
+        include_model: bool = False,
+    ) -> dict[str, Any]:
+        """Entry metadata; with ``include_model`` the portable snapshot
+        too, so a client can reconstruct the exact served GP locally."""
+        entry, _, stale = self._serve(problem_name, task_parameters)
+        out = self._response_base(entry, stale)
+        out.update(entry.meta())
+        if include_model:
+            out["model"] = dict(entry.model)
+        return out
+
+    def sensitivity(
+        self,
+        problem_name: str,
+        task_parameters: Mapping[str, Any],
+        *,
+        n_base: int = 1024,
+        n_bootstrap: int = 100,
+        seed: int | None = None,
+        include_model: bool = False,
+    ) -> dict[str, Any]:
+        """Sobol' indices of the frozen surrogate's posterior mean.
+
+        Reuses the registry model instead of refitting a fresh GP the
+        way :class:`~repro.sensitivity.analyzer.SensitivityAnalyzer`
+        does — the analysis itself (Saltelli design + bootstrap) runs
+        server-side on the frozen predictor.
+        """
+        from ..sensitivity.sobol import sobol_analyze_function
+
+        entry, predictor, stale = self._serve(problem_name, task_parameters)
+        space = self.problem_space(problem_name)
+        if space is None:
+            raise LookupError(f"problem {problem_name!r} is not registered")
+        indices = sobol_analyze_function(
+            lambda X: np.asarray(predictor.predict(X)[0]),
+            space.dim,
+            n_base=n_base,
+            names=space.names,
+            n_bootstrap=n_bootstrap,
+            seed=seed,
+        )
+        out = self._response_base(entry, stale)
+        out.update(
+            {
+                "names": list(indices.names),
+                "S1": indices.S1.tolist(),
+                "ST": indices.ST.tolist(),
+                "S1_conf": indices.S1_conf.tolist(),
+                "ST_conf": indices.ST_conf.tolist(),
+                "variance": float(indices.variance),
+                "n_base": int(indices.n_base),
+            }
+        )
+        if include_model:
+            out["model"] = dict(entry.model)
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+    def resident_count(self) -> int:
+        with self._lock:
+            return len(self._resident)
+
+    def flush(self, timeout_s: float = 30.0) -> bool:
+        """Wait for queued background builds (no-op in sync mode)."""
+        return self.builder.flush(timeout_s)
+
+    def close(self) -> None:
+        self.builder.close()

@@ -1,0 +1,48 @@
+"""Per-``(problem, task)`` data-version counters.
+
+The registry's staleness story hangs off one number per key: how many
+eligible records the shard currently holds.  Uploads (and replicated /
+healed records) bump it; a built entry remembers the version it was fit
+at; serving compares the two.  The tracker is rebuilt from a store scan
+at construction, which makes it automatically correct after WAL/snapshot
+crash recovery — the counter *is* the record count, not a separate piece
+of durable state that could diverge from it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["DataVersionTracker"]
+
+
+class DataVersionTracker:
+    """Thread-safe eligible-record counters keyed by (problem, task_key)."""
+
+    def __init__(self) -> None:
+        self._versions: dict[tuple[str, str], int] = {}
+        self._lock = threading.Lock()
+
+    def bump(self, problem_name: str, task_key: str, n: int = 1) -> int:
+        """Advance one key's version by ``n``; returns the new version."""
+        key = (problem_name, task_key)
+        with self._lock:
+            version = self._versions.get(key, 0) + int(n)
+            self._versions[key] = version
+            return version
+
+    def get(self, problem_name: str, task_key: str) -> int:
+        with self._lock:
+            return self._versions.get((problem_name, task_key), 0)
+
+    def keys(self, problem_name: str | None = None) -> list[tuple[str, str]]:
+        """Tracked keys (optionally one problem's), deterministic order."""
+        with self._lock:
+            keys = list(self._versions)
+        if problem_name is not None:
+            keys = [k for k in keys if k[0] == problem_name]
+        return sorted(keys)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._versions)

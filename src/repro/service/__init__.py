@@ -35,6 +35,7 @@ from pathlib import Path
 
 from ..crowd.users import UserRegistry
 from ..engine.faults import RetryPolicy
+from ..registry import REGISTRY_PROBLEMS, ModelRegistry, RegistryOptions
 from .client import RemoteRepository, ServiceClient
 from .router import CrowdRouter, RouterOptions, TokenBucket
 from .shard import CrowdShard, ShardRing, shard_key
@@ -45,6 +46,8 @@ __all__ = [
     "CrowdRouter",
     "CrowdService",
     "CrowdShard",
+    "ModelRegistry",
+    "RegistryOptions",
     "RemoteRepository",
     "RouterOptions",
     "ServiceClient",
@@ -67,6 +70,9 @@ class CrowdService:
     shards: dict[str, CrowdShard]
     transports: dict[str, SimTransport]
     users: UserRegistry
+    #: registry policy shards were built with (None = no registry);
+    #: restarts and joins attach the same configuration
+    registry: RegistryOptions | None = None
     client: ServiceClient = field(init=False)
 
     def __post_init__(self) -> None:
@@ -115,6 +121,7 @@ class CrowdService:
             users=self.users,
             snapshot_every=old.snapshot_every,
             fsync_every=old._wal.fsync_every if old._wal is not None else 1,
+            registry=self.registry,
         )
         self.shards[name] = shard
         self.transports[name].target = shard.handle
@@ -145,6 +152,7 @@ class CrowdService:
             users=self.users,
             snapshot_every=snapshot_every,
             fsync_every=fsync_every,
+            registry=self.registry,
         )
         transport = SimTransport(
             shard.handle,
@@ -196,6 +204,7 @@ def build_service(
     options: RouterOptions | None = None,
     retry: RetryPolicy | None = None,
     users: UserRegistry | None = None,
+    registry: RegistryOptions | None = None,
 ) -> CrowdService:
     """Build an N-shard crowd service behind one router.
 
@@ -231,6 +240,7 @@ def build_service(
             users=users,
             snapshot_every=snapshot_every,
             fsync_every=fsync_every,
+            registry=registry,
         )
         shards[name] = shard
         transports[name] = SimTransport(
@@ -245,12 +255,19 @@ def build_service(
     # new uploads would dedup-collide with pre-crash records
     max_uid, max_ts = 0, 0.0
     for shard in shards.values():
-        for doc in shard.repository.store["performance_records"].find({}):
-            max_uid = max(max_uid, int(doc.get("uid", 0) or 0))
-            max_ts = max(max_ts, float(doc.get("timestamp", 0.0) or 0.0))
+        for coll in ("performance_records", REGISTRY_PROBLEMS):
+            for doc in shard.repository.store[coll].find({}):
+                max_uid = max(max_uid, int(doc.get("uid", 0) or 0))
+                max_ts = max(max_ts, float(doc.get("timestamp", 0.0) or 0.0))
     router = CrowdRouter(transports, options, next_uid=max_uid + 1, write_clock=max_ts)
     # hinted handoff: the moment a shard's transport comes back up, the
     # router replays every write buffered for it while it was down
     for transport in transports.values():
         transport.on_up(router.replay_hints)
-    return CrowdService(router=router, shards=shards, transports=transports, users=users)
+    return CrowdService(
+        router=router,
+        shards=shards,
+        transports=transports,
+        users=users,
+        registry=registry,
+    )

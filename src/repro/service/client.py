@@ -234,3 +234,80 @@ class RemoteRepository:
 
     def problems(self, api_key: str) -> list[str]:
         return list(self._call({"route": "problems", "api_key": api_key})["problems"])
+
+    # -- registry routes -----------------------------------------------------
+    # These return the RAW response dict (ok or not): the crowd client
+    # treats the registry as an optimization and decides for itself
+    # whether to fall back to fitting locally — an exception here would
+    # turn a missing registry into a query failure.
+
+    def register_problem(
+        self, api_key: str, problem_name: str, problem_space: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        return self.client.handle(
+            {
+                "route": "register_problem",
+                "api_key": api_key,
+                "problem_name": problem_name,
+                "problem_space": dict(problem_space),
+            }
+        )
+
+    def predict(
+        self,
+        api_key: str,
+        problem_name: str,
+        task_parameters: Mapping[str, Any],
+        configurations: list[Mapping[str, Any]],
+    ) -> dict[str, Any]:
+        return self.client.handle(
+            {
+                "route": "predict",
+                "api_key": api_key,
+                "problem_name": problem_name,
+                "task_parameters": dict(task_parameters),
+                "configurations": [dict(c) for c in configurations],
+            }
+        )
+
+    def model_meta(
+        self,
+        api_key: str,
+        problem_name: str,
+        task_parameters: Mapping[str, Any],
+        *,
+        include_model: bool = False,
+    ) -> dict[str, Any]:
+        return self.client.handle(
+            {
+                "route": "model_meta",
+                "api_key": api_key,
+                "problem_name": problem_name,
+                "task_parameters": dict(task_parameters),
+                "include_model": include_model,
+            }
+        )
+
+    def sensitivity(
+        self,
+        api_key: str,
+        problem_name: str,
+        task_parameters: Mapping[str, Any],
+        *,
+        n_base: int = 1024,
+        n_bootstrap: int = 100,
+        seed: int | None = None,
+        include_model: bool = False,
+    ) -> dict[str, Any]:
+        return self.client.handle(
+            {
+                "route": "sensitivity",
+                "api_key": api_key,
+                "problem_name": problem_name,
+                "task_parameters": dict(task_parameters),
+                "n_base": n_base,
+                "n_bootstrap": n_bootstrap,
+                "seed": seed,
+                "include_model": include_model,
+            }
+        )

@@ -76,17 +76,31 @@ from ..crowd.query import SqlQuery
 from ..crowd.records import PerformanceRecord
 from ..crowd.views import contributor_stats_from_records, leaderboard_from_records
 from ..engine.faults import RetryPolicy
+from ..registry import REGISTRY_PROBLEMS
 from .client import ServiceClient
-from .shard import ShardRing, record_ident, shard_key
+from .shard import ShardRing, record_ident, shard_key, split_bucket_key
 
 __all__ = ["CrowdRouter", "RouterOptions", "TokenBucket"]
 
 #: read routes whose responses may be cached
 _CACHEABLE = frozenset(
-    {"query", "query_sql", "problems", "leaderboard", "contributors", "query_models"}
+    {
+        "query",
+        "query_sql",
+        "problems",
+        "leaderboard",
+        "contributors",
+        "query_models",
+        "predict",
+        "model_meta",
+        "sensitivity",
+    }
 )
 #: account routes served by the admin shard (accounts are not sharded)
 _ACCOUNT = frozenset({"register", "issue_key", "whoami"})
+#: registry reads pinned to the task's preference list (like a pinned
+#: query: the owning shard holds the records the entry was built from)
+_REGISTRY_READS = frozenset({"predict", "model_meta", "sensitivity"})
 
 
 @dataclass
@@ -382,6 +396,8 @@ class CrowdRouter:
             return self._route_upload(request)
         if route == "upload_model":
             return self._route_upload_model(request)
+        if route == "register_problem":
+            return self._route_register_problem(request)
 
         cache_key = None
         if route in _CACHEABLE and self._cache.size > 0:
@@ -402,6 +418,8 @@ class CrowdRouter:
             response, tags = self._route_contributors(request)
         elif route == "query_models":
             response, tags = self._route_query_models(request)
+        elif route in _REGISTRY_READS:
+            response, tags = self._route_pinned_registry(request)
         elif route == "browse_html":
             return _bad_request(
                 "browse_html is not served by the sharded router; "
@@ -498,6 +516,95 @@ class CrowdRouter:
         response = self._shards[primary].handle(request)
         self._cache.invalidate(frozenset([primary]))
         return response
+
+    def _route_register_problem(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Broadcast a problem-space registration to every shard.
+
+        Each shard needs the space document to build and serve its own
+        keys, so the write is stamped (uid + timestamp, newest-wins on
+        the shards) and sent everywhere; unreachable shards get a hint
+        and converge when it replays (or via anti-entropy).
+        """
+        if not request.get("problem_name"):
+            return _bad_request("register_problem needs a problem_name")
+        uid, ts = self._stamp(request.get("idempotency_key"))
+        stamped = {k: v for k, v in request.items() if k not in ("uid", "timestamp")}
+        stamped["uid"] = uid
+        stamped["timestamp"] = ts
+        acked = 0
+        unreachable: list[str] = []
+        rejected: dict[str, Any] | None = None
+        first_ok: dict[str, Any] | None = None
+        for name in sorted(self._shards):
+            response = self._shards[name].handle(stamped)
+            if response.get("ok"):
+                acked += 1
+                if first_ok is None:
+                    first_ok = response
+            elif response.get("error") == "unavailable":
+                unreachable.append(name)
+            else:
+                rejected = response  # bad space / auth: same everywhere
+                break
+        self._cache.invalidate(frozenset(self._shards))
+        if rejected is not None:
+            return rejected
+        if acked == 0:
+            return {
+                "ok": False,
+                "error": "unavailable",
+                "message": "no shard accepted the problem registration",
+            }
+        for name in unreachable:
+            self._store_hint(name, stamped)
+        out = dict(first_ok or {})
+        out.update(
+            {
+                "ok": True,
+                "uid": uid,
+                "replicas_acked": acked,
+                "replicas_total": len(self._shards),
+                "status": "degraded" if unreachable else "ok",
+            }
+        )
+        return out
+
+    def _route_pinned_registry(
+        self, request: Mapping[str, Any]
+    ) -> tuple[dict[str, Any], frozenset[str]]:
+        """Serve a registry read from the task key's preference list.
+
+        Same placement as a task-pinned query: the primary owns the
+        records the entry was fit on, replicas hold healed copies.  The
+        response is tagged with the full preference list, so an upload
+        to the key (which invalidates exactly those shards) also evicts
+        any cached predictions built from the pre-upload data version.
+        """
+        task = request.get("task_parameters")
+        problem = request.get("problem_name")
+        if task is None or not problem:
+            return (
+                _bad_request("registry reads need problem_name and task_parameters"),
+                frozenset(),
+            )
+        prefs = self.ring.preference(
+            shard_key(problem, dict(task)), self.options.replication
+        )
+        for i, name in enumerate(prefs):
+            response = self._shards[name].handle(request)
+            if response.get("error") == "unavailable":
+                continue
+            if i > 0:
+                perf.incr("service_replica_fallbacks")
+            return response, frozenset(prefs)
+        return (
+            {
+                "ok": False,
+                "error": "unavailable",
+                "message": f"all replicas of {prefs} are unreachable",
+            },
+            frozenset(prefs),
+        )
 
     # -- reads ---------------------------------------------------------------
     def _route_query(
@@ -865,7 +972,13 @@ class CrowdRouter:
         touched: set[str] = set()
         all_keys = sorted({key for d in digests.values() for key in d})
         for key in all_keys:
-            prefs = self.ring.preference(key, self.options.replication)
+            collection, ring_key = split_bucket_key(key)
+            if collection == REGISTRY_PROBLEMS:
+                # problem-space docs are broadcast state: every shard is
+                # a replica, so healing converges them cluster-wide
+                prefs = sorted(self._shards)
+            else:
+                prefs = self.ring.preference(ring_key, self.options.replication)
             holders = {
                 name: digests[name][key]["digest"]
                 for name in digests
@@ -915,7 +1028,7 @@ class CrowdRouter:
             replicated_all = len(reachable_prefs) == len(prefs)
             for name in reachable_prefs:
                 response = self._shards[name].handle(
-                    {"route": "replicate", "records": records}
+                    {"route": "replicate", "records": records, "collection": collection}
                 )
                 if not response.get("ok"):
                     replicated_all = False
@@ -1045,7 +1158,7 @@ class CrowdRouter:
         return sorted(
             _ACCOUNT
             | _CACHEABLE
-            | {"upload", "upload_model"}
+            | {"upload", "upload_model", "register_problem"}
         )
 
 

@@ -29,9 +29,23 @@ from ..crowd.configmatch import TagMatcher
 from ..crowd.repository import CrowdRepository
 from ..crowd.server import CrowdServer
 from ..crowd.users import UserRegistry
+from ..registry import (
+    REGISTRY_MODELS,
+    REGISTRY_PROBLEMS,
+    ModelRegistry,
+    RegistryOptions,
+)
 from . import wal as _wal
 
-__all__ = ["ShardRing", "CrowdShard", "shard_key", "record_ident", "bucket_digest"]
+__all__ = [
+    "ShardRing",
+    "CrowdShard",
+    "shard_key",
+    "record_ident",
+    "bucket_digest",
+    "bucket_key",
+    "split_bucket_key",
+]
 
 #: trusted intra-cluster routes served by the shard itself, never by the
 #: public :class:`CrowdServer` protocol and never forwarded by the
@@ -46,6 +60,31 @@ def shard_key(problem_name: str, task_parameters: Mapping[str, Any] | None) -> s
     """Canonical routing key for a record or a task-pinned query."""
     task = json.dumps(dict(task_parameters or {}), sort_keys=True, default=str)
     return f"{problem_name}\x00{task}"
+
+
+#: collections the healing protocol moves besides performance records
+_HEALED_COLLECTIONS = (REGISTRY_MODELS, REGISTRY_PROBLEMS)
+
+
+def bucket_key(collection: str, ring_key: str) -> str:
+    """Anti-entropy bucket name for one collection's ring key.
+
+    Performance-record buckets keep their historical bare shard-key form
+    (pre-registry routers and shards understand them); other collections
+    get a ``\\x01``-prefixed composite that no bare key can collide with
+    (shard keys never start with ``\\x01``).
+    """
+    if collection == _RECORDS:
+        return ring_key
+    return f"\x01{collection}\x01{ring_key}"
+
+
+def split_bucket_key(key: str) -> tuple[str, str]:
+    """Inverse of :func:`bucket_key`: ``(collection, ring_key)``."""
+    if key.startswith("\x01"):
+        collection, _, ring_key = key[1:].partition("\x01")
+        return collection, ring_key
+    return _RECORDS, key
 
 
 def record_ident(doc: Mapping[str, Any]) -> str:
@@ -135,6 +174,7 @@ class CrowdShard:
         matcher: TagMatcher | None = None,
         snapshot_every: int = 256,
         fsync_every: int = 1,
+        registry: RegistryOptions | None = None,
     ) -> None:
         if snapshot_every < 1:
             raise ValueError("snapshot_every must be >= 1")
@@ -154,7 +194,15 @@ class CrowdShard:
         # uploads keep strictly increasing timestamps
         for doc in self.repository.store["performance_records"].find({}):
             self.repository.advance_clock(float(doc.get("timestamp", 0.0)))
-        self.server = CrowdServer(self.repository)
+        # the registry is built before the WAL observer is installed, so
+        # its collection/index setup (like the repository's own) is never
+        # journaled; its entries recover from snapshot + WAL like records,
+        # and the version tracker's construction scan sees the recovered
+        # store, so staleness accounting survives a crash too
+        self.registry: ModelRegistry | None = (
+            ModelRegistry(self.repository, registry) if registry is not None else None
+        )
+        self.server = CrowdServer(self.repository, registry=self.registry)
 
         if self.data_dir is not None:
             self._wal = _wal.WriteAheadLog(
@@ -214,10 +262,63 @@ class CrowdShard:
     # shard connections — the public router dispatch rejects the route
     # names and CrowdServer does not know them.
 
+    @staticmethod
+    def _doc_ring_key(collection: str, doc: Mapping[str, Any]) -> str:
+        """The ring key one stored document buckets under."""
+        if collection == REGISTRY_PROBLEMS:
+            # problem docs are broadcast to every shard, keyed by name
+            return str(doc.get("problem_name", ""))
+        # records and registry entries co-locate under the task's key
+        return shard_key(doc.get("problem_name", ""), doc.get("task_parameters"))
+
+    def _apply_registry_doc(self, collection: str, doc: dict[str, Any]) -> bool:
+        """Newest-wins upsert of a replicated registry document."""
+        if self.registry is not None:
+            if collection == REGISTRY_PROBLEMS:
+                return self.registry.apply_problem(doc)
+            return self.registry.apply_entry(doc)
+        # registry-less shard: still hold the healed data so a later
+        # restart with a registry (or a fetch by a peer) serves it
+        coll = self.repository.store[collection]
+        if collection == REGISTRY_PROBLEMS:
+            match = {"problem_name": doc["problem_name"]}
+            newer = (float(doc.get("timestamp", 0.0)),)
+            held = lambda d: (float(d.get("timestamp", 0.0)),)
+        else:
+            match = {"problem_name": doc["problem_name"], "task_key": doc["task_key"]}
+            newer = (int(doc.get("data_version", 0)), float(doc.get("timestamp", 0.0)))
+            held = lambda d: (
+                int(d.get("data_version", 0)),
+                float(d.get("timestamp", 0.0)),
+            )
+        existing = coll.find_one(match)
+        if existing is not None and held(existing) >= newer:
+            return False
+        coll.delete(match)
+        coll.insert(doc)
+        return True
+
     def _route_replicate(self, req: Mapping[str, Any]) -> dict[str, Any]:
-        """Store full record docs verbatim, newest-wins by timestamp."""
+        """Store full docs verbatim, newest-wins.
+
+        ``collection`` (default: performance records, the pre-registry
+        wire format) selects what the docs are: records deduplicate by
+        uid/content and merge newest-wins by timestamp; registry entries
+        and problem docs upsert newest-wins per key.
+        """
+        collection = str(req.get("collection", _RECORDS))
+        if collection != _RECORDS:
+            if collection not in _HEALED_COLLECTIONS:
+                raise ValueError(f"cannot replicate collection {collection!r}")
+            applied = 0
+            for doc in req["records"]:
+                doc = {k: v for k, v in dict(doc).items() if k != "_id"}
+                if self._apply_registry_doc(collection, doc):
+                    applied += 1
+            return {"ok": True, "applied": applied}
         coll = self.repository.store[_RECORDS]
         applied = 0
+        applied_docs: list[dict[str, Any]] = []
         for doc in req["records"]:
             doc = {k: v for k, v in dict(doc).items() if k != "_id"}
             uid = int(doc.get("uid", 0) or 0)
@@ -234,16 +335,28 @@ class CrowdShard:
             coll.insert(doc)
             self.repository.advance_clock(float(doc.get("timestamp", 0.0) or 0.0))
             applied += 1
+            applied_docs.append(doc)
+        if applied_docs and self.registry is not None:
+            # replicated records advance data versions and (policy
+            # permitting) trigger a rebuild, same as direct uploads
+            self.registry.notify_docs(applied_docs)
         return {"ok": True, "applied": applied}
 
     def _route_digest(self, req: Mapping[str, Any]) -> dict[str, Any]:
-        """Per-bucket digests of this shard's records (anti-entropy)."""
+        """Per-bucket digests of this shard's healed state (anti-entropy).
+
+        Registry collections digest alongside records under composite
+        bucket keys; registry entries are content-determined (same record
+        set -> same bytes), so replicas that independently built the same
+        entry digest equal and cost the healer nothing.
+        """
         buckets: dict[str, list[tuple[str, Any]]] = {}
-        for doc in self.repository.store[_RECORDS].find({}):
-            key = shard_key(doc.get("problem_name", ""), doc.get("task_parameters"))
-            buckets.setdefault(key, []).append(
-                (record_ident(doc), doc.get("timestamp", 0.0))
-            )
+        for collection in (_RECORDS, *_HEALED_COLLECTIONS):
+            for doc in self.repository.store[collection].find({}):
+                key = bucket_key(collection, self._doc_ring_key(collection, doc))
+                buckets.setdefault(key, []).append(
+                    (record_ident(doc), doc.get("timestamp", 0.0))
+                )
         return {
             "ok": True,
             "digests": {
@@ -253,25 +366,31 @@ class CrowdShard:
         }
 
     def _route_fetch(self, req: Mapping[str, Any]) -> dict[str, Any]:
-        """Full records of the requested buckets (healing stream)."""
+        """Full documents of the requested buckets (healing stream)."""
         keys = {str(k) for k in req["keys"]}
         out: dict[str, list[dict[str, Any]]] = {key: [] for key in keys}
-        for doc in self.repository.store[_RECORDS].find({}):
-            key = shard_key(doc.get("problem_name", ""), doc.get("task_parameters"))
-            if key in keys:
-                doc.pop("_id", None)
-                out[key].append(doc)
+        wanted = {split_bucket_key(k)[0] for k in keys}
+        for collection in (_RECORDS, *_HEALED_COLLECTIONS):
+            if collection not in wanted:
+                continue
+            for doc in self.repository.store[collection].find({}):
+                key = bucket_key(collection, self._doc_ring_key(collection, doc))
+                if key in keys:
+                    doc.pop("_id", None)
+                    out[key].append(doc)
         return {"ok": True, "buckets": out}
 
     def _route_drop_bucket(self, req: Mapping[str, Any]) -> dict[str, Any]:
         """Drop one bucket this shard no longer owns (post-handoff)."""
         key = str(req["key"])
-        coll = self.repository.store[_RECORDS]
+        collection, _ = split_bucket_key(key)
+        if collection != _RECORDS and collection not in _HEALED_COLLECTIONS:
+            raise ValueError(f"cannot drop bucket of collection {collection!r}")
+        coll = self.repository.store[collection]
         doomed = sorted(
             doc["_id"]
             for doc in coll.find({})
-            if shard_key(doc.get("problem_name", ""), doc.get("task_parameters"))
-            == key
+            if bucket_key(collection, self._doc_ring_key(collection, doc)) == key
         )
         dropped = coll.delete({"_id": {"$in": doomed}}) if doomed else 0
         return {"ok": True, "dropped": dropped}

@@ -21,6 +21,15 @@ acknowledged state:
   never acknowledged,
 * replay is idempotent: ops already covered by the snapshot are skipped
   by sequence number even if truncation never ran,
+The journal and snapshots cover the *whole* document store, not just
+performance records: ops carry their collection name and snapshots are
+full store images, so collections added later — the frozen-model
+registry's ``registry_models`` / ``registry_problems`` — inherit crash
+durability with no WAL changes.  (Registry index creation, like the
+repository's, runs before the shard installs its observer and is never
+journaled; snapshots carry index names and the registry re-creates its
+indexes at construction, so they exist after any recovery path.)
+
 * snapshots are written to a temp file and ``os.replace``-d into place,
   so a crash mid-snapshot leaves the previous snapshot intact; the
   parent directory is fsynced after the rename (POSIX), so a crash

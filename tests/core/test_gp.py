@@ -175,6 +175,34 @@ class TestSerialization:
         assert np.allclose(m1, m2, atol=1e-8)
         assert np.allclose(s1, s2, atol=1e-8)
 
+    def test_roundtrip_is_bitwise_exact(self, rng):
+        """The registry contract: a deserialized model predicts the exact
+        bytes of the live GP — through JSON, so the stored document (not
+        just the in-memory dict) is what's pinned."""
+        import json
+
+        X, y = _train(rng)
+        gp = GaussianProcess(RBF(2), seed=0).fit(X, y)
+        clone = GaussianProcess.from_dict(json.loads(json.dumps(gp.to_dict())))
+        Xq = rng.random((16, 2))
+        m1, s1 = gp.predict(Xq)
+        m2, s2 = clone.predict(Xq)
+        assert np.array_equal(m1, m2)
+        assert np.array_equal(s1, s2)
+
+    def test_roundtrip_bitwise_through_frozen_view(self, rng):
+        from repro.tla.store import frozen_view
+
+        X, y = _train(rng)
+        gp = GaussianProcess(RBF(2), seed=0).fit(X, y)
+        frozen = frozen_view(GaussianProcess.from_dict(gp.to_dict()))
+        assert frozen is not None
+        Xq = rng.random((16, 2))
+        m1, s1 = gp.predict(Xq)
+        m2, s2 = frozen.predict(Xq)
+        assert np.array_equal(m1, m2)
+        assert np.array_equal(s1, s2)
+
     def test_unfitted_raises(self):
         with pytest.raises(RuntimeError):
             GaussianProcess().to_dict()

@@ -94,6 +94,35 @@ class TestMetaDescription:
         space = _meta(keys["user_A"]).parameter_space()
         assert space.names == ["x"]
 
+    def test_malformed_configuration_space_rejected(self, keys):
+        """Regression: validate() checked the problem space but accepted
+        any configuration_space, deferring the crash to query time."""
+        bad_blocks = [
+            "cori",  # not a mapping at all
+            {"machine_configurations": "cori"},  # bare string, not a list
+            {"machine_configurations": {"machine_name": "cori"}},  # mapping
+            {"machine_configurations": ["cori"]},  # entry not a mapping
+            {"software_configurations": [{"mpi": {"version_from": "4.0"}}]},
+            {"user_configurations": "alice"},
+        ]
+        for block in bad_blocks:
+            with pytest.raises(ValueError):
+                _meta(keys["user_A"], configuration_space=block)
+
+    def test_valid_configuration_space_accepted(self, keys):
+        meta = _meta(
+            keys["user_A"],
+            configuration_space={
+                "machine_configurations": [{"machine_name": "cori", "nodes": 8}],
+                "software_configurations": [
+                    {"mpi": {"version_from": [4, 0], "version_to": [4, 2]}},
+                    {"blas": {}},
+                ],
+                "user_configurations": ["alice", "bob"],
+            },
+        )
+        assert meta.configuration_space["user_configurations"] == ["alice", "bob"]
+
     def test_resolve_environment_spack_and_slurm(self, keys):
         meta = _meta(
             keys["user_A"],

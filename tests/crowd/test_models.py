@@ -83,6 +83,39 @@ class TestUploadQuery:
         assert store.query_models(keys["bob"], "demo") == []
         assert len(store.query_models(keys["alice"], "demo")) == 1
 
+    def test_group_models_visible_to_members_only(self, repo, store, keys):
+        _, carol = repo.register_user("carol", "c@lab.gov")
+        repo.users.add_to_group("carol", "hpc")
+        store.upload_model(
+            keys["alice"], "demo", {"t": 0.8}, _trained_gp(),
+            accessibility=Accessibility("group", groups=["hpc"]),
+        )
+        assert len(store.query_models(carol, "demo")) == 1  # member
+        assert store.query_models(keys["bob"], "demo") == []  # outsider
+        assert len(store.query_models(keys["alice"], "demo")) == 1  # owner
+
+    def test_load_latest_is_newest_wins_across_owners(self, store, keys):
+        store.upload_model(keys["alice"], "demo", {"t": 0.8}, _trained_gp(1, n=50))
+        store.upload_model(keys["bob"], "demo", {"t": 0.8}, _trained_gp(2, n=10))
+        store.upload_model(keys["alice"], "demo", {"t": 0.8}, _trained_gp(3, n=20))
+        latest = store.load_latest(keys["bob"], "demo", {"t": 0.8})
+        # newest upload wins regardless of owner or sample count
+        assert latest is not None
+        assert latest.owner == "alice" and latest.n_samples == 20
+        assert store.load_latest(keys["bob"], "demo", {"t": 9.9}) is None
+
+    def test_load_latest_skips_invisible_duplicates(self, store, keys):
+        store.upload_model(keys["alice"], "demo", {"t": 0.8}, _trained_gp(1, n=10))
+        store.upload_model(
+            keys["bob"], "demo", {"t": 0.8}, _trained_gp(2, n=30),
+            accessibility=Accessibility("private"),
+        )
+        seen = store.load_latest(keys["alice"], "demo", {"t": 0.8})
+        assert seen is not None and seen.n_samples == 10
+        # the private re-upload is still the latest for its owner
+        own = store.load_latest(keys["bob"], "demo", {"t": 0.8})
+        assert own is not None and own.n_samples == 30
+
     def test_query_best_model(self, store, keys):
         store.upload_model(keys["alice"], "demo", {"t": 0.8}, _trained_gp(1, n=10))
         store.upload_model(keys["bob"], "demo", {"t": 0.8}, _trained_gp(2, n=50))

@@ -1,0 +1,317 @@
+"""Unit tests for the frozen surrogate-model registry core.
+
+Covers the write side (version tracking, debounced builds, background
+mode), the read side (serving, staleness, the resident LRU) and the
+replication hooks (newest-wins apply of problem/entry documents).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import perf
+from repro.crowd import CrowdRepository, PerformanceRecord
+from repro.core.problem import task_key
+from repro.crowd.records import Accessibility
+from repro.registry import (
+    DataVersionTracker,
+    ModelRegistry,
+    RegistryBuilder,
+    RegistryEntry,
+    RegistryOptions,
+    record_counts,
+    space_fingerprint,
+)
+
+SPACE = {
+    "parameter_space": [
+        {"name": "x", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0}
+    ]
+}
+TASK = {"t": 1}
+
+
+@pytest.fixture
+def repo():
+    return CrowdRepository()
+
+
+@pytest.fixture
+def key(repo):
+    return repo.register_user("alice", "a@lab.gov")[1]
+
+
+def _record(i, *, task=None, output=0.0, level="public", problem="demo"):
+    return PerformanceRecord(
+        problem_name=problem,
+        task_parameters=dict(TASK if task is None else task),
+        tuning_parameters={"x": (i % 10) / 10.0},
+        output=output,
+        accessibility=Accessibility(level=level),
+    )
+
+
+def _feed(registry, repo, key, n, *, task=None, start=0):
+    """Upload + notify n eligible records, the way the server does."""
+    for i in range(start, start + n):
+        rec = _record(i, task=task, output=float(i))
+        repo.upload(rec, key)
+        registry.notify_record(rec)
+
+
+class TestVersionTracker:
+    def test_bump_get_and_keys(self):
+        v = DataVersionTracker()
+        assert v.get("p", "t1") == 0
+        assert v.bump("p", "t1") == 1
+        assert v.bump("p", "t1", 2) == 3
+        v.bump("q", "t2")
+        assert v.keys() == [("p", "t1"), ("q", "t2")]
+        assert v.keys(problem_name="q") == [("q", "t2")]
+        assert len(v) == 2
+
+
+class TestEligibility:
+    def test_only_public_successful_records_count(self):
+        assert record_counts({"output": 1.0})
+        assert not record_counts({"output": None})
+        assert not record_counts(
+            {"output": 1.0, "accessibility": {"level": "private"}}
+        )
+
+    def test_ineligible_records_bump_nothing(self, repo, key):
+        registry = ModelRegistry(repo)
+        registry.register_problem("demo", SPACE)
+        registry.notify_record(_record(0, output=None))
+        registry.notify_record(_record(1, level="private"))
+        assert registry.versions.get("demo", repr(task_key(TASK))) == 0
+
+
+class TestRegisterProblem:
+    def test_requires_name_and_parameter_space(self, repo):
+        registry = ModelRegistry(repo)
+        with pytest.raises(ValueError):
+            registry.register_problem("", SPACE)
+        with pytest.raises(ValueError):
+            registry.register_problem("demo", {})
+        with pytest.raises(Exception):
+            registry.register_problem("demo", {"parameter_space": [{"type": "real"}]})
+
+    def test_newest_wins(self, repo):
+        registry = ModelRegistry(repo)
+        assert registry.register_problem("demo", SPACE, timestamp=5.0)
+        # an older registration does not overwrite
+        assert not registry.register_problem("demo", SPACE, timestamp=1.0)
+        assert registry.register_problem("demo", SPACE, timestamp=9.0)
+        assert registry.problem_space("demo") is not None
+
+
+class TestBuildAndServe:
+    def test_unregistered_problem_is_not_served(self, repo, key):
+        registry = ModelRegistry(repo)
+        _feed(registry, repo, key, 4)
+        with pytest.raises(LookupError):
+            registry.predict("demo", TASK, [{"x": 0.5}])
+
+    def test_too_few_samples_is_not_served(self, repo, key):
+        registry = ModelRegistry(repo)
+        registry.register_problem("demo", SPACE)
+        _feed(registry, repo, key, 1)
+        with pytest.raises(LookupError):
+            registry.predict("demo", TASK, [{"x": 0.5}])
+
+    def test_build_on_upload_then_serve_without_fits(self, repo, key):
+        registry = ModelRegistry(repo)
+        registry.register_problem("demo", SPACE)
+        _feed(registry, repo, key, 5)
+        entry = registry.entry_for("demo", TASK)
+        assert entry is not None
+        assert entry.data_version == 5 and entry.n_samples == 5
+        with perf.collect() as stats:
+            out = registry.predict("demo", TASK, [{"x": 0.2}, {"x": 0.8}])
+        assert stats.counters.get("gp_fits", 0) == 0
+        assert stats.counters["registry_hits"] == 1
+        assert stats.counters["registry_predict_batches"] == 1
+        assert len(out["mean"]) == 2 and len(out["std"]) == 2
+        assert not out["stale"]
+        assert out["space_fingerprint"] == space_fingerprint(SPACE)
+
+    def test_build_is_deterministic_across_replicas(self):
+        entries = []
+        for _ in range(2):
+            repo = CrowdRepository()
+            k = repo.register_user("alice", "a@lab.gov")[1]
+            registry = ModelRegistry(repo)
+            registry.register_problem("demo", SPACE, timestamp=1.0)
+            _feed(registry, repo, k, 6)
+            entries.append(registry.entry_for("demo", TASK).to_doc())
+        # replicas holding the same record set build byte-identical
+        # entries (modulo upload timestamps, which the router stamps
+        # identically in the real deployment)
+        for doc in entries:
+            doc.pop("timestamp")
+        assert entries[0] == entries[1]
+
+    def test_debounce_min_new_samples(self, repo, key):
+        registry = ModelRegistry(
+            repo, RegistryOptions(min_new_samples=3, min_samples=2)
+        )
+        registry.register_problem("demo", SPACE)
+        with perf.collect() as stats:
+            _feed(registry, repo, key, 2)
+        assert stats.counters.get("registry_builds", 0) == 0
+        with perf.collect() as stats:
+            _feed(registry, repo, key, 1, start=2)  # third notification: due
+        assert stats.counters["registry_builds"] == 1
+        assert registry.entry_for("demo", TASK).data_version == 3
+
+    def test_stale_entry_is_served_and_counted(self, repo, key):
+        registry = ModelRegistry(
+            repo, RegistryOptions(min_new_samples=100, min_samples=2)
+        )
+        registry.register_problem("demo", SPACE)
+        _feed(registry, repo, key, 3)
+        registry.predict("demo", TASK, [{"x": 0.5}])  # build on first demand
+        _feed(registry, repo, key, 2, start=3)  # not enough to rebuild
+        with perf.collect() as stats:
+            out = registry.predict("demo", TASK, [{"x": 0.5}])
+        assert out["stale"]
+        assert out["data_version"] == 3
+        assert stats.counters["registry_stale_served"] == 1
+
+    def test_model_meta_round_trips_the_exact_model(self, repo, key):
+        from repro.core import GaussianProcess
+
+        registry = ModelRegistry(repo)
+        registry.register_problem("demo", SPACE)
+        _feed(registry, repo, key, 5)
+        meta = registry.model_meta("demo", TASK, include_model=True)
+        assert meta["kernel"] == "rbf" and meta["n_samples"] == 5
+        gp = GaussianProcess.from_dict(meta["model"])
+        X = np.linspace(0, 0.9, 7)[:, None]
+        served = registry.predict(
+            "demo", TASK, [{"x": float(v)} for v in X.ravel()]
+        )
+        mean, std = gp.predict(X)
+        assert np.array_equal(np.array(served["mean"]), mean.ravel())
+        assert np.array_equal(np.array(served["std"]), std.ravel())
+
+    def test_sensitivity_served_from_frozen_model(self, repo, key):
+        registry = ModelRegistry(repo)
+        registry.register_problem("demo", SPACE)
+        _feed(registry, repo, key, 6)
+        with perf.collect() as stats:
+            out = registry.sensitivity("demo", TASK, n_base=64, n_bootstrap=8, seed=0)
+        assert stats.counters.get("gp_fits", 0) == 0
+        assert out["names"] == ["x"]
+        assert len(out["S1"]) == 1 and len(out["ST"]) == 1
+        # deterministic given the frozen model + seed
+        again = registry.sensitivity("demo", TASK, n_base=64, n_bootstrap=8, seed=0)
+        assert again["S1"] == out["S1"] and again["ST"] == out["ST"]
+
+
+class TestResidentCache:
+    def test_lru_bounded_by_max_resident(self, repo, key):
+        registry = ModelRegistry(
+            repo, RegistryOptions(max_resident=2, min_samples=2)
+        )
+        registry.register_problem("demo", SPACE)
+        for t in range(4):
+            _feed(registry, repo, key, 3, task={"t": t}, start=3 * t)
+        assert registry.resident_count() <= 2
+        # evicted entries are rebuilt from their stored snapshot, not refit
+        with perf.collect() as stats:
+            registry.predict("demo", {"t": 0}, [{"x": 0.5}])
+        assert stats.counters.get("gp_fits", 0) == 0
+
+
+class TestReplicationHooks:
+    def test_apply_entry_newest_wins(self, repo, key):
+        registry = ModelRegistry(repo)
+        registry.register_problem("demo", SPACE)
+        _feed(registry, repo, key, 4)
+        doc = registry.entry_for("demo", TASK).to_doc()
+        stale = dict(doc, data_version=1, timestamp=0.5)
+        assert not registry.apply_entry(stale)  # older: rejected
+        newer = dict(doc, data_version=doc["data_version"] + 1)
+        assert registry.apply_entry(newer)
+        assert registry.entry_for("demo", TASK).data_version == doc["data_version"] + 1
+
+    def test_applied_entry_evicts_resident_predictor(self, repo, key):
+        registry = ModelRegistry(repo)
+        registry.register_problem("demo", SPACE)
+        _feed(registry, repo, key, 4)
+        registry.predict("demo", TASK, [{"x": 0.5}])
+        doc = registry.entry_for("demo", TASK).to_doc()
+        registry.apply_entry(dict(doc, data_version=doc["data_version"] + 1))
+        # the healed entry is what gets served now
+        out = registry.predict("demo", TASK, [{"x": 0.5}])
+        assert out["data_version"] == doc["data_version"] + 1
+
+    def test_notify_docs_mirrors_notify_record(self, repo, key):
+        registry = ModelRegistry(repo)
+        registry.register_problem("demo", SPACE)
+        docs = []
+        for i in range(3):
+            rec = _record(i, output=float(i))
+            repo.upload(rec, key)
+            docs.append(rec.to_doc())
+        registry.notify_docs(docs)
+        assert registry.entry_for("demo", TASK) is not None
+        assert registry.versions.get("demo", repr(task_key(TASK))) == 3
+
+
+class TestBackgroundBuilder:
+    def test_background_build_flush(self, repo, key):
+        registry = ModelRegistry(
+            repo, RegistryOptions(background=True, min_samples=2)
+        )
+        try:
+            registry.register_problem("demo", SPACE)
+            _feed(registry, repo, key, 4)
+            assert registry.flush(timeout_s=10.0)
+            assert registry.entry_for("demo", TASK) is not None
+        finally:
+            registry.close()
+
+    def test_builder_survives_a_failing_build(self):
+        calls = []
+
+        def build(problem, task):
+            calls.append(problem)
+            if problem == "bad":
+                raise RuntimeError("boom")
+
+        builder = RegistryBuilder(build, background=True)
+        try:
+            builder.notify("bad", {}, "tk1")
+            builder.notify("good", {}, "tk2")
+            assert builder.flush(timeout_s=10.0)
+            assert calls == ["bad", "good"]
+        finally:
+            builder.close()
+
+
+class TestEntrySchema:
+    def test_doc_round_trip(self):
+        entry = RegistryEntry(
+            problem_name="demo",
+            task_parameters={"t": 1},
+            task_key="(('t', 1),)",
+            data_version=3,
+            n_samples=3,
+            kernel="rbf",
+            seed=0,
+            model={"kind": "gp"},
+            timestamp=4.5,
+            space_fingerprint="abc",
+        )
+        assert RegistryEntry.from_doc(entry.to_doc()) == entry
+        assert entry.meta()["n_samples"] == 3
+
+    def test_fingerprint_is_stable_and_order_insensitive(self):
+        a = {"parameter_space": [{"name": "x"}], "input_space": []}
+        b = {"input_space": [], "parameter_space": [{"name": "x"}]}
+        assert space_fingerprint(a) == space_fingerprint(b)
+        assert space_fingerprint(a) != space_fingerprint({"parameter_space": []})

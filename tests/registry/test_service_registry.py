@@ -1,0 +1,298 @@
+"""The registry inside the sharded service: end-to-end serving, cache
+invalidation, WAL recovery, anti-entropy healing, and the CrowdClient
+consult-first/fit-locally fallback contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import perf
+from repro.crowd import CrowdClient, MetaDescription
+from repro.registry import REGISTRY_MODELS, REGISTRY_PROBLEMS, RegistryOptions
+from repro.service import RouterOptions, build_service
+from repro.service.shard import shard_key
+
+PROBLEM = "demo"
+TASK = {"t": 2}
+SPACE = {
+    "input_space": [
+        {"name": "t", "type": "real", "lower_bound": 0, "upper_bound": 10}
+    ],
+    "parameter_space": [
+        {"name": "x", "type": "real", "lower_bound": 0.0, "upper_bound": 1.0}
+    ],
+    "output_space": [{"name": "y", "type": "output"}],
+}
+PROBE = [{"x": 0.15}, {"x": 0.4}, {"x": 0.85}]
+
+
+def _upload(endpoint, key, i, *, task=None):
+    return endpoint.handle(
+        {
+            "route": "upload",
+            "api_key": key,
+            "problem_name": PROBLEM,
+            "task_parameters": dict(TASK if task is None else task),
+            "tuning_parameters": {"x": (i % 10) / 10.0},
+            "output": float(i % 7) - 3.0,
+        }
+    )
+
+
+def _register(endpoint, key):
+    return endpoint.handle(
+        {
+            "route": "register_problem",
+            "api_key": key,
+            "problem_name": PROBLEM,
+            "problem_space": SPACE,
+        }
+    )
+
+
+def _predict(endpoint, key, *, task=None, configs=PROBE):
+    return endpoint.handle(
+        {
+            "route": "predict",
+            "api_key": key,
+            "problem_name": PROBLEM,
+            "task_parameters": dict(TASK if task is None else task),
+            "configurations": list(configs),
+        }
+    )
+
+
+def _meta(key):
+    return MetaDescription.from_dict(
+        {
+            "api_key": key,
+            "tuning_problem_name": PROBLEM,
+            "problem_space": SPACE,
+        }
+    )
+
+
+@pytest.fixture()
+def svc():
+    service = build_service(3, replication=2, registry=RegistryOptions())
+    yield service
+    service.close()
+
+
+@pytest.fixture()
+def key(svc):
+    return svc.register_user("alice", "alice@lab.gov")[1]
+
+
+class TestRegistryRoutes:
+    def test_register_problem_broadcasts_to_every_shard(self, svc, key):
+        response = _register(svc.client, key)
+        assert response["ok"]
+        assert response["replicas_acked"] == 3
+        for shard in svc.shards.values():
+            doc = shard.repository.store[REGISTRY_PROBLEMS].find_one(
+                {"problem_name": PROBLEM}
+            )
+            assert doc is not None
+            assert doc["problem_space"] == SPACE
+
+    def test_predict_without_registry_is_not_found(self):
+        service = build_service(2)  # no registry attached
+        try:
+            _, k = service.register_user("bob", "b@lab.gov")
+            assert _predict(service.client, k)["error"] == "not_found"
+        finally:
+            service.close()
+
+    def test_predict_needs_registered_problem(self, svc, key):
+        for i in range(4):
+            _upload(svc.client, key, i)
+        assert _predict(svc.client, key)["error"] == "not_found"
+
+    def test_repeated_predict_never_refits(self, svc, key):
+        _register(svc.client, key)
+        for i in range(6):
+            _upload(svc.client, key, i)
+        first = _predict(svc.client, key)
+        assert first["ok"]
+        # the acceptance pin: after the first build, serving is fit-free
+        with perf.collect() as stats:
+            for _ in range(5):
+                response = _predict(svc.client, key)
+                assert response["mean"] == first["mean"]
+        assert stats.counters.get("gp_fits", 0) == 0
+
+    def test_predict_cache_hit_and_upload_invalidation(self, svc, key):
+        _register(svc.client, key)
+        for i in range(5):
+            _upload(svc.client, key, i)
+        first = _predict(svc.client, key)
+        before = {n: t.n_requests for n, t in svc.transports.items()}
+        assert _predict(svc.client, key) == first
+        # served from the router cache: no shard saw the second call
+        assert {n: t.n_requests for n, t in svc.transports.items()} == before
+        # a write to the same (problem, task) invalidates the entry
+        _upload(svc.client, key, 5)
+        fresh = _predict(svc.client, key)
+        assert fresh["data_version"] == first["data_version"] + 1
+
+    def test_uploads_to_other_tasks_leave_entry_alone(self, svc, key):
+        _register(svc.client, key)
+        for i in range(5):
+            _upload(svc.client, key, i)
+        first = _predict(svc.client, key)
+        for i in range(3):
+            _upload(svc.client, key, i, task={"t": 9})
+        assert _predict(svc.client, key)["data_version"] == first["data_version"]
+
+
+class TestCrowdClientConsultation:
+    def test_predictions_bit_identical_to_local_fallback(self, svc, key):
+        for i in range(8):
+            _upload(svc.client, key, i)
+        repo = svc.repository_view()
+        via_registry = CrowdClient(repo, _meta(key))
+        local = CrowdClient(repo, _meta(key), use_registry=False)
+        via_registry.query_predict_output(PROBE, TASK)  # first call: builds
+        with perf.collect() as stats:
+            served = via_registry.query_predict_output(PROBE, TASK)
+        assert stats.counters.get("gp_fits", 0) == 0
+        with perf.collect() as stats:
+            fitted = local.query_predict_output(PROBE, TASK, seed=0)
+        assert stats.counters.get("gp_fits", 0) >= 1
+        assert np.array_equal(served, fitted)
+
+    def test_surrogate_model_reconstructed_not_refit(self, svc, key):
+        for i in range(8):
+            _upload(svc.client, key, i)
+        client = CrowdClient(svc.repository_view(), _meta(key))
+        client.query_predict_output(PROBE, TASK)  # triggers the build
+        with perf.collect() as stats:
+            gp = client.query_surrogate_model(TASK)
+        assert stats.counters.get("gp_fits", 0) == 0
+        X = np.array([[c["x"]] for c in PROBE])
+        local = CrowdClient(
+            svc.repository_view(), _meta(key), use_registry=False
+        ).query_surrogate_model(TASK, seed=0)
+        assert np.array_equal(gp.predict_mean(X), local.predict_mean(X))
+
+    def test_sensitivity_report_served_fit_free(self, svc, key):
+        for i in range(10):
+            _upload(svc.client, key, i)
+        client = CrowdClient(svc.repository_view(), _meta(key))
+        client.query_predict_output(PROBE, TASK)  # triggers the build
+        with perf.collect() as stats:
+            report = client.query_sensitivity_analysis(TASK, n_base=64, seed=0)
+        assert stats.counters.get("gp_fits", 0) == 0
+        assert report.indices.names == ["x"]
+        assert report.n_samples == 10
+        assert report.space.names == ["x"]
+
+    def test_cross_task_and_max_samples_queries_fit_locally(self, svc, key):
+        for i in range(8):
+            _upload(svc.client, key, i)
+        client = CrowdClient(svc.repository_view(), _meta(key))
+        with perf.collect() as stats:
+            client.query_predict_output(PROBE)  # task=None: local path
+        assert stats.counters.get("gp_fits", 0) == 1
+        with perf.collect() as stats:
+            client.query_sensitivity_analysis(TASK, n_base=64, max_samples=6, seed=0)
+        assert stats.counters.get("gp_fits", 0) >= 1
+
+    def test_no_registry_falls_back_permanently(self):
+        service = build_service(2)  # no registry
+        try:
+            _, k = service.register_user("bob", "b@lab.gov")
+            for i in range(6):
+                _upload(service.client, k, i)
+            client = CrowdClient(service.repository_view(), _meta(k))
+            with perf.collect() as stats:
+                out = client.query_predict_output(PROBE, TASK, seed=0)
+            assert stats.counters.get("gp_fits", 0) == 1
+            assert out.shape == (len(PROBE),)
+            assert not client._use_registry  # one failed probe disables it
+        finally:
+            service.close()
+
+
+class TestDurabilityAndHealing:
+    def test_entries_survive_shard_restart(self, tmp_path):
+        service = build_service(
+            2,
+            replication=2,
+            data_dir=tmp_path,
+            registry=RegistryOptions(),
+            options=RouterOptions(replication=2, cache_size=0),
+        )
+        try:
+            _, k = service.register_user("bob", "b@lab.gov")
+            _register(service.client, k)
+            for i in range(6):
+                _upload(service.client, k, i)
+            first = _predict(service.client, k)
+            assert first["ok"]
+            for name in list(service.shards):
+                service.restart_shard(name)
+            # recovery rebuilt the stores from WAL: the entry is intact
+            # and serving needs no refit
+            with perf.collect() as stats:
+                recovered = _predict(service.client, k)
+            assert stats.counters.get("gp_fits", 0) == 0
+            assert recovered["mean"] == first["mean"]
+            assert recovered["std"] == first["std"]
+            assert recovered["data_version"] == first["data_version"]
+        finally:
+            service.close()
+
+    def test_anti_entropy_heals_entries_to_replicas(self):
+        # a huge debounce keeps uploads from building: the only build
+        # happens on demand, on the shard that served the first predict
+        service = build_service(
+            3,
+            replication=2,
+            registry=RegistryOptions(min_new_samples=10**6),
+            options=RouterOptions(replication=2, cache_size=0),
+        )
+        try:
+            _, k = service.register_user("bob", "b@lab.gov")
+            _register(service.client, k)
+            for i in range(6):
+                _upload(service.client, k, i)
+            first = _predict(service.client, k)
+            assert first["ok"]
+            ring_key = shard_key(PROBLEM, TASK)
+            primary, backup = service.router.ring.preference(ring_key, 2)
+            assert service.shards[primary].repository.store[
+                REGISTRY_MODELS
+            ].find_one({"problem_name": PROBLEM})
+            assert (
+                service.shards[backup].repository.store[REGISTRY_MODELS].find_one(
+                    {"problem_name": PROBLEM}
+                )
+                is None
+            )
+            service.router.anti_entropy_round()
+            healed = service.shards[backup].repository.store[
+                REGISTRY_MODELS
+            ].find_one({"problem_name": PROBLEM})
+            assert healed is not None
+            # the healed replica serves the identical model, fit-free
+            service.kill_shard(primary)
+            with perf.collect() as stats:
+                survived = _predict(service.client, k)
+            assert stats.counters.get("gp_fits", 0) == 0
+            assert survived["ok"]
+            assert survived["mean"] == first["mean"]
+        finally:
+            service.close()
+
+    def test_anti_entropy_is_quiescent_when_converged(self, svc, key):
+        _register(svc.client, key)
+        for i in range(6):
+            _upload(svc.client, key, i)
+        _predict(svc.client, key)
+        svc.router.anti_entropy_round()
+        stats = svc.router.anti_entropy_round()
+        assert stats["healed"] == 0

@@ -239,6 +239,40 @@ class TestCache:
         _upload(svc.client, key, 1, task={"t": 1})
         assert len(svc.client.handle(request)["records"]) == 2
 
+    def test_query_models_cached_and_invalidated_by_upload_model(self, svc, key):
+        """query_models fans out to every shard (tagged with all of
+        them), so an upload_model to any single shard must invalidate
+        the cached response."""
+        import numpy as np
+
+        from repro.core import GaussianProcess
+
+        rng = np.random.default_rng(0)
+        gp = GaussianProcess(seed=0).fit(rng.random((8, 1)), rng.random(8))
+
+        def _upload_model(task):
+            return svc.client.handle(
+                {
+                    "route": "upload_model",
+                    "api_key": key,
+                    "problem_name": "demo",
+                    "task_parameters": task,
+                    "model": gp.to_dict(),
+                }
+            )
+
+        assert _upload_model({"t": 0})["ok"]
+        request = {"route": "query_models", "api_key": key, "problem_name": "demo"}
+        first = svc.client.handle(request)
+        assert first["ok"] and len(first["models"]) == 1
+        before = {n: t.n_requests for n, t in svc.transports.items()}
+        assert svc.client.handle(request) == first
+        # cache hit: no shard saw the repeat
+        assert {n: t.n_requests for n, t in svc.transports.items()} == before
+        # a model write lands on one shard yet must evict the fan-out entry
+        assert _upload_model({"t": 1})["ok"]
+        assert len(svc.client.handle(request)["models"]) == 2
+
     def test_cache_entry_expires_after_ttl(self):
         router, api_key, clock = _manual_router(
             replication=1, cache_ttl_s=10.0
