@@ -80,7 +80,13 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     app = build_app(args.app, args.machine, args.nodes)
     problem = app.make_problem(run=args.seed)
     task = _parse_task(app, args.task)
-    options = TunerOptions(n_initial=args.n_initial)
+    options = TunerOptions(
+        n_initial=args.n_initial,
+        surrogate=args.surrogate,
+        n_dense_max=args.n_dense_max,
+        n_inducing=args.n_inducing,
+        leaf_size=args.leaf_size,
+    )
 
     if args.workers > 1 and args.tla:
         raise SystemExit("--workers > 1 supports NoTLA only (drop --tla)")
@@ -374,6 +380,16 @@ def main(argv: list[str] | None = None) -> int:
     p_tune.add_argument("--lie", default="cl-min",
                         choices=["cl-min", "cl-mean", "cl-max", "kb"],
                         help="fantasy strategy for in-flight evaluations")
+    p_tune.add_argument("--surrogate", default="auto",
+                        choices=["auto", "dense", "sparse", "partitioned"],
+                        help="surrogate policy: auto switches dense->sparse "
+                             "past --n-dense-max observations")
+    p_tune.add_argument("--n-dense-max", type=int, default=1000,
+                        help="history size beyond which auto goes sparse")
+    p_tune.add_argument("--n-inducing", type=int, default=100,
+                        help="inducing points for the sparse surrogate")
+    p_tune.add_argument("--leaf-size", type=int, default=200,
+                        help="max points per local GP (partitioned surrogate)")
     p_tune.add_argument("--tla", choices=sorted(STRATEGY_REGISTRY))
     p_tune.add_argument("--source-task", help="source task as JSON (with --tla)")
     p_tune.add_argument("--source-samples", type=int, default=50)

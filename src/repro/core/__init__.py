@@ -12,7 +12,9 @@ from .acquisition import (
     PendingPenalty,
     get_acquisition,
 )
+from .combine import combine_stacked, normalized_weight_matrix, normalized_weights
 from .feasibility import KnnFeasibility
+from .frozen import FrozenGP, frozen_view
 from .gp import GaussianProcess, GPFitError
 from .history import History, TaskData
 from .kernels import RBF, Matern32, Matern52, kernel_from_name
@@ -26,6 +28,14 @@ from .samplers import (
     Sampler,
     SobolSampler,
     get_sampler,
+)
+from .sparse import (
+    PartitionedGP,
+    SparseGP,
+    make_surrogate,
+    resolve_surrogate_kind,
+    select_inducing,
+    surrogate_from_dict,
 )
 from .taskmodel import TaskAwareSurrogate
 from .space import (
@@ -45,6 +55,7 @@ __all__ = [
     "Evaluation",
     "ExpectedImprovement",
     "FixedSpace",
+    "FrozenGP",
     "GaussianProcess",
     "GPFitError",
     "History",
@@ -59,6 +70,7 @@ __all__ = [
     "MixedKernel",
     "OutputParameter",
     "Parameter",
+    "PartitionedGP",
     "PendingPenalty",
     "RBF",
     "RandomSampler",
@@ -66,6 +78,7 @@ __all__ = [
     "Sampler",
     "SearchOptions",
     "SobolSampler",
+    "SparseGP",
     "Space",
     "SpaceError",
     "TaskAwareSurrogate",
@@ -74,12 +87,20 @@ __all__ = [
     "TunerOptions",
     "TuningProblem",
     "TuningResult",
+    "combine_stacked",
+    "frozen_view",
     "get_acquisition",
     "get_sampler",
     "kernel_from_name",
+    "make_surrogate",
     "mixed_kernel_for_space",
+    "normalized_weight_matrix",
+    "normalized_weights",
     "perf",
     "propose_batch",
+    "resolve_surrogate_kind",
     "search_next",
+    "select_inducing",
+    "surrogate_from_dict",
     "task_key",
 ]

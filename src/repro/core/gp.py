@@ -47,7 +47,17 @@ _FACTOR_CACHE_MAX = 16
 
 
 class GPFitError(RuntimeError):
-    """Raised when a covariance matrix cannot be factorized."""
+    """Raised when a covariance matrix cannot be factorized.
+
+    ``jitters`` carries the full diagonal-jitter ladder that was
+    attempted before giving up (empty for non-factorization failures),
+    so callers and logs can see how ill-conditioned the matrix actually
+    was instead of just the final rung.
+    """
+
+    def __init__(self, message: str, jitters: tuple[float, ...] = ()) -> None:
+        super().__init__(message)
+        self.jitters = tuple(jitters)
 
 
 #: raw LAPACK triangular solve — the scipy wrappers spend more time on
@@ -67,18 +77,25 @@ def cholesky_with_jitter(K: np.ndarray, max_tries: int = 8) -> tuple[np.ndarray,
     if not np.isfinite(diag_mean) or diag_mean <= 0:
         diag_mean = 1.0
     eye = np.eye(K.shape[0])
-    jitter = 0.0
+    tried: list[float] = []
     for attempt in range(max_tries + 1):
         jitter = 0.0 if attempt == 0 else diag_mean * 10.0 ** (attempt - 11)
+        tried.append(jitter)
         try:
             L = sla.cholesky(K if attempt == 0 else K + jitter * eye, lower=True)
             if attempt:
                 perf.incr("cholesky_retries", attempt)
+                perf.incr("gp_jitter_retries", attempt)
             return L, jitter
         except sla.LinAlgError:
             continue
     perf.incr("cholesky_failures")
-    raise GPFitError(f"covariance not positive definite even with jitter {jitter:.2e}")
+    perf.incr("gp_jitter_retries", max_tries)
+    raise GPFitError(
+        "covariance not positive definite; tried jitters "
+        + ", ".join(f"{j:.2e}" for j in tried),
+        jitters=tuple(tried),
+    )
 
 
 @dataclass

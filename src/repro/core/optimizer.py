@@ -321,6 +321,10 @@ def propose_batch(
     use_gp = (
         gp is not None
         and getattr(gp, "fitted", False)
+        # fantasization snapshots/restores gp._state around speculative
+        # updates; surrogates without that single-state shape (the
+        # partitioned ensemble) take the pending-penalty fallback instead
+        and getattr(gp, "_state", None) is not None
         and y_obs is not None
         and np.asarray(y_obs).size > 0
     )
@@ -405,8 +409,11 @@ def propose_batch(
     finally:
         # the fantasies must never leak into the caller's model
         gp._state = saved_state
-        gp._factor_cache.clear()
-        gp._mle_best = None
+        cache = getattr(gp, "_factor_cache", None)  # dense-GP only
+        if cache is not None:
+            cache.clear()
+        if hasattr(gp, "_mle_best"):
+            gp._mle_best = None
     if n_fantasies:
         perf.incr("fantasy_updates", n_fantasies)
     return proposals

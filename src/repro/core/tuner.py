@@ -28,6 +28,7 @@ from .kernels import kernel_from_name
 from .optimizer import SearchOptions, search_next
 from .problem import Evaluation, TuningProblem
 from .samplers import Sampler, get_sampler
+from .sparse import make_surrogate, resolve_surrogate_kind
 
 __all__ = ["Tuner", "TunerOptions", "TuningResult"]
 
@@ -57,6 +58,16 @@ class TunerOptions:
     incremental: bool = True
     gp_max_fun: int = 80
     gp_restarts: int = 1
+    #: surrogate policy: ``"auto"`` keeps the exact dense GP (bit-identical
+    #: to the historical loop) up to ``n_dense_max`` observations and
+    #: switches to the O(nm^2) sparse inducing-point GP past it;
+    #: ``"dense"`` / ``"sparse"`` / ``"partitioned"`` force one kind
+    surrogate: str = "auto"
+    n_dense_max: int = 1000
+    #: inducing points for the sparse surrogate (``m`` in the O(nm^2) fit)
+    n_inducing: int = 100
+    #: max points per local GP for the partitioned surrogate
+    leaf_size: int = 200
     #: learn P(feasible) from observed failures and steer the acquisition
     #: away from them (ablation: bench_ablation_failures.py)
     learn_feasibility: bool = True
@@ -188,7 +199,21 @@ class Tuner:
         """One-time setup before the loop (TLA tuner loads sources here)."""
         self._iteration = 0
         self._gp: GaussianProcess | None = None
+        self._surrogate_kind: str | None = None
         self._task = dict(task)
+
+    def _resolve_kind(self, n: int) -> str:
+        """The concrete surrogate kind for an ``n``-observation history.
+
+        Pure function of the options and ``n`` — it consumes no random
+        draws, so below ``n_dense_max`` the loop's rng stream (and hence
+        its proposals) is bit-identical to the pre-policy tuner.  The
+        mixed-space kernel stays dense regardless of policy: the sparse
+        kinds cover the continuous kernel family only.
+        """
+        if self.options.kernel == "mixed":
+            return "dense"
+        return resolve_surrogate_kind(self.options.surrogate, n, self.options.n_dense_max)
 
     def _feasible(self, config: Mapping[str, Any]) -> bool:
         return self.problem.feasible(self._task, config)
@@ -247,21 +272,36 @@ class Tuner:
         if X.shape[0] == 0:
             return None
         opts = self.options
+        kind = self._resolve_kind(X.shape[0])
+        if self._gp is not None and kind != self._surrogate_kind:
+            self._gp = None  # history crossed n_dense_max: rebuild as the new kind
         refit = self._gp is None or (self._iteration % max(opts.refit_every, 1) == 0)
         self._iteration += 1
         if self._gp is None:
-            if opts.kernel == "mixed":
-                from .mixed import mixed_kernel_for_space
+            self._surrogate_kind = kind
+            if kind == "dense":
+                if opts.kernel == "mixed":
+                    from .mixed import mixed_kernel_for_space
 
-                kernel = mixed_kernel_for_space(self.problem.parameter_space)
+                    kernel = mixed_kernel_for_space(self.problem.parameter_space)
+                else:
+                    kernel = kernel_from_name(opts.kernel, X.shape[1])
+                self._gp = GaussianProcess(
+                    kernel,
+                    max_fun=opts.gp_max_fun,
+                    n_restarts=opts.gp_restarts,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                )
             else:
-                kernel = kernel_from_name(opts.kernel, X.shape[1])
-            self._gp = GaussianProcess(
-                kernel,
-                max_fun=opts.gp_max_fun,
-                n_restarts=opts.gp_restarts,
-                seed=int(rng.integers(0, 2**31 - 1)),
-            )
+                self._gp = make_surrogate(
+                    kind,
+                    opts.kernel,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                    max_fun=opts.gp_max_fun,
+                    n_restarts=opts.gp_restarts,
+                    n_inducing=opts.n_inducing,
+                    leaf_size=opts.leaf_size,
+                )
         gp = self._gp
         if not refit and opts.incremental and gp.fitted:
             n_new = gp.extends_training_data(X, y)

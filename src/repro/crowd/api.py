@@ -25,6 +25,7 @@ from typing import Any, Callable, Mapping
 import numpy as np
 
 from ..core.gp import GaussianProcess
+from ..core.sparse import surrogate_from_dict
 from ..core.history import TaskData
 from ..core.problem import Evaluation, TuningProblem, task_key
 from ..core.space import Space
@@ -282,7 +283,7 @@ class CrowdClient:
                 and response.get("kernel") == kernel
                 and response.get("space_fingerprint") == self._meta_fingerprint()
             ):
-                return GaussianProcess.from_dict(dict(response["model"]))
+                return surrogate_from_dict(dict(response["model"]))
         records = self.query_function_evaluations()
         if task is not None:
             records = [r for r in records if task_key(r.task_parameters) == task_key(task)]
@@ -404,7 +405,7 @@ class CrowdClient:
                     variance=float(response["variance"]),
                     n_base=int(response["n_base"]),
                 )
-                surrogate = GaussianProcess.from_dict(dict(response["model"]))
+                surrogate = surrogate_from_dict(dict(response["model"]))
                 return SensitivityReport(
                     indices, space, surrogate, int(response["n_samples"])
                 )

@@ -40,6 +40,7 @@ import numpy as np
 from ..core import perf
 from ..core.gp import GaussianProcess
 from ..core.kernels import kernel_from_name
+from ..core.sparse import make_surrogate, resolve_surrogate_kind, surrogate_from_dict
 from ..core.problem import task_key
 from ..core.space import Space
 from ..crowd.query import build_filter
@@ -76,6 +77,14 @@ class RegistryOptions:
     max_staleness_s: float | None = None
     background: bool = False
     max_resident: int = 64
+    #: surrogate policy for builds: ``"auto"`` fits the exact dense GP up
+    #: to ``n_dense_max`` eligible records (entries byte-identical to the
+    #: historical format) and the O(nm^2) sparse inducing-point GP past
+    #: it, so a crowd-sized history builds in bounded time
+    surrogate: str = "auto"
+    n_dense_max: int = 2048
+    n_inducing: int = 128
+    leaf_size: int = 256
 
 
 class ModelRegistry:
@@ -256,11 +265,24 @@ class ModelRegistry:
                 return None
             X = space.to_unit_array([d["tuning_parameters"] for d in docs])
             y = np.array([d["output"] for d in docs], dtype=float)
-            gp = GaussianProcess(
-                kernel_from_name(self.options.kernel, space.dim),
-                n_restarts=1,
-                seed=self.options.seed,
+            kind = resolve_surrogate_kind(
+                self.options.surrogate, len(docs), self.options.n_dense_max
             )
+            if kind == "dense":
+                gp = GaussianProcess(
+                    kernel_from_name(self.options.kernel, space.dim),
+                    n_restarts=1,
+                    seed=self.options.seed,
+                )
+            else:
+                gp = make_surrogate(
+                    kind,
+                    self.options.kernel,
+                    seed=self.options.seed,
+                    n_restarts=1,
+                    n_inducing=self.options.n_inducing,
+                    leaf_size=self.options.leaf_size,
+                )
             with perf.timer("registry_build"):
                 gp.fit(X, y)
             entry = RegistryEntry(
@@ -317,8 +339,8 @@ class ModelRegistry:
         )
         return RegistryEntry.from_doc(doc) if doc is not None else None
 
-    def _install_resident(self, entry: RegistryEntry, gp: GaussianProcess) -> Any:
-        from ..tla.store import frozen_view
+    def _install_resident(self, entry: RegistryEntry, gp: Any) -> Any:
+        from ..core.frozen import frozen_view
 
         predictor = frozen_view(gp) or gp
         key = (entry.problem_name, entry.task_key)
@@ -347,7 +369,7 @@ class ModelRegistry:
             ):
                 self._resident.move_to_end(key)
                 return cached[2]
-        gp = GaussianProcess.from_dict(entry.model)
+        gp = surrogate_from_dict(entry.model)
         return self._install_resident(entry, gp)
 
     def _serve(

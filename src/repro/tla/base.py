@@ -37,9 +37,11 @@ import numpy as np
 
 from ..core import perf
 from ..core.acquisition import PredictFn
+from ..core.combine import normalized_weights
 from ..core.gp import GaussianProcess, GPFitError
 from ..core.history import TaskData
 from ..core.kernels import kernel_from_name
+from ..core.sparse import make_surrogate, resolve_surrogate_kind
 from .store import SourceModelStore, frozen_view
 
 __all__ = ["TLAStrategy", "fit_source_gps", "equal_weight_model", "combine_weighted"]
@@ -77,27 +79,6 @@ def fit_source_gps(
     return gps
 
 
-def _normalized_weights(weights: np.ndarray, n_models: int) -> np.ndarray:
-    """Validate Eq. (1)-(2) weights and normalize them to sum 1.
-
-    Negative weights would flip a surrogate's contribution and corrupt
-    the geometric-mean std (Eq. (2) assumes a convex combination in log
-    space); unnormalized weights silently rescale the combined mean and
-    inflate/deflate the combined std, so both are rejected/repaired here.
-    """
-    weights = np.asarray(weights, dtype=float)
-    if weights.shape != (n_models,):
-        raise ValueError(f"need {n_models} weights, got shape {weights.shape}")
-    if not np.all(np.isfinite(weights)):
-        raise ValueError(f"weights must be finite, got {weights}")
-    if np.any(weights < 0):
-        raise ValueError(f"weights must be non-negative, got {weights}")
-    total = float(np.sum(weights))
-    if total <= 0:
-        raise ValueError("weights must not all be zero")
-    return weights / total
-
-
 def combine_weighted(
     models: list[PredictFn],
     weights: np.ndarray,
@@ -119,7 +100,7 @@ def combine_weighted(
     means/log-stds.  The fast path replays the plain per-model arithmetic
     exactly, so enabling it does not change results.
     """
-    weights = _normalized_weights(weights, len(models))
+    weights = normalized_weights(weights, len(models))
 
     entries: list = list(models)
     if store is not None:
@@ -179,17 +160,29 @@ class TLAStrategy(ABC):
         gp_max_fun: int = 80,
         refit_every: int = 1,
         store: SourceModelStore | None = None,
+        surrogate: str = "auto",
+        n_dense_max: int = 1000,
+        n_inducing: int = 100,
     ) -> None:
         self.kernel = kernel
         self.gp_max_fun = gp_max_fun
         self.refit_every = max(int(refit_every), 1)
         self.store = store
+        #: target-side surrogate policy: ``"auto"`` keeps the dense GP
+        #: (bit-identical) up to ``n_dense_max`` target observations and
+        #: switches to the sparse inducing-point GP past it — target
+        #: histories grown from a large crowd transfer can be huge even
+        #: when each tuning run adds only tens of points
+        self.surrogate = surrogate
+        self.n_dense_max = int(n_dense_max)
+        self.n_inducing = int(n_inducing)
         self.sources: list[TaskData] = []
         self.source_gps: list[GaussianProcess] = []
         #: set once prepare()/prepare_from_models() has run; the transfer
         #: tuner skips re-preparation for already-prepared strategies
         self.prepared = False
         self._tgt_gp: GaussianProcess | None = None
+        self._tgt_kind: str | None = None
         self._tgt_iter = 0
 
     # -- lifecycle -----------------------------------------------------------
@@ -271,6 +264,9 @@ class TLAStrategy(ABC):
         if target.n == 0:
             return None
         seed = int(rng.integers(0, 2**31 - 1))
+        kind = resolve_surrogate_kind(self.surrogate, target.n, self.n_dense_max)
+        if self._tgt_gp is not None and kind != self._tgt_kind:
+            self._tgt_gp = None  # history crossed n_dense_max: rebuild sparse
         refit = self._tgt_gp is None or (self._tgt_iter % self.refit_every == 0)
         self._tgt_iter += 1
         gp = self._tgt_gp
@@ -295,12 +291,27 @@ class TLAStrategy(ABC):
                 gp.optimize = True
             return gp
         prev = self._tgt_gp
-        gp = GaussianProcess(
-            kernel_from_name(self.kernel, target.dim),
-            max_fun=self.gp_max_fun,
-            seed=seed,
-        )
-        if self.refit_every > 1 and prev is not None and prev.fitted:
+        if kind == "dense":
+            gp = GaussianProcess(
+                kernel_from_name(self.kernel, target.dim),
+                max_fun=self.gp_max_fun,
+                seed=seed,
+            )
+        else:
+            gp = make_surrogate(
+                kind,
+                self.kernel,
+                seed=seed,
+                max_fun=self.gp_max_fun,
+                n_inducing=self.n_inducing,
+            )
+        if (
+            self.refit_every > 1
+            and prev is not None
+            and prev.fitted
+            and isinstance(gp, GaussianProcess)
+            and isinstance(prev, GaussianProcess)
+        ):
             # boundary refit under an amortized cadence: hyperparameters
             # move little between boundaries, so start the MLE at the
             # previous optimum and skip the random restarts
@@ -312,6 +323,7 @@ class TLAStrategy(ABC):
         except GPFitError:
             return None
         self._tgt_gp = gp
+        self._tgt_kind = kind
         return gp
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -39,19 +39,13 @@ import threading
 from collections import OrderedDict
 
 import numpy as np
-from scipy.linalg import get_lapack_funcs
 
 from ..core import perf
+from ..core.frozen import FrozenGP, frozen_view
 from ..core.gp import GaussianProcess
-from ..core.kernels import RBF, Matern32, Matern52, kernel_from_name
+from ..core.kernels import kernel_from_name
 
-__all__ = ["SourceModelStore", "FrozenGP"]
-
-(_trtrs,) = get_lapack_funcs(("trtrs",), (np.empty(0, dtype=np.float64),))
-
-#: kernels whose prediction math FrozenGP can replay (all are functions
-#: of the ARD-scaled squared distance)
-_FAST_KERNELS = (RBF, Matern52, Matern32)
+__all__ = ["SourceModelStore", "FrozenGP", "frozen_view"]
 
 
 def _data_key(X: np.ndarray, y: np.ndarray) -> bytes:
@@ -63,82 +57,6 @@ def _data_key(X: np.ndarray, y: np.ndarray) -> bytes:
     h.update(X.tobytes())
     h.update(y.tobytes())
     return h.digest()
-
-
-class FrozenGP:
-    """Pre-extracted state of a fitted, never-again-refit GP.
-
-    Prediction replays :meth:`GaussianProcess.predict` with the same
-    operations in the same order (scaled-difference expansion, LAPACK
-    ``trtrs`` for the variance solve), but the train-side quantities —
-    the lengthscale-scaled training inputs and their squared norms —
-    are computed once here instead of on every call.
-    """
-
-    __slots__ = (
-        "kernel", "variance", "lengthscales", "B", "b_norms",
-        "L", "alpha", "noise", "y_mean", "y_std",
-    )
-
-    def __init__(self, gp: GaussianProcess) -> None:
-        if not isinstance(gp.kernel, _FAST_KERNELS):
-            raise TypeError(f"unsupported kernel {type(gp.kernel).__name__}")
-        st = gp.fit_state
-        self.kernel = type(gp.kernel)
-        self.variance = float(gp.kernel.variance)
-        self.lengthscales = gp.kernel.lengthscales.copy()
-        self.B = st.X / self.lengthscales
-        self.b_norms = np.sum(self.B * self.B, axis=1)
-        self.L = np.asfortranarray(st.L)
-        self.alpha = st.alpha
-        self.noise = float(gp.noise_variance)
-        self.y_mean = st.y_mean
-        self.y_std = st.y_std
-
-    def _cross_cov(self, X: np.ndarray) -> np.ndarray:
-        A = X / self.lengthscales
-        d2 = (
-            np.sum(A * A, axis=1)[:, None]
-            + self.b_norms[None, :]
-            - 2.0 * (A @ self.B.T)
-        )
-        d2 = np.maximum(d2, 0.0)
-        if self.kernel is RBF:
-            return self.variance * np.exp(-0.5 * d2)
-        r = np.sqrt(d2)
-        if self.kernel is Matern52:
-            s = np.sqrt(5.0) * r
-            return self.variance * (1.0 + s + s * s / 3.0) * np.exp(-s)
-        s = np.sqrt(3.0) * r  # Matern32
-        return self.variance * (1.0 + s) * np.exp(-s)
-
-    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Posterior mean and std at ``X`` (original target scale)."""
-        X = np.atleast_2d(np.asarray(X, dtype=float))
-        Ks = self._cross_cov(X)
-        mean = Ks @ self.alpha * self.y_std + self.y_mean
-        v, _ = _trtrs(self.L, Ks.T, lower=1, trans=0)
-        var = self.variance + self.noise - np.sum(v * v, axis=0)
-        std = np.sqrt(np.maximum(var, 1e-12)) * self.y_std
-        return mean, std
-
-
-def frozen_view(gp: GaussianProcess) -> FrozenGP | None:
-    """The (cached) :class:`FrozenGP` for a fitted GP, or ``None``.
-
-    ``None`` when the GP is unfitted or uses a kernel the fast path does
-    not support (e.g. the mixed-space kernel).  The extraction is cached
-    on the GP keyed by its fit version, so a later ``fit``/``update``
-    invalidates it automatically.
-    """
-    if not gp.fitted or not isinstance(gp.kernel, _FAST_KERNELS):
-        return None
-    cached = getattr(gp, "_frozen_cache", None)
-    if cached is not None and cached[0] == gp.version:
-        return cached[1]
-    frozen = FrozenGP(gp)
-    gp._frozen_cache = (gp.version, frozen)
-    return frozen
 
 
 class SourceModelStore:

@@ -1,0 +1,338 @@
+"""Unit tests for repro.core.sparse: the large-n surrogate layer.
+
+Covers the deterministic k-center inducing selection, SGPR accuracy and
+incremental updates, the partitioned local-GP ensemble, bitwise frozen
+views and dict round-trips for both classes, the structured jitter-ladder
+failure, and the new perf counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import perf
+from repro.core.frozen import frozen_view
+from repro.core.gp import GaussianProcess, GPFitError, cholesky_with_jitter
+from repro.core.sparse import (
+    PartitionedGP,
+    SparseGP,
+    make_surrogate,
+    resolve_surrogate_kind,
+    select_inducing,
+    surrogate_from_dict,
+)
+
+
+def _toy(n, d=2, seed=0, noise=0.01):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, d))
+    f = np.sin(3 * X[:, 0]) + np.cos(2 * X[:, 1]) + 0.5 * X[:, 0] * X[:, 1]
+    return X, f + noise * rng.standard_normal(n)
+
+
+def _truth(X):
+    return np.sin(3 * X[:, 0]) + np.cos(2 * X[:, 1]) + 0.5 * X[:, 0] * X[:, 1]
+
+
+class TestSelectInducing:
+    def test_deterministic_and_valid(self):
+        X, _ = _toy(300)
+        a = select_inducing(X, 40)
+        b = select_inducing(X, 40)
+        assert np.array_equal(a, b)
+        assert len(np.unique(a)) == 40
+
+    def test_prefix_property(self):
+        """The greedy order is nested: first k of m-selection == k-selection."""
+        X, _ = _toy(200)
+        big = select_inducing(X, 60)
+        small = select_inducing(X, 25)
+        assert np.array_equal(big[:25], small)
+
+    def test_caps_at_n(self):
+        X, _ = _toy(10)
+        assert len(select_inducing(X, 50)) == 10
+
+    def test_spreads_over_the_cube(self):
+        """k-center picks cover the data: max distance to nearest center
+        shrinks well below a random subset's."""
+        X, _ = _toy(500, seed=3)
+        Z = X[select_inducing(X, 30)]
+        d = np.sqrt(
+            ((X[:, None, :] - Z[None, :, :]) ** 2).sum(-1)
+        ).min(axis=1)
+        assert d.max() < 0.35
+
+
+class TestSparseGP:
+    def test_accuracy_close_to_dense(self):
+        X, y = _toy(600, seed=1)
+        Xt, _ = _toy(80, seed=9)
+        yt = _truth(Xt)
+        sp = SparseGP("rbf", n_inducing=60, seed=0).fit(X, y)
+        mu, sd = sp.predict(Xt)
+        rmse = float(np.sqrt(np.mean((mu - yt) ** 2)))
+        assert rmse < 0.05
+        assert np.all(sd > 0)
+
+    def test_update_matches_refit_with_fixed_inducing(self):
+        X, y = _toy(500, seed=2)
+        Z = X[select_inducing(X, 50)]
+        a = SparseGP("rbf", inducing=Z, optimize=False, noise_variance=1e-3)
+        a.fit(X[:400], y[:400])
+        a.update(X[400:], y[400:])
+        b = SparseGP("rbf", inducing=Z, optimize=False, noise_variance=1e-3)
+        b.fit(X, y)
+        Xt, _ = _toy(60, seed=7)
+        mu_a, sd_a = a.predict(Xt)
+        mu_b, sd_b = b.predict(Xt)
+        np.testing.assert_allclose(mu_a, mu_b, atol=1e-8)
+        np.testing.assert_allclose(sd_a, sd_b, atol=1e-8)
+
+    def test_extends_training_data_contract(self):
+        X, y = _toy(100)
+        sp = SparseGP("rbf", n_inducing=20, seed=0).fit(X, y)
+        Xn, yn = _toy(10, seed=21)
+        X2 = np.vstack([X, Xn])
+        y2 = np.concatenate([y, yn])
+        assert sp.extends_training_data(X2, y2) == 10
+        assert sp.extends_training_data(X, y) == 0
+        assert sp.extends_training_data(X[:50], y[:50]) is None
+        y_div = y2.copy()
+        y_div[3] += 1.0
+        assert sp.extends_training_data(X2, y_div) is None
+
+    def test_dict_roundtrip_bitwise(self):
+        X, y = _toy(300, seed=4)
+        sp = SparseGP("rbf", n_inducing=40, seed=1).fit(X[:250], y[:250])
+        sp.update(X[250:], y[250:])  # exercise the accumulator path
+        Xt, _ = _toy(50, seed=8)
+        mu, sd = sp.predict(Xt)
+        clone = surrogate_from_dict(sp.to_dict())
+        mu2, sd2 = clone.predict(Xt)
+        assert np.array_equal(mu, mu2)
+        assert np.array_equal(sd, sd2)
+        assert clone.n_train == sp.n_train
+
+    def test_frozen_view_bitwise_and_cached(self):
+        X, y = _toy(200, seed=5)
+        sp = SparseGP("rbf", n_inducing=30, seed=2).fit(X, y)
+        Xt, _ = _toy(40, seed=6)
+        mu, sd = sp.predict(Xt)
+        fv = frozen_view(sp)
+        mu2, sd2 = fv.predict(Xt)
+        assert np.array_equal(mu, mu2)
+        assert np.array_equal(sd, sd2)
+        assert frozen_view(sp) is fv  # cached until the version moves
+        sp.update(X[:1], y[:1])
+        assert frozen_view(sp) is not fv
+
+    def test_frozen_view_survives_update(self):
+        """States are replaced, not mutated: an old view keeps serving the
+        predictions of its freeze-time fit."""
+        X, y = _toy(150, seed=11)
+        sp = SparseGP("rbf", n_inducing=25, seed=3).fit(X, y)
+        Xt, _ = _toy(30, seed=12)
+        fv = frozen_view(sp)
+        mu_before, sd_before = fv.predict(Xt)
+        sp.update(*_toy(20, seed=13))
+        mu_after, sd_after = fv.predict(Xt)
+        assert np.array_equal(mu_before, mu_after)
+        assert np.array_equal(sd_before, sd_after)
+
+    def test_has_state_for_fantasization(self):
+        """propose_batch duck-types gp._state save/restore; SparseGP
+        participates (states are immutable snapshots)."""
+        X, y = _toy(100)
+        sp = SparseGP("rbf", n_inducing=20, seed=0).fit(X, y)
+        saved = sp._state
+        sp.update(X[:2], y[:2])
+        sp._state = saved
+        assert sp.n_train == 100
+
+    def test_perf_counters(self):
+        X, y = _toy(120)
+        with perf.collect() as stats:
+            sp = SparseGP("rbf", n_inducing=20, seed=0).fit(X, y)
+            sp.update(X[:3], y[:3])
+        snap = stats.snapshot()
+        assert snap["counters"]["sparse_fits"] == 1
+        assert snap["counters"]["sparse_updates"] == 3
+        assert "sparse_select_inducing" in snap["timers"]
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            SparseGP("rbf", n_inducing=0)
+        sp = SparseGP("rbf")
+        with pytest.raises(RuntimeError):
+            sp.predict(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            sp.update(np.zeros((1, 2)), np.zeros(1))
+        with pytest.raises(ValueError):
+            sp.fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestPartitionedGP:
+    def test_accuracy_and_leaf_structure(self):
+        X, y = _toy(600, seed=1)
+        Xt, _ = _toy(80, seed=9)
+        yt = _truth(Xt)
+        pg = PartitionedGP("rbf", leaf_size=100, top_k=3, seed=0).fit(X, y)
+        assert pg.n_leaves >= 600 // 100
+        mu, sd = pg.predict(Xt)
+        rmse = float(np.sqrt(np.mean((mu - yt) ** 2)))
+        assert rmse < 0.08
+        assert np.all(sd > 0)
+
+    def test_parallel_fit_matches_serial(self):
+        X, y = _toy(400, seed=2)
+        Xt, _ = _toy(50, seed=8)
+        serial = PartitionedGP("rbf", leaf_size=80, seed=5, n_jobs=1).fit(X, y)
+        parallel = PartitionedGP("rbf", leaf_size=80, seed=5, n_jobs=4).fit(X, y)
+        mu_s, sd_s = serial.predict(Xt)
+        mu_p, sd_p = parallel.predict(Xt)
+        assert np.array_equal(mu_s, mu_p)
+        assert np.array_equal(sd_s, sd_p)
+
+    def test_update_agrees_with_refit_loosely(self):
+        """Different partitions (grown vs rebuilt) cannot match bitwise;
+        both must still model the function."""
+        X, y = _toy(400, seed=3, noise=0.0)
+        Xn, yn = _toy(40, seed=14, noise=0.0)
+        inc = PartitionedGP("rbf", leaf_size=80, seed=1).fit(X, y)
+        inc.update(Xn, yn)
+        full = PartitionedGP("rbf", leaf_size=80, seed=1).fit(
+            np.vstack([X, Xn]), np.concatenate([y, yn])
+        )
+        Xt, _ = _toy(60, seed=15)
+        yt = _truth(Xt)
+        mu_i, _ = inc.predict(Xt)
+        mu_f, _ = full.predict(Xt)
+        assert float(np.sqrt(np.mean((mu_i - yt) ** 2))) < 0.08
+        assert float(np.sqrt(np.mean((mu_f - yt) ** 2))) < 0.08
+        np.testing.assert_allclose(mu_i, mu_f, atol=0.15)
+
+    def test_update_resplits_oversized_leaf(self):
+        X, y = _toy(60, seed=4)
+        pg = PartitionedGP("rbf", leaf_size=30, seed=0).fit(X, y)
+        before = pg.n_leaves
+        # 50 points in one corner overflow the nearest leaf past 2x
+        Xn = 0.05 * np.random.default_rng(0).random((70, 2))
+        pg.update(Xn, _truth(Xn))
+        assert pg.n_leaves > before
+        assert pg.n_train == 130
+        for leaf in pg._leaves:
+            assert leaf.X.shape[0] <= 2 * pg.leaf_size
+
+    def test_dict_roundtrip_bitwise(self):
+        X, y = _toy(250, seed=6)
+        pg = PartitionedGP("rbf", leaf_size=60, seed=2).fit(X, y)
+        Xt, _ = _toy(40, seed=16)
+        mu, sd = pg.predict(Xt)
+        clone = surrogate_from_dict(pg.to_dict())
+        mu2, sd2 = clone.predict(Xt)
+        assert np.array_equal(mu, mu2)
+        assert np.array_equal(sd, sd2)
+        assert clone.n_leaves == pg.n_leaves
+        assert clone.n_train == pg.n_train
+
+    def test_frozen_view_bitwise(self):
+        X, y = _toy(200, seed=7)
+        pg = PartitionedGP("rbf", leaf_size=50, seed=3).fit(X, y)
+        Xt, _ = _toy(40, seed=17)
+        mu, sd = pg.predict(Xt)
+        fv = frozen_view(pg)
+        mu2, sd2 = fv.predict(Xt)
+        assert np.array_equal(mu, mu2)
+        assert np.array_equal(sd, sd2)
+
+    def test_extends_training_data_contract(self):
+        X, y = _toy(100)
+        pg = PartitionedGP("rbf", leaf_size=40, seed=0).fit(X, y)
+        Xn, yn = _toy(10, seed=21)
+        X2 = np.vstack([X, Xn])
+        y2 = np.concatenate([y, yn])
+        assert pg.extends_training_data(X2, y2) == 10
+        assert pg.extends_training_data(X[:50], y[:50]) is None
+
+    def test_no_state_attribute(self):
+        """The ensemble has no single-state snapshot; the batch proposer's
+        guard must see _state as absent/None and take the fallback."""
+        X, y = _toy(80)
+        pg = PartitionedGP("rbf", leaf_size=40, seed=0).fit(X, y)
+        assert getattr(pg, "_state", None) is None
+
+    def test_perf_counters(self):
+        X, y = _toy(200)
+        with perf.collect() as stats:
+            pg = PartitionedGP("rbf", leaf_size=50, seed=0).fit(X, y)
+            pg.predict(X[:10])
+        snap = stats.snapshot()
+        assert snap["counters"]["partition_leaf_fits"] == pg.n_leaves
+        assert snap["counters"]["partition_merges"] == 1
+
+    def test_rejects_kernel_instances(self):
+        from repro.core.kernels import RBF
+
+        with pytest.raises(TypeError):
+            PartitionedGP(RBF(2))
+
+
+class TestFactoryAndPolicy:
+    def test_resolve_kinds(self):
+        assert resolve_surrogate_kind("auto", 100, 1000) == "dense"
+        assert resolve_surrogate_kind("auto", 1000, 1000) == "dense"
+        assert resolve_surrogate_kind("auto", 1001, 1000) == "sparse"
+        assert resolve_surrogate_kind("dense", 10**6, 1000) == "dense"
+        assert resolve_surrogate_kind("partitioned", 5, 1000) == "partitioned"
+        with pytest.raises(ValueError):
+            resolve_surrogate_kind("bogus", 10, 1000)
+
+    def test_make_surrogate(self):
+        assert isinstance(make_surrogate("sparse", "rbf", n_inducing=7), SparseGP)
+        assert isinstance(make_surrogate("partitioned", "rbf"), PartitionedGP)
+        with pytest.raises(ValueError):
+            make_surrogate("dense", "rbf")
+        with pytest.raises(ValueError):
+            make_surrogate("bogus", "rbf")
+
+    def test_from_dict_dispatch(self):
+        X, y = _toy(50)
+        dense = GaussianProcess(seed=0).fit(X, y)
+        assert isinstance(surrogate_from_dict(dense.to_dict()), GaussianProcess)
+        sp = SparseGP("rbf", n_inducing=10, seed=0).fit(X, y)
+        assert isinstance(surrogate_from_dict(sp.to_dict()), SparseGP)
+
+
+class TestJitterLadderFailure:
+    def test_gpfiterror_carries_jitter_ladder(self):
+        K = -np.eye(3)  # negative definite: every rung fails
+        with perf.collect() as stats:
+            with pytest.raises(GPFitError) as exc_info:
+                cholesky_with_jitter(K)
+        err = exc_info.value
+        # the as-is attempt plus all 8 ladder rungs
+        assert len(err.jitters) == 9
+        assert err.jitters[0] == 0.0
+        assert list(err.jitters[1:]) == sorted(err.jitters[1:])
+        assert "tried jitters" in str(err)
+        snap = stats.snapshot()
+        assert snap["counters"]["gp_jitter_retries"] == 8
+        assert snap["counters"]["cholesky_failures"] == 1
+
+    def test_gp_jitter_retries_on_recoverable_matrix(self):
+        # rank-deficient PSD: fails exact, succeeds after small jitter
+        v = np.array([[1.0], [1.0], [1.0]])
+        K = v @ v.T
+        with perf.collect() as stats:
+            L, jitter = cholesky_with_jitter(K)
+        assert jitter > 0
+        assert np.isfinite(L).all()
+        assert stats.snapshot()["counters"]["gp_jitter_retries"] >= 1
+
+    def test_clean_matrix_records_nothing(self):
+        with perf.collect() as stats:
+            _, jitter = cholesky_with_jitter(np.eye(4))
+        assert jitter == 0.0
+        assert "gp_jitter_retries" not in stats.snapshot()["counters"]
