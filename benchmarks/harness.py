@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.apps.base import HPCApplication
 from repro.core import TaskData, Tuner, TunerOptions
+from repro.core import perf as _perf_module
 from repro.core.tuner import TuningResult
 from repro.tla import TransferTuner, get_strategy
 
@@ -185,6 +186,12 @@ def run_comparison(
         rows[key][rep] = best
         if perf is not None:
             perfs[key].append(perf)
+            if n_jobs > 1:
+                # subprocess cells record into *their* collector stacks;
+                # fold the returned snapshots into ours so process-pool
+                # sweeps lose no counters (perf.merge, the same path the
+                # fabric coordinator uses for worker processes)
+                _perf_module.merge(perf)
 
     out: dict[str, np.ndarray] = {}
     for key in tuners:

@@ -342,6 +342,70 @@ def _cmd_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    """Demo the multi-process tuning fabric feeding a crowd service."""
+    from .fabric import DurableJobQueue, FabricOptions, FabricTuner
+    from .service import build_service
+
+    app = build_app(args.app, args.machine, args.nodes)
+    problem = app.make_problem(run=args.seed)
+    task = _parse_task(app, args.task)
+    options = TunerOptions(n_initial=args.n_initial)
+    fabric = FabricOptions(
+        n_procs=args.procs,
+        batch=min(args.procs, 4),
+        base_latency_s=args.latency_s,
+        lease_s=args.lease_s,
+        data_dir=args.data_dir,
+    )
+
+    killed: list[int] = []
+
+    def on_progress(completed: int, coordinator) -> None:
+        if args.kill_after and completed == args.kill_after and not killed:
+            busy = coordinator.busy_workers()
+            if busy:
+                coordinator.kill_worker(busy[0])
+                killed.append(busy[0])
+                print(f"[fabric] killed worker {busy[0]} "
+                      f"after {completed} evaluations")
+
+    with build_service(args.shards) as svc:
+        _, key = svc.register_user("fabric-cli", "fabric@gptunecrowd.local")
+        tuner = FabricTuner(
+            problem,
+            options,
+            fabric,
+            crowd=svc.client,
+            api_key=key,
+            machine_configuration={"machine": args.machine or "local"},
+            on_progress=on_progress,
+        )
+        import time
+
+        t0 = time.perf_counter()
+        result = tuner.tune(task, args.samples, seed=args.seed)
+        wall = time.perf_counter() - t0
+        gauges = (result.perf or {}).get("gauges", {})
+        print(f"fabric: {args.procs} process(es), {args.samples} evaluations "
+              f"in {wall:.2f}s")
+        print(f"best output: {result.best_output:.6g}  "
+              f"best config: {result.best_config}")
+        util = gauges.get("fabric_worker_utilization", {}).get("last", 0.0)
+        print(f"worker utilization: {util:.0%}  "
+              f"re-dispatches: {tuner._last_redispatches}  "
+              f"workers killed: {len(killed)}")
+        print(f"streamed to crowd service: {tuner.streamer.n_uploaded} "
+              f"records across {args.shards} shard(s) "
+              f"({len(tuner.streamer.errors)} errors)")
+        if args.data_dir:
+            queue = DurableJobQueue(args.data_dir)
+            print(f"durable queue: {queue.n_done}/{queue.n_jobs} jobs "
+                  f"completed on disk under {args.data_dir}")
+            queue.close()
+    return 0
+
+
 def _cmd_pool(args: argparse.Namespace) -> int:
     del args
     rows = pool_table()
@@ -445,6 +509,29 @@ def main(argv: list[str] | None = None) -> int:
                             "and demo server-side prediction")
     p_svc.add_argument("--seed", type=int, default=0)
     p_svc.set_defaults(func=_cmd_service)
+
+    p_fab = sub.add_parser("fabric", help="demo the multi-process tuning fabric")
+    p_fab.add_argument("--app", default="demo", choices=sorted(_APPS))
+    p_fab.add_argument("--machine", choices=sorted(MACHINE_PRESETS))
+    p_fab.add_argument("--nodes", type=int, default=1)
+    p_fab.add_argument("--task", help="task parameters as JSON")
+    p_fab.add_argument("--samples", type=int, default=16)
+    p_fab.add_argument("--seed", type=int, default=0)
+    p_fab.add_argument("--n-initial", type=int, default=3)
+    p_fab.add_argument("--procs", type=int, default=4,
+                       help="worker processes in the fabric")
+    p_fab.add_argument("--latency-s", type=float, default=0.05,
+                       help="simulated seconds per evaluation")
+    p_fab.add_argument("--lease-s", type=float, default=30.0,
+                       help="lease before a straggler's job re-dispatches")
+    p_fab.add_argument("--kill-after", type=int, default=0,
+                       help="hard-kill one busy worker after N completions "
+                            "(crash demo; 0 = no kill)")
+    p_fab.add_argument("--data-dir",
+                       help="durable job-queue directory (WAL + snapshots)")
+    p_fab.add_argument("--shards", type=int, default=2,
+                       help="crowd-service shards behind the streamed uploads")
+    p_fab.set_defaults(func=_cmd_fabric)
 
     p_pool = sub.add_parser("pool", help="print the TLA pool (Table I)")
     p_pool.set_defaults(func=_cmd_pool)

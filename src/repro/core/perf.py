@@ -48,6 +48,8 @@ __all__ = [
     "current",
     "gauge",
     "incr",
+    "merge",
+    "snapshot",
     "timer",
     "reset_global",
 ]
@@ -95,6 +97,45 @@ class PerfStats:
             self.timers.clear()
             self.gauges.clear()
 
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` dict from elsewhere into this collector.
+
+        The cross-process aggregation path: worker *processes* cannot
+        record into the parent's collector stack (each fork gets copies),
+        so they ship ``snapshot()`` dicts home and the parent merges them
+        — counters and timer totals add, gauges accumulate their sample
+        statistics (``last`` takes the incoming value, ``max`` the
+        maximum).  Merging an empty or partial snapshot is a no-op for
+        the missing sections.
+        """
+        with self._lock:
+            for name, n in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + int(n)
+            for name, t in snapshot.get("timers", {}).items():
+                slot = self.timers.get(name)
+                total, count = float(t["total_s"]), int(t["count"])
+                if slot is None:
+                    self.timers[name] = [total, count]
+                else:
+                    slot[0] += total
+                    slot[1] += count
+            for name, g in snapshot.get("gauges", {}).items():
+                count = int(g.get("count", 1))
+                total = float(g.get("mean", 0.0)) * count
+                slot = self.gauges.get(name)
+                if slot is None:
+                    self.gauges[name] = [
+                        float(g["last"]),
+                        float(g["max"]),
+                        total,
+                        count,
+                    ]
+                else:
+                    slot[0] = float(g["last"])
+                    slot[1] = max(slot[1], float(g["max"]))
+                    slot[2] += total
+                    slot[3] += count
+
     # -- reporting -----------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """A plain-dict view (JSON-serializable, safe to keep around)."""
@@ -116,6 +157,8 @@ class PerfStats:
                         "last": last,
                         "max": peak,
                         "mean": total / count if count else 0.0,
+                        # sample count makes merge() lossless round-trip
+                        "count": count,
                     }
                     for name, (last, peak, total, count) in self.gauges.items()
                 }
@@ -211,6 +254,25 @@ def gauge(name: str, value: float) -> None:
     """Record a gauge sample in every active collector."""
     for s in _active():
         s.gauge(name, value)
+
+
+def snapshot() -> dict[str, Any]:
+    """Snapshot of the innermost active collector (see PerfStats.snapshot)."""
+    return current().snapshot()
+
+
+def merge(snap: dict[str, Any]) -> None:
+    """Fold a snapshot dict into every active collector.
+
+    This is how subprocess work reports home: a worker process runs
+    under its own ``collect()``, ships ``stats.snapshot()`` back with
+    its result, and the parent calls ``perf.merge(snap)`` so the
+    counters land in the collectors the parent pushed (and therefore in
+    ``TuningResult.perf``).  Without this every counter incremented in a
+    forked worker is silently lost.
+    """
+    for s in _active():
+        s.merge(snap)
 
 
 @contextmanager

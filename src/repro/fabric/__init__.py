@@ -1,0 +1,40 @@
+"""`repro.fabric` — the multi-process elastic tuning cluster (system S14).
+
+The paper's crowd is many independent *machines* tuning concurrently
+and feeding one shared database.  The threaded engine
+(:mod:`repro.engine`) simulates that inside one process; this package
+is the real distribution layer:
+
+* :mod:`~repro.fabric.jobqueue` — a durable on-disk job queue (JSONL
+  WAL + atomic snapshots, crash recovery, exactly-once completion via
+  idempotent lease tokens),
+* :mod:`~repro.fabric.worker` — the :mod:`multiprocessing` worker
+  entry: evaluate, heartbeat, ship results (and perf snapshots) home,
+* :mod:`~repro.fabric.coordinator` — leases jobs to workers, tracks
+  liveness by heartbeat, re-dispatches expired leases and dead workers'
+  jobs, and grows/drains/kills workers elastically mid-run,
+* :mod:`~repro.fabric.tuner` — :class:`FabricTuner` drives the
+  engine's constant-liar batch-proposal loop over the fabric and
+  streams every completed evaluation through the crowd service, so one
+  tuning run feeds (and optionally consults) the shared database end
+  to end.
+
+Layering: the fabric sits above :mod:`repro.engine` (proposal loop and
+streaming reused by subclassing) and talks to :mod:`repro.service`
+only through the public ``handle()`` protocol.  Nothing below imports
+the fabric.
+"""
+
+from .coordinator import FabricCoordinator, FabricOptions, FabricOutcome
+from .jobqueue import DurableJobQueue, FabricJob, JobState
+from .tuner import FabricTuner
+
+__all__ = [
+    "DurableJobQueue",
+    "FabricCoordinator",
+    "FabricJob",
+    "FabricOptions",
+    "FabricOutcome",
+    "FabricTuner",
+    "JobState",
+]

@@ -1,0 +1,273 @@
+"""Crowd tuning over the process fabric: propose, lease, stream, fold.
+
+:class:`FabricTuner` is the distribution layer's face to the BO loop.
+It reuses the asynchronous engine's whole proposal machinery —
+constant-liar fantasy batches via
+:meth:`~repro.engine.tuner.AsyncTuner._propose_batch`, incremental
+GP/sparse-surrogate fold-in through the shared :class:`~repro.core.
+tuner.Tuner` hooks — but evaluations execute on a
+:class:`~repro.fabric.coordinator.FabricCoordinator` of worker
+*processes* over a durable job queue, and every completed evaluation
+streams through the crowd service (:class:`~repro.service.router.
+CrowdRouter` or any ``handle()`` endpoint) the moment it lands.  One
+tuning run therefore both **feeds** the shared database (uploads, which
+also trigger the registry's debounced rebuilds) and can **consult** it
+(``consult=True`` seeds the surrogate with the task's existing crowd
+records before the first proposal — the paper's crowd premise end to
+end).
+
+Determinism contract: with one process, no faults and default
+latencies, the fabric degenerates to propose → wait → fold and
+reproduces the sequential :class:`~repro.core.tuner.Tuner` trajectory
+bit-for-bit (pinned by ``tests/fabric/test_fabric_tuner.py``), exactly
+as the threaded engine does — every speedup the fabric benchmark
+measures is overlap, not a different algorithm.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..core import perf
+from ..core.history import History
+from ..core.problem import Evaluation, TuningProblem
+from ..core.tuner import EvaluationCallback, TunerOptions, TuningResult
+from ..engine.stream import CrowdStreamer
+from ..engine.tuner import AsyncTuner, EngineOptions
+from .coordinator import FabricCoordinator, FabricOptions
+
+__all__ = ["FabricTuner"]
+
+
+class FabricTuner(AsyncTuner):
+    """Asynchronous batched tuner over the multi-process fabric.
+
+    Parameters
+    ----------
+    problem:
+        The tuning problem to minimize.
+    options:
+        BO-loop controls (shared with the sequential tuner).
+    fabric:
+        Fabric controls: processes, batch, latencies, lease/heartbeat,
+        queue directory.
+    callbacks:
+        Called with every completed :class:`Evaluation` in completion
+        order (in addition to crowd streaming when ``crowd`` is given).
+    crowd:
+        Any upload endpoint with ``handle(request) -> response`` — a
+        :class:`~repro.service.client.ServiceClient`, a
+        :class:`~repro.service.router.CrowdRouter`, or a bare
+        :class:`~repro.crowd.server.CrowdServer`.  Every evaluation is
+        uploaded as it lands (requires ``api_key``).
+    consult:
+        Query the crowd database for this problem+task before tuning
+        and seed the surrogate with the records found (they feed the
+        model, not the budget).
+    on_progress:
+        ``on_progress(completed, coordinator)`` after every collected
+        evaluation — the hook benchmarks and the CLI use to kill or
+        add workers mid-run.
+    fault:
+        Deterministic worker-crash injector (tests, benchmarks).
+    """
+
+    name = "FabricNoTLA"
+
+    def __init__(
+        self,
+        problem: TuningProblem,
+        options: TunerOptions | None = None,
+        fabric: FabricOptions | None = None,
+        callbacks: list[EvaluationCallback] | None = None,
+        *,
+        crowd: Any | None = None,
+        api_key: str | None = None,
+        machine_configuration: Mapping[str, Any] | None = None,
+        software_configuration: Mapping[str, Any] | None = None,
+        consult: bool = False,
+        on_progress: Callable[[int, FabricCoordinator], None] | None = None,
+        fault: Callable[[int, int], bool] | None = None,
+    ) -> None:
+        self.fabric = fabric or FabricOptions()
+        engine = EngineOptions(
+            n_workers=self.fabric.n_procs,
+            batch=self.fabric.batch,
+            lie=self.fabric.lie,
+        )
+        super().__init__(problem, options, engine, callbacks)
+        self.crowd = crowd
+        self.api_key = api_key
+        self.consult = bool(consult)
+        self.on_progress = on_progress
+        self._fault = fault
+        self.streamer: CrowdStreamer | None = None
+        if crowd is not None:
+            if api_key is None:
+                raise ValueError("crowd streaming requires api_key")
+            self.streamer = CrowdStreamer(
+                crowd,
+                api_key,
+                problem.name,
+                machine_configuration=machine_configuration,
+                software_configuration=software_configuration,
+            )
+            self.callbacks.append(self.streamer)
+        elif consult:
+            raise ValueError("consult=True requires a crowd endpoint")
+
+    # -- crowd read path -----------------------------------------------------
+    def consult_crowd(self, task: Mapping[str, Any]) -> History:
+        """Seed a history with the crowd's existing records for ``task``.
+
+        Successes and failures both load (failures feed the feasibility
+        model, the paper's treatment of bad configurations); records
+        whose configurations do not fit this problem's parameter space
+        are skipped.  The returned history is passed as a continuation,
+        so crowd records feed the surrogate but never the budget.
+        """
+        assert self.crowd is not None and self.api_key is not None
+        hist = History(task, self.problem.parameter_space)
+        response = self.crowd.handle(
+            {
+                "route": "query",
+                "api_key": self.api_key,
+                "problem_name": self.problem.name,
+                "task_parameters": dict(task),
+                "require_success": False,
+            }
+        )
+        if not response.get("ok"):
+            return hist
+        names = set(self.problem.parameter_space.names)
+        docs = sorted(
+            response.get("records", []),
+            key=lambda d: (float(d.get("timestamp", 0.0) or 0.0), d.get("uid", 0)),
+        )
+        for doc in docs:
+            config = doc.get("tuning_parameters") or {}
+            if set(config) != names:
+                continue
+            try:
+                hist.append(
+                    Evaluation(
+                        dict(task),
+                        dict(config),
+                        doc.get("output"),
+                        {"crowd_uid": doc.get("uid"), "crowd_seed": True},
+                    )
+                )
+                perf.incr("fabric_consulted_records")
+            except Exception:  # malformed crowd record: skip, don't die
+                continue
+        return hist
+
+    # -- main loop -----------------------------------------------------------
+    def tune(
+        self,
+        task: Mapping[str, Any],
+        n_samples: int,
+        *,
+        seed: int | None = None,
+        history: History | None = None,
+    ) -> TuningResult:
+        """Run ``n_samples`` evaluations on ``task`` across the fabric.
+
+        Budget semantics match the engine: every terminal outcome
+        (success, objective failure, or a job abandoned after
+        ``max_redispatch`` lost leases) consumes one sample;
+        re-dispatches of the same job do not.
+        """
+        if n_samples < 1:
+            raise ValueError("n_samples must be >= 1")
+        self.problem.input_space.validate(task)
+        rng = np.random.default_rng(seed)
+        fab = self.fabric
+        coordinator = FabricCoordinator(
+            lambda cfg: self.problem.evaluate(task, cfg),
+            fab,
+            seed=seed,
+            fault=self._fault,
+        )
+        pending: dict[int, dict[str, Any]] = {}  # job_id -> config
+        completed = 0
+        t0 = time.perf_counter()
+        with perf.collect() as stats, coordinator:
+            with perf.timer("prepare"):
+                if history is not None:
+                    hist = history
+                elif self.consult:
+                    hist = self.consult_crowd(task)
+                else:
+                    hist = History(task, self.problem.parameter_space)
+                self._prepare(task, rng)
+
+            def refill() -> None:
+                while (
+                    completed + len(pending) < n_samples
+                    and coordinator.inflight < max(coordinator.n_workers, 1)
+                ):
+                    k = min(
+                        fab.batch,
+                        max(coordinator.n_workers, 1) - coordinator.inflight,
+                        n_samples - completed - len(pending),
+                    )
+                    with perf.timer("propose"):
+                        configs = self._propose_batch(
+                            hist, rng, k, list(pending.values())
+                        )
+                    if not configs:
+                        return
+                    for cfg in configs:
+                        pending[coordinator.submit(cfg)] = cfg
+                    perf.gauge("fabric_pending_fantasies", len(pending))
+
+            refill()
+            while completed < n_samples:
+                try:
+                    outcome = coordinator.get(timeout=120.0)
+                except queue_mod.Empty:  # pragma: no cover - watchdog
+                    raise RuntimeError(
+                        f"fabric stalled: {len(pending)} evaluations pending, "
+                        f"{completed}/{n_samples} completed, "
+                        f"{coordinator.n_workers} workers live"
+                    )
+                evaluation = outcome.evaluation
+                if evaluation is None:
+                    # abandoned job or objective exception: a crowd-style
+                    # failure record — consumes budget, feeds feasibility
+                    evaluation = Evaluation(
+                        dict(task),
+                        dict(outcome.config),
+                        None,
+                        {"failure": outcome.error or "unknown"},
+                    )
+                evaluation.metadata.update(outcome.metadata)
+                evaluation.metadata["attempts"] = outcome.attempt + 1
+                pending.pop(outcome.job_id, None)
+                hist.append(evaluation)
+                completed += 1
+                for cb in self.callbacks:
+                    cb(evaluation)
+                if self.on_progress is not None:
+                    self.on_progress(completed, coordinator)
+                refill()
+            wall = time.perf_counter() - t0
+            perf.gauge(
+                "fabric_worker_utilization", coordinator.utilization(wall)
+            )
+            perf.gauge("fabric_wall_s", wall)
+            perf.gauge("fabric_workers", max(coordinator.n_workers, 1))
+        self._last_redispatches = coordinator.redispatches
+        return TuningResult(
+            problem_name=self.problem.name,
+            tuner_name=self.name,
+            task=dict(task),
+            history=hist,
+            seed=seed,
+            perf=stats.snapshot(),
+        )

@@ -77,6 +77,7 @@ class CrowdService:
 
     def __post_init__(self) -> None:
         self.client = ServiceClient(self.router)
+        self._closed = False
 
     def register_user(self, username: str, email: str) -> tuple[str, str]:
         """Register through the service; returns ``(username, api_key)``."""
@@ -183,9 +184,26 @@ class CrowdService:
         return sum(s.count() for s in self.shards.values())
 
     def close(self) -> None:
+        """Shut the whole deployment down (idempotent).
+
+        Stops the router's anti-entropy thread and fan-out pool, every
+        shard's registry-builder thread, and closes every WAL.  Safe to
+        call repeatedly and after partial teardown — fabric runs and
+        tests can always ``with build_service(...) as svc:`` without
+        leaking daemon threads across test boundaries.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.router.close()
         for shard in self.shards.values():
             shard.close()
+
+    def __enter__(self) -> "CrowdService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def build_service(

@@ -366,11 +366,18 @@ class CrowdRouter:
         }
 
     def close(self) -> None:
+        """Stop background healing and the fan-out pool (idempotent)."""
         self.stop_anti_entropy()
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+
+    def __enter__(self) -> "CrowdRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _shutdown_pool(self) -> None:
         """Drop the fan-out pool (membership changed its sizing)."""

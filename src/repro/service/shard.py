@@ -399,8 +399,17 @@ class CrowdShard:
         return self.repository.count()
 
     def close(self) -> None:
+        """Stop the registry builder and close the journal (idempotent)."""
+        if self.registry is not None:
+            self.registry.close()
         if self._wal is not None:
             self._wal.close()
+
+    def __enter__(self) -> "CrowdShard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover
         where = self.data_dir if self.data_dir is not None else "memory"

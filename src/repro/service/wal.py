@@ -52,7 +52,7 @@ from typing import Any, Mapping
 from ..core import perf
 from ..crowd.database import DocumentStore
 
-__all__ = ["WriteAheadLog", "load_shard_state"]
+__all__ = ["WriteAheadLog", "load_shard_state", "read_wal", "write_json_atomic"]
 
 _WAL_NAME = "wal.jsonl"
 _SNAP_NAME = "snapshot.json"
@@ -74,10 +74,27 @@ class WriteAheadLog:
         self.path = Path(path)
         self.fsync_every = int(fsync_every)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_tail()
         self._fh = open(self.path, "a", encoding="utf-8")
         self._lock = threading.Lock()
         self._since_sync = 0
         self._seq = 0  # last sequence number handed out
+
+    def _repair_tail(self) -> None:
+        """Truncate a torn final line before reopening for append.
+
+        The fragment belongs to an op that was never acknowledged
+        (recovery already discarded it); left in place, the next append
+        would glue onto it and corrupt a *valid* entry.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        with open(self.path, "r+b") as fh:
+            fh.truncate(data.rfind(b"\n") + 1)
+            os.fsync(fh.fileno())
 
     @property
     def seq(self) -> int:
@@ -154,22 +171,34 @@ def read_wal(path: str | Path) -> list[dict[str, Any]]:
     return ops
 
 
+def write_json_atomic(path: str | Path, blob: Mapping[str, Any]) -> Path:
+    """Durably replace ``path`` with ``blob`` as sorted JSON.
+
+    Write-to-temp + fsync + ``os.replace`` + parent-directory fsync: a
+    crash at any point leaves either the old file or the new one, never
+    a torn mix, and a power cut after return cannot roll the rename
+    back.  Shared by shard snapshots and the fabric job-queue snapshots.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / (path.name + ".tmp")
+    tmp.write_text(json.dumps(blob, sort_keys=True))
+    with open(tmp, "r+", encoding="utf-8") as fh:
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+    return path
+
+
 def write_snapshot(data_dir: str | Path, store: DocumentStore, wal_seq: int) -> Path:
     """Atomically write a full store image covering ops ``<= wal_seq``."""
     data_dir = Path(data_dir)
-    data_dir.mkdir(parents=True, exist_ok=True)
     blob = {
         "format": _SNAP_FORMAT,
         "wal_seq": int(wal_seq),
         "store": store.to_jsonable(),
     }
-    tmp = data_dir / (_SNAP_NAME + ".tmp")
-    tmp.write_text(json.dumps(blob, sort_keys=True))
-    with open(tmp, "r+", encoding="utf-8") as fh:
-        os.fsync(fh.fileno())
-    final = data_dir / _SNAP_NAME
-    os.replace(tmp, final)
-    _fsync_dir(data_dir)
+    final = write_json_atomic(data_dir / _SNAP_NAME, blob)
     perf.incr("wal_snapshots")
     return final
 

@@ -1,0 +1,106 @@
+"""Tests for cross-process perf aggregation (snapshot -> merge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import perf
+from repro.core.perf import PerfStats
+
+
+def make_snapshot() -> dict:
+    s = PerfStats()
+    s.incr("gp_fits", 3)
+    s.add_time("fit", 0.5)
+    s.add_time("fit", 0.5)
+    s.gauge("depth", 2.0)
+    s.gauge("depth", 4.0)
+    return s.snapshot()
+
+
+class TestStatsMerge:
+    def test_counters_add(self):
+        s = PerfStats()
+        s.incr("gp_fits", 1)
+        s.merge(make_snapshot())
+        assert s.counters["gp_fits"] == 4
+
+    def test_timers_add_totals_and_counts(self):
+        s = PerfStats()
+        s.add_time("fit", 1.0)
+        s.merge(make_snapshot())
+        t = s.snapshot()["timers"]["fit"]
+        assert t["total_s"] == pytest.approx(2.0)
+        assert t["count"] == 3
+
+    def test_gauges_accumulate_sample_statistics(self):
+        s = PerfStats()
+        s.gauge("depth", 10.0)
+        s.merge(make_snapshot())  # samples 2.0, 4.0 -> last 4, max 4
+        g = s.snapshot()["gauges"]["depth"]
+        assert g["last"] == 4.0  # incoming snapshot is "newer"
+        assert g["max"] == 10.0
+        assert g["mean"] == pytest.approx((10.0 + 2.0 + 4.0) / 3)
+        assert g["count"] == 3
+
+    def test_merge_into_empty_collector(self):
+        s = PerfStats()
+        s.merge(make_snapshot())
+        snap = s.snapshot()
+        assert snap["counters"] == {"gp_fits": 3}
+        assert snap["timers"]["fit"]["count"] == 2
+        assert snap["gauges"]["depth"]["count"] == 2
+
+    def test_merge_round_trip_is_lossless(self):
+        """snapshot -> merge into a fresh collector -> identical snapshot."""
+        snap = make_snapshot()
+        s = PerfStats()
+        s.merge(snap)
+        assert s.snapshot() == snap
+
+    def test_merge_empty_snapshot_is_noop(self):
+        s = PerfStats()
+        s.incr("hits")
+        before = s.snapshot()
+        s.merge({})
+        assert s.snapshot() == before
+
+    def test_gauge_snapshot_without_count_defaults_to_one_sample(self):
+        s = PerfStats()
+        s.merge({"gauges": {"old": {"last": 2.0, "max": 3.0, "mean": 2.5}}})
+        g = s.snapshot()["gauges"]["old"]
+        assert g["count"] == 1
+        assert g["mean"] == 2.5
+
+
+class TestModuleLevelMerge:
+    def test_merge_reaches_all_active_collectors(self):
+        with perf.collect() as outer:
+            with perf.collect() as inner:
+                perf.merge(make_snapshot())
+            assert inner.snapshot()["counters"]["gp_fits"] == 3
+        assert outer.snapshot()["counters"]["gp_fits"] == 3
+
+    def test_module_snapshot_is_innermost(self):
+        with perf.collect():
+            with perf.collect():
+                perf.incr("x")
+                assert perf.snapshot()["counters"]["x"] == 1
+
+    def test_subprocess_pattern(self):
+        """The fabric/pool pattern: child collects, parent merges."""
+
+        def child_work() -> dict:
+            # what a forked worker runs under its own collector
+            with perf.collect() as stats:
+                perf.incr("evaluations")
+                with perf.timer("evaluate"):
+                    pass
+            return stats.snapshot()
+
+        snap = child_work()
+        with perf.collect() as parent:
+            perf.merge(snap)
+        got = parent.snapshot()
+        assert got["counters"]["evaluations"] == 1
+        assert got["timers"]["evaluate"]["count"] == 1

@@ -1,0 +1,98 @@
+"""Shutdown tests: no daemon thread outlives a closed deployment.
+
+Regression coverage for the background-thread leak: the router's
+anti-entropy loop and each shard registry's builder thread kept running
+after teardown, bleeding work (and file handles, with ``data_dir``)
+across test boundaries and fabric runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.registry import RegistryOptions
+from repro.service import build_service
+
+BACKGROUND = ("crowd-antientropy", "registry-builder")
+
+
+def background_threads() -> list[str]:
+    return [
+        t.name
+        for t in threading.enumerate()
+        if t.is_alive() and any(t.name.startswith(b) for b in BACKGROUND)
+    ]
+
+
+def wait_gone(deadline_s: float = 5.0) -> list[str]:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        left = background_threads()
+        if not left:
+            return []
+        time.sleep(0.01)
+    return background_threads()
+
+
+class TestServiceClose:
+    def test_close_stops_anti_entropy_thread(self):
+        svc = build_service(2, anti_entropy_interval_s=0.01)
+        time.sleep(0.05)
+        assert any(n.startswith("crowd-antientropy") for n in background_threads())
+        svc.close()
+        assert wait_gone() == []
+
+    def test_close_stops_registry_builder_threads(self):
+        svc = build_service(
+            2, registry=RegistryOptions(background=True)
+        )
+        assert any(n.startswith("registry-builder") for n in background_threads())
+        svc.close()
+        assert wait_gone() == []
+
+    def test_context_manager_closes_everything(self):
+        with build_service(
+            3,
+            anti_entropy_interval_s=0.01,
+            registry=RegistryOptions(background=True),
+        ) as svc:
+            _, key = svc.register_user("closer", "c@crowd.io")
+            assert svc.client.handle(
+                {
+                    "route": "upload",
+                    "api_key": key,
+                    "problem_name": "p",
+                    "task_parameters": {"t": 1},
+                    "tuning_parameters": {"x": 0.5},
+                    "output": 1.0,
+                }
+            )["ok"]
+        assert wait_gone() == []
+
+    def test_close_is_idempotent(self):
+        svc = build_service(2, anti_entropy_interval_s=0.01)
+        svc.close()
+        svc.close()  # second close must be a no-op, not an error
+        assert wait_gone() == []
+
+    def test_close_after_partial_teardown(self):
+        """Removing a shard first must not break the full shutdown."""
+        svc = build_service(3, anti_entropy_interval_s=0.01)
+        svc.remove_shard("shard-2")
+        svc.close()
+        assert wait_gone() == []
+
+    def test_router_and_shard_close_idempotent(self):
+        svc = build_service(
+            2, registry=RegistryOptions(background=True)
+        )
+        with svc.router:
+            pass
+        svc.router.close()
+        for shard in svc.shards.values():
+            with shard:
+                pass
+            shard.close()
+        svc.close()
+        assert wait_gone() == []

@@ -72,3 +72,40 @@ class TestBanditCommand:
     def test_bad_app(self):
         with pytest.raises(SystemExit):
             main(["bandit", "--app", "nope"])
+
+
+class TestFabricCommand:
+    def test_runs_and_reports(self, capsys, tmp_path):
+        rc = main(
+            [
+                "fabric",
+                "--procs", "2",
+                "--samples", "6",
+                "--latency-s", "0.01",
+                "--data-dir", str(tmp_path),
+                "--shards", "2",
+                "--seed", "0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 process(es), 6 evaluations" in out
+        assert "streamed to crowd service: 6 records across 2 shard(s)" in out
+        assert "(0 errors)" in out
+        assert "durable queue: 6/6 jobs completed" in out
+
+    def test_kill_after_recovers(self, capsys):
+        rc = main(
+            [
+                "fabric",
+                "--procs", "4",
+                "--samples", "10",
+                "--latency-s", "0.05",
+                "--kill-after", "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[fabric] killed worker" in out
+        assert "workers killed: 1" in out
+        assert "10 evaluations" in out
