@@ -1,0 +1,278 @@
+"""Record-store benchmark: the columnar read plane vs the row path.
+
+The crowd's read-heavy endpoints — filtered queries, leaderboards, and
+registry-build record extraction — historically paid a Python-level
+predicate call plus a deep copy (and often a
+:class:`PerformanceRecord` construction) *per stored row per request*.
+The columnar plane answers the same requests from numpy masks over
+incrementally-maintained columns and returns zero-copy frozen views.
+
+Each leg measures row-vs-column wall time on the same store and checks
+the results are **bit-identical** before trusting the speedup:
+
+* ``find`` — selective filter + timestamp sort at the collection level,
+* ``query`` — repository query with accessibility enforcement (the
+  seed's path materialized a ``PerformanceRecord`` per visible row),
+* ``leaderboard`` — per-task best aggregation over all records,
+* ``registry`` — the registry build's eligible-record extraction
+  (public + successful + exact task key, timestamp-sorted),
+* ``insert_many`` — N single-op journaled inserts vs one batched op
+  through :meth:`WriteAheadLog.append_many`.
+
+Checks: >= 5x on the query/leaderboard/registry read paths at the
+largest size (50k rows; ``REPRO_BENCH_SMOKE=1`` shrinks sizes and
+drops thresholds to sanity checks — shared CI runners are noisy).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core import perf
+from repro.crowd.database import Collection, DocumentStore
+from repro.crowd.records import Accessibility, PerformanceRecord
+from repro.crowd.repository import CrowdRepository
+from repro.crowd.views import leaderboard_from_docs, leaderboard_from_records
+from repro.registry import ModelRegistry
+from repro.service.wal import WriteAheadLog
+
+from harness import FULL, SMOKE, save_results
+
+SIZES = [500, 2_000] if SMOKE else [5_000, 50_000]
+N_TASKS = 8
+#: repeated requests per timing leg (read endpoints are hit constantly)
+REPEATS = 3 if SMOKE else 5
+MIN_READ_SPEEDUP = 1.0 if SMOKE else 5.0
+MIN_BATCH_SPEEDUP = 1.0 if SMOKE else 2.0
+
+_SPACE = {
+    "input_space": [{"name": "t", "type": "int", "lb": 0, "ub": N_TASKS}],
+    "parameter_space": [{"name": "x", "type": "real", "lb": 0.0, "ub": 1e9}],
+}
+
+
+def _fill(repo: CrowdRepository, key: str, n: int) -> None:
+    batch = []
+    for i in range(n):
+        batch.append(
+            PerformanceRecord(
+                problem_name="bench",
+                task_parameters={"t": i % N_TASKS},
+                tuning_parameters={"x": float(i)},
+                output=None if i % 17 == 0 else float(i % 1000),
+                machine_configuration={"machine_name": "cori", "nodes": 1},
+                accessibility=(
+                    Accessibility(level="private")
+                    if i % 23 == 0
+                    else Accessibility()
+                ),
+            )
+        )
+        if len(batch) == 1000:
+            repo.upload_many(batch, key)
+            batch = []
+    if batch:
+        repo.upload_many(batch, key)
+
+
+def _build(n: int):
+    repo = CrowdRepository()
+    repo.users.register("alice", "a@lab.gov")
+    key = repo.users.issue_api_key("alice")
+    _fill(repo, key, n)
+    return repo, key
+
+
+def _wall(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _row_mode(coll: Collection):
+    """Context toggling the collection to the row-only engine."""
+
+    class _Ctx:
+        def __enter__(self):
+            coll.set_columnar(False)
+
+        def __exit__(self, *exc):
+            coll.set_columnar(True)
+
+    return _Ctx()
+
+
+def test_columnar_read_paths():
+    rows = []
+    for n in SIZES:
+        repo, key = _build(n)
+        coll = repo.store["performance_records"]
+        flt = {"output": {"$ne": None}, "task_parameters.t": 3}
+
+        # -- find: selective filter + sort ------------------------------
+        fast_docs = coll.find(flt, sort="timestamp", frozen=True)
+        with _row_mode(coll):
+            slow_docs = coll.find(flt, sort="timestamp")
+        assert fast_docs == slow_docs
+        t_find_col = _wall(lambda: coll.find(flt, sort="timestamp", frozen=True))
+        with _row_mode(coll):
+            t_find_row = _wall(lambda: coll.find(flt, sort="timestamp"))
+
+        # -- query: repository read with visibility ---------------------
+        fast_q = repo.query_docs(key, problem_name="bench")
+        with _row_mode(coll):
+            slow_q = repo.query_docs(key, problem_name="bench")
+        assert fast_q == slow_q
+        t_query_col = _wall(lambda: repo.query_docs(key, problem_name="bench"))
+        # seed-equivalent baseline: a PerformanceRecord per visible row
+        with _row_mode(coll):
+            t_query_row = _wall(lambda: repo.query(key, problem_name="bench"))
+
+        # -- leaderboard: per-task best aggregation ---------------------
+        docs = repo.query_docs(key, problem_name="bench", require_success=False)
+        fast_lb = leaderboard_from_docs(docs)
+        slow_lb = leaderboard_from_records(
+            [PerformanceRecord.from_doc(d) for d in docs]
+        )
+        assert fast_lb == slow_lb
+        t_lb_col = _wall(lambda: leaderboard_from_docs(docs))
+        t_lb_row = _wall(
+            lambda: leaderboard_from_records(
+                [PerformanceRecord.from_doc(d) for d in docs]
+            )
+        )
+
+        # -- registry build: eligible-record extraction -----------------
+        registry = ModelRegistry(repo)
+        task = {"t": 3}
+        fast_el = registry._eligible_docs("bench", _SPACE, task)
+        with _row_mode(coll):
+            slow_el = registry._eligible_docs("bench", _SPACE, task)
+        assert fast_el == slow_el
+        t_reg_col = _wall(lambda: registry._eligible_docs("bench", _SPACE, task))
+        with _row_mode(coll):
+            t_reg_row = _wall(
+                lambda: registry._eligible_docs("bench", _SPACE, task)
+            )
+
+        for leg, t_row, t_col in (
+            ("find", t_find_row, t_find_col),
+            ("query", t_query_row, t_query_col),
+            ("leaderboard", t_lb_row, t_lb_col),
+            ("registry", t_reg_row, t_reg_col),
+        ):
+            rows.append(
+                {
+                    "leg": leg,
+                    "n": n,
+                    "row_ms": 1e3 * t_row,
+                    "col_ms": 1e3 * t_col,
+                    "speedup": t_row / t_col if t_col > 0 else float("inf"),
+                    "parity": True,  # asserted bit-identical above
+                }
+            )
+
+    print()
+    print("columnar read plane: row vs column (best of %d)" % REPEATS)
+    print(f"{'leg':<12} {'rows':>7} {'row ms':>9} {'col ms':>9} "
+          f"{'speedup':>8} {'parity':>7}")
+    for r in rows:
+        print(
+            f"{r['leg']:<12} {r['n']:>7} {r['row_ms']:>9.2f} "
+            f"{r['col_ms']:>9.2f} {r['speedup']:>7.1f}x {'ok':>7}"
+        )
+    save_results("store_columnar", {"rows": rows, "smoke": SMOKE, "full": FULL})
+
+    largest = SIZES[-1]
+    for leg in ("query", "leaderboard", "registry"):
+        (r,) = [x for x in rows if x["leg"] == leg and x["n"] == largest]
+        assert r["speedup"] >= MIN_READ_SPEEDUP, (leg, r)
+
+
+def test_batched_insert_and_journal():
+    n = SIZES[0]
+    docs = [{"problem_name": "bench", "x": float(i)} for i in range(n)]
+
+    def one_by_one(tmp: str) -> DocumentStore:
+        store = DocumentStore()
+        wal = WriteAheadLog(Path(tmp) / "wal.jsonl")
+        store.set_observer(lambda op: wal.append(op))
+        for d in docs:
+            store["c"].insert(d)
+        wal.close()
+        return store
+
+    def batched(tmp: str) -> DocumentStore:
+        store = DocumentStore()
+        wal = WriteAheadLog(Path(tmp) / "wal.jsonl")
+        ops: list = []
+        store.set_observer(ops.append)
+        store["c"].insert_many(docs)
+        wal.append_many(ops)
+        wal.close()
+        return store
+
+    stats = perf.PerfStats()
+    with perf.collect(stats):
+        with tempfile.TemporaryDirectory() as tmp:
+            t0 = time.perf_counter()
+            slow_store = one_by_one(tmp)
+            t_row = time.perf_counter() - t0
+        with tempfile.TemporaryDirectory() as tmp:
+            t0 = time.perf_counter()
+            fast_store = batched(tmp)
+            t_col = time.perf_counter() - t0
+    assert fast_store["c"].find({}) == slow_store["c"].find({})
+    counters = stats.snapshot()["counters"]
+    assert counters.get("wal_batch_appends", 0) >= 1
+
+    speedup = t_row / t_col if t_col > 0 else float("inf")
+    print()
+    print(
+        f"insert_many + append_many: {n} docs  "
+        f"row {1e3 * t_row:.1f} ms  batched {1e3 * t_col:.1f} ms  "
+        f"{speedup:.1f}x  parity ok"
+    )
+    print("  counters: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(counters.items())
+        if k.startswith(("wal_", "store_"))
+    ))
+    save_results(
+        "store_batch_journal",
+        {
+            "n": n,
+            "row_ms": 1e3 * t_row,
+            "batched_ms": 1e3 * t_col,
+            "speedup": speedup,
+            "counters": {k: v for k, v in counters.items()},
+            "smoke": SMOKE,
+        },
+    )
+    assert speedup >= MIN_BATCH_SPEEDUP, speedup
+
+
+def test_read_counters_flow_to_perf():
+    repo, key = _build(SIZES[0])
+    stats = perf.PerfStats()
+    with perf.collect(stats):
+        repo.query_docs(key, problem_name="bench")
+        repo.store["performance_records"].find({"output": None}, frozen=True)
+    counters = stats.snapshot()["counters"]
+    assert counters.get("store_columnar_queries", 0) >= 2
+    assert counters.get("store_zero_copy_reads", 0) >= 2
+    print()
+    print("  read counters: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(counters.items())
+        if k.startswith("store_")
+    ))
+
+
+if __name__ == "__main__":
+    test_columnar_read_paths()
+    test_batched_insert_and_journal()
+    test_read_counters_flow_to_perf()

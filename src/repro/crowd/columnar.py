@@ -1,0 +1,613 @@
+"""Columnar record plane: vectorized filters + zero-copy frozen reads.
+
+The document store's row path evaluates Mongo-style filters one Python
+dict at a time and ``deepcopy``-s every match — O(rows x interpreter
+overhead), the last scalar bottleneck of the crowd read stack.  This
+module supplies the two pieces that remove it while keeping the
+``Collection`` API and its semantics bit-identical:
+
+**Frozen documents** (:class:`FrozenDict` / :class:`FrozenList`).
+Collections store every document deep-frozen.  Read-only callers can
+then receive the *stored* objects directly (``find(..., frozen=True)``)
+— zero copies, and any attempted mutation raises ``TypeError`` instead
+of silently corrupting shared state.  Legacy callers keep getting
+mutable deep copies: :func:`thaw` rebuilds plain dicts/lists (much
+faster than ``copy.deepcopy``), and both frozen classes define
+``__reduce__`` so ``copy.deepcopy``/``pickle`` of a frozen view also
+yields plain mutable objects.  The store holds JSON-shaped documents;
+non-JSON leaf objects (arrays, sets) pass through both :func:`freeze`
+and :func:`thaw` by reference, exactly as callers that insert them must
+already expect.
+
+**ColumnarView**: a numpy-backed dictionary-encoded column per queried
+dotted path, maintained incrementally from the collection's mutation
+flow (inserts append in ``_id`` order; updates/deletes/out-of-order
+restores mark the view dirty and the next read rebuilds).  Each column
+interns distinct values — the interning key matches the store's hash
+indexes (:func:`hashable_key`), so ``1``/``1.0``/``True`` share a code
+exactly like they compare ``==`` on the row path — and keeps a parallel
+``float64`` array for range comparisons.
+
+The filter compiler lowers what :func:`repro.crowd.query.build_filter`
+produces:
+
+* equality / ``$eq`` / ``$ne`` on scalars — one code lookup + one
+  vector compare,
+* ``$gt``/``$gte``/``$lt``/``$lte`` with numeric arguments — float
+  column compare when every stored value is float64-exact (``NaN``
+  slots compare ``False``, matching the row path's ``TypeError`` /
+  ``None`` handling),
+* ``$in``/``$nin`` over scalar lists — unioned code compares,
+* ``$exists`` — a compare against the interned ``None`` code (missing
+  paths intern as ``None``, same as :func:`get_path`),
+* ``$and`` / ``$or`` / ``$not`` — recursive mask combination,
+* everything else (``$regex``, container arguments, mixed-type range
+  comparisons) — a per-distinct-code evaluation of the *actual* row
+  comparator broadcast through the code array, sound because ``==``
+  -equal JSON values give identical comparator results; bounded by
+  ``PERCODE_LIMIT`` distinct values.
+
+Any shape the compiler does not fully cover returns ``None`` and the
+caller falls back to the row path (perf counter
+``store_row_fallbacks``), so unsupported filters — including malformed
+ones, which must keep raising ``QuerySyntaxError`` with the row path's
+exact reach-a-document semantics — behave exactly as before.
+
+Sorting uses a stable argsort: all-numeric columns through one
+``np.lexsort`` (``None`` ranks first, as :func:`sort_key` orders), any
+other column through per-distinct-value ranks computed with the row
+path's :func:`sort_key` — equal sort keys share a rank so stability
+ties break by row order, identical to ``list.sort``.
+
+Caveat (documented contract): the float fast path requires every stored
+value and the filter argument to be exactly representable in float64;
+columns containing integers beyond 2**53 (or ``NaN``) automatically
+drop to per-code / row evaluation, so parity is preserved there too.
+
+Concurrency: every query runs under the owning collection's lock (the
+same boundary the row path uses), so incremental column maintenance can
+never yield stale or torn reads — pinned by the writers-vs-readers
+stress test.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections.abc import Mapping
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "FrozenDict",
+    "FrozenList",
+    "freeze",
+    "thaw",
+    "ColumnarView",
+    "get_path",
+    "hashable_key",
+    "sort_key",
+    "COMPARATORS",
+]
+
+
+# ---------------------------------------------------------------------------
+# row-path building blocks (shared with repro.crowd.database)
+# ---------------------------------------------------------------------------
+
+COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "$eq": lambda v, arg: v == arg,
+    "$ne": lambda v, arg: v != arg,
+    "$gt": lambda v, arg: v is not None and v > arg,
+    "$gte": lambda v, arg: v is not None and v >= arg,
+    "$lt": lambda v, arg: v is not None and v < arg,
+    "$lte": lambda v, arg: v is not None and v <= arg,
+    "$in": lambda v, arg: v in arg,
+    "$nin": lambda v, arg: v not in arg,
+    "$exists": lambda v, arg: (v is not None) == bool(arg),
+    "$regex": lambda v, arg: isinstance(v, str) and re.search(arg, v) is not None,
+}
+
+
+def get_path(doc: Mapping[str, Any], path: str) -> Any:
+    """Resolve a dotted path; missing segments yield ``None``."""
+    cur: Any = doc
+    for part in path.split("."):
+        if isinstance(cur, Mapping) and part in cur:
+            cur = cur[part]
+        else:
+            return None
+    return cur
+
+
+def hashable_key(value: Any) -> Any:
+    """The store's interning/index key: containers by canonical JSON."""
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True, default=str)
+    return value
+
+
+def sort_key(value: Any) -> tuple:
+    """Total order across mixed types (None < numbers < strings < other)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(value))
+
+
+# ---------------------------------------------------------------------------
+# frozen documents
+# ---------------------------------------------------------------------------
+
+def _read_only(self, *args, **kwargs):
+    raise TypeError(
+        "frozen document view is read-only; ask for a mutable copy "
+        "(find(..., frozen=False)) or thaw() it first"
+    )
+
+
+class FrozenDict(dict):
+    """An immutable dict view of a stored document (still a ``dict``:
+    ``json.dumps``, ``isinstance`` checks and read access all work)."""
+
+    __slots__ = ()
+
+    __setitem__ = _read_only
+    __delitem__ = _read_only
+    __ior__ = _read_only
+    clear = _read_only
+    pop = _read_only
+    popitem = _read_only
+    setdefault = _read_only
+    update = _read_only
+
+    def __reduce__(self):
+        # deepcopy/pickle reconstruct through this, so a deep copy of a
+        # frozen view is a plain *mutable* dict — the legacy contract of
+        # documents leaving the store
+        return (dict, (list(self.items()),))
+
+
+class FrozenList(list):
+    """An immutable list view (still a ``list`` for serialization)."""
+
+    __slots__ = ()
+
+    __setitem__ = _read_only
+    __delitem__ = _read_only
+    __iadd__ = _read_only
+    __imul__ = _read_only
+    append = _read_only
+    extend = _read_only
+    insert = _read_only
+    pop = _read_only
+    remove = _read_only
+    clear = _read_only
+    sort = _read_only
+    reverse = _read_only
+
+    def __reduce__(self):
+        return (list, (list(self),))
+
+
+def freeze(value: Any) -> Any:
+    """Deep-freeze a JSON-shaped value (rebuilds every container, so the
+    result shares nothing mutable with the input).  Already-frozen
+    containers are returned as-is — they are immutable all the way down.
+    """
+    t = type(value)
+    if t is FrozenDict or t is FrozenList:
+        return value
+    if isinstance(value, dict):
+        return FrozenDict((k, freeze(v)) for k, v in value.items())
+    if isinstance(value, list):
+        return FrozenList(freeze(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(freeze(v) for v in value)
+    return value
+
+
+def thaw(value: Any) -> Any:
+    """Fast deep copy of a JSON-shaped value into plain mutable objects
+    (what ``copy.deepcopy`` produced on the legacy read path)."""
+    if isinstance(value, dict):
+        return {k: thaw(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [thaw(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(thaw(v) for v in value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# columns
+# ---------------------------------------------------------------------------
+
+#: scalar types eligible for direct code-lookup equality
+_SCALARS = (str, int, float, bool, type(None))
+#: largest integer magnitude exactly representable in float64
+_FLOAT_EXACT = 2 ** 53
+#: distinct-value bound for per-code comparator tables; beyond it the
+#: query falls back to the row path instead of looping Python per value
+PERCODE_LIMIT = 4096
+#: bound on cached columns per view (distinct dotted paths ever queried)
+MAX_COLUMNS = 64
+_GROW = 256
+
+
+def _float_exact(value: Any) -> bool:
+    if isinstance(value, bool):
+        return True
+    if isinstance(value, int):
+        return -_FLOAT_EXACT <= value <= _FLOAT_EXACT
+    return isinstance(value, float) and value == value
+
+
+class _Column:
+    """One dotted path, dictionary-encoded: ``codes`` index ``values``."""
+
+    __slots__ = ("values", "lookup", "codes", "floats", "n", "numeric_ok", "none_code")
+
+    def __init__(self) -> None:
+        self.values: list[Any] = []  # code -> representative value
+        self.lookup: dict[Any, int] = {}  # hashable_key(value) -> code
+        self.codes = np.empty(_GROW, dtype=np.int32)
+        self.floats = np.empty(_GROW, dtype=np.float64)
+        self.n = 0
+        #: every value is None or float64-exact numeric — range ops and
+        #: sorts may use the float column verbatim
+        self.numeric_ok = True
+        self.none_code = -1
+
+    def append(self, value: Any) -> None:
+        code = self.lookup.get(hashable_key(value))
+        if code is None:
+            code = len(self.values)
+            self.values.append(value)
+            self.lookup[hashable_key(value)] = code
+            if value is None:
+                self.none_code = code
+            elif not _float_exact(value):
+                self.numeric_ok = False
+        if self.n == len(self.codes):
+            self.codes = np.concatenate([self.codes, np.empty_like(self.codes)])
+            self.floats = np.concatenate([self.floats, np.empty_like(self.floats)])
+        self.codes[self.n] = code
+        rep = self.values[code]
+        if isinstance(rep, (int, float)):
+            try:
+                self.floats[self.n] = float(rep)
+            except OverflowError:
+                self.floats[self.n] = np.nan
+        else:
+            self.floats[self.n] = np.nan
+        self.n += 1
+
+    # -- masks (all sized self.n) -------------------------------------------
+    def eq_mask(self, arg: Any) -> np.ndarray | None:
+        """Rows whose value ``== arg``; None unless ``arg`` is a scalar."""
+        if not isinstance(arg, _SCALARS):
+            return None
+        if isinstance(arg, float) and arg != arg:
+            # NaN equals nothing on the row path
+            return np.zeros(self.n, dtype=bool)
+        return self.codes[: self.n] == self.lookup.get(arg, -1)
+
+    def percode_mask(self, fn: Callable[[Any], Any]) -> np.ndarray | None:
+        """``fn`` evaluated once per distinct value, broadcast to rows.
+
+        Sound for row-comparator semantics because interning groups
+        exactly the ``==``-equal JSON values, and every supported
+        comparator is a function of the ``==``-class of its input.
+        """
+        if len(self.values) > PERCODE_LIMIT:
+            return None
+        if not self.values:
+            return np.zeros(self.n, dtype=bool)
+        table = np.fromiter(
+            (bool(fn(v)) for v in self.values), dtype=bool, count=len(self.values)
+        )
+        return table[self.codes[: self.n]]
+
+    def range_mask(self, op: str, arg: Any) -> np.ndarray | None:
+        """Vector float compare; None when exactness can't be guaranteed."""
+        if isinstance(arg, bool) or not isinstance(arg, (int, float)):
+            return None
+        if not self.numeric_ok or not _float_exact(arg):
+            return None
+        f = self.floats[: self.n]
+        a = float(arg)
+        # NaN slots (None / non-numeric) compare False — identical to the
+        # row path's `v is not None and v OP arg` + TypeError handling
+        if op == "$gt":
+            return f > a
+        if op == "$gte":
+            return f >= a
+        if op == "$lt":
+            return f < a
+        if op == "$lte":
+            return f <= a
+        return None
+
+    def sort_ranks(self) -> np.ndarray:
+        """Per-code ranks under :func:`sort_key`; equal keys share a rank
+        so a stable argsort breaks ties by row order like ``list.sort``."""
+        keys = [sort_key(v) for v in self.values]
+        order = sorted(range(len(keys)), key=keys.__getitem__)
+        ranks = np.empty(max(len(keys), 1), dtype=np.int64)
+        prev = None
+        rank = 0
+        for i, code in enumerate(order):
+            if prev is None or keys[code] != prev:
+                rank = i
+                prev = keys[code]
+            ranks[code] = rank
+        return ranks
+
+
+def _safe(fn: Callable[[Any, Any], bool], arg: Any) -> Callable[[Any], bool]:
+    def check(value: Any) -> bool:
+        try:
+            return fn(value, arg)
+        except TypeError:
+            return False
+
+    return check
+
+
+# ---------------------------------------------------------------------------
+# the view
+# ---------------------------------------------------------------------------
+
+class ColumnarView:
+    """Incremental columnar index over one collection's documents.
+
+    Owned by a :class:`~repro.crowd.database.Collection`; every method
+    here runs under that collection's lock (``Collection.find`` /
+    ``Collection.columnar_snapshot`` acquire it), so readers always see
+    a consistent row/column state.
+
+    Rows are kept in ascending ``_id`` order — the canonical unsorted
+    result order of both paths.  In-order inserts append; anything else
+    (update, delete, out-of-order restore) marks the view dirty and the
+    next read rebuilds rows and drops cached columns.
+    """
+
+    def __init__(self, docs: Mapping[int, Mapping[str, Any]]) -> None:
+        self._docs = docs  # the owning collection's _id -> doc mapping
+        self._rows: list[Mapping[str, Any]] = []
+        self._columns: dict[str, _Column] = {}
+        self._last_id = 0
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def rows(self) -> list[Mapping[str, Any]]:
+        return self._rows
+
+    # -- maintenance (collection lock held) ---------------------------------
+    def mark_dirty(self) -> None:
+        self._dirty = True
+
+    def on_insert(self, _id: int, doc: Mapping[str, Any]) -> None:
+        if self._dirty:
+            return
+        if _id <= self._last_id:
+            self._dirty = True
+            return
+        self._rows.append(doc)
+        self._last_id = _id
+        for path, col in self._columns.items():
+            col.append(get_path(doc, path))
+
+    def ensure_clean(self) -> None:
+        if not self._dirty:
+            return
+        self._rows = [self._docs[i] for i in sorted(self._docs)]
+        self._last_id = int(self._rows[-1]["_id"]) if self._rows else 0
+        self._columns = {}
+        self._dirty = False
+
+    # -- columns ------------------------------------------------------------
+    def _column(self, path: str) -> _Column | None:
+        col = self._columns.get(path)
+        if col is not None:
+            return col
+        if len(self._columns) >= MAX_COLUMNS or not isinstance(path, str):
+            return None
+        col = _Column()
+        for doc in self._rows:
+            col.append(get_path(doc, path))
+        self._columns[path] = col
+        return col
+
+    # -- filter compilation --------------------------------------------------
+    def filter_mask(self, flt: Mapping[str, Any]) -> np.ndarray | None:
+        """Boolean row mask for a Mongo-style filter document, or None
+        when any part does not vectorize (callers fall back to the row
+        path, which also owns raising on malformed filters)."""
+        try:
+            return self._filter_mask(flt)
+        except (TypeError, AttributeError):
+            # pathologically malformed filter (non-string keys, ...):
+            # never raise at compile time — the row path only raises
+            # when a document is actually evaluated
+            return None
+
+    def _filter_mask(self, flt: Mapping[str, Any]) -> np.ndarray | None:
+        n = len(self._rows)
+        if not flt:
+            return np.ones(n, dtype=bool)
+        masks: list[np.ndarray] = []
+        for key, cond in flt.items():
+            if key == "$and":
+                subs = self._submasks(cond)
+                if subs is None:
+                    return None
+                masks.extend(subs)
+            elif key == "$or":
+                subs = self._submasks(cond)
+                if subs is None:
+                    return None
+                masks.append(np.logical_or.reduce(subs))
+            elif key == "$not":
+                if not isinstance(cond, Mapping):
+                    return None
+                m = self.filter_mask(cond)
+                if m is None:
+                    return None
+                masks.append(~m)
+            elif key.startswith("$"):
+                return None  # unknown top-level operator: row path raises
+            else:
+                col = self._column(key)
+                if col is None:
+                    return None
+                if isinstance(cond, Mapping) and any(
+                    k.startswith("$") for k in cond
+                ):
+                    for op, arg in cond.items():
+                        m = self._op_mask(col, op, arg)
+                        if m is None:
+                            return None
+                        masks.append(m)
+                else:
+                    m = self._value_mask(col, cond)
+                    if m is None:
+                        return None
+                    masks.append(m)
+        if not masks:
+            return np.ones(n, dtype=bool)
+        return np.logical_and.reduce(masks)
+
+    def _submasks(self, cond: Any) -> list[np.ndarray] | None:
+        if not isinstance(cond, (list, tuple)) or not cond:
+            return None  # malformed: row path raises QuerySyntaxError
+        out: list[np.ndarray] = []
+        for sub in cond:
+            if not isinstance(sub, Mapping):
+                return None
+            m = self.filter_mask(sub)
+            if m is None:
+                return None
+            out.append(m)
+        return out
+
+    def _value_mask(self, col: _Column, arg: Any) -> np.ndarray | None:
+        m = col.eq_mask(arg)
+        if m is not None:
+            return m
+        return col.percode_mask(_safe(COMPARATORS["$eq"], arg))
+
+    def _op_mask(self, col: _Column, op: str, arg: Any) -> np.ndarray | None:
+        if op == "$eq":
+            return self._value_mask(col, arg)
+        if op == "$ne":
+            m = self._value_mask(col, arg)
+            return None if m is None else ~m
+        if op in ("$gt", "$gte", "$lt", "$lte"):
+            m = col.range_mask(op, arg)
+            if m is not None:
+                return m
+            return col.percode_mask(_safe(COMPARATORS[op], arg))
+        if op in ("$in", "$nin"):
+            if (
+                isinstance(arg, (list, tuple))
+                and len(arg) <= 64
+                and all(
+                    isinstance(a, _SCALARS) and a == a for a in arg
+                )
+            ):
+                m = np.zeros(col.n, dtype=bool)
+                for a in arg:
+                    m |= col.eq_mask(a)
+                return ~m if op == "$nin" else m
+            return col.percode_mask(_safe(COMPARATORS[op], arg))
+        if op == "$exists":
+            none = col.eq_mask(None)
+            return ~none if arg else none
+        if op == "$regex":
+            try:
+                re.compile(arg)
+            except (re.error, TypeError):
+                return None  # row path owns the error semantics
+            return col.percode_mask(_safe(COMPARATORS["$regex"], arg))
+        return None  # unknown operator: row path raises QuerySyntaxError
+
+    # -- extra masks for callers composing their own predicates --------------
+    def path_eq_mask(self, path: str, value: Any) -> np.ndarray | None:
+        """Scalar equality mask on one dotted path."""
+        col = self._column(path)
+        return col.eq_mask(value) if col is not None else None
+
+    def path_value_mask(
+        self, path: str, fn: Callable[[Any], Any]
+    ) -> np.ndarray | None:
+        """``fn`` over the path's distinct values, broadcast to rows.
+
+        ``fn`` must be a pure function of the value's ``==``-class;
+        exceptions propagate (callers mirror their row-path semantics).
+        """
+        col = self._column(path)
+        return col.percode_mask(fn) if col is not None else None
+
+    # -- selection ------------------------------------------------------------
+    def select(
+        self,
+        mask: np.ndarray,
+        *,
+        sort: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        frozen: bool = False,
+    ) -> list[dict[str, Any]] | None:
+        """Materialize the masked rows (row-path-identical ordering).
+
+        Returns None when the sort column is unavailable (caller falls
+        back).  ``frozen=True`` returns the stored frozen documents —
+        zero copies; otherwise each row is thawed into a mutable dict.
+        """
+        idx = np.nonzero(mask)[0]
+        if sort is not None and len(idx):
+            col = self._column(sort)
+            if col is None:
+                return None
+            idx = idx[self._sort_order(col, idx, descending)]
+        if limit is not None:
+            idx = idx[: max(limit, 0)]
+        rows = self._rows
+        if frozen:
+            return [rows[i] for i in idx]
+        return [thaw(rows[i]) for i in idx]
+
+    def _sort_order(
+        self, col: _Column, idx: np.ndarray, descending: bool
+    ) -> np.ndarray:
+        codes = col.codes[: col.n][idx]
+        if col.numeric_ok:
+            isnone = (
+                codes == col.none_code
+                if col.none_code >= 0
+                else np.zeros(len(codes), dtype=bool)
+            )
+            f = np.where(isnone, 0.0, col.floats[: col.n][idx])
+            present = (~isnone).astype(np.int8)  # None sorts first ascending
+            if descending:
+                return np.lexsort((-f, -present))
+            return np.lexsort((f, present))
+        keys = col.sort_ranks()[codes]
+        if descending:
+            return np.argsort(-keys, kind="stable")
+        return np.argsort(keys, kind="stable")
+
+    def count(self, flt: Mapping[str, Any]) -> int | None:
+        mask = self.filter_mask(flt)
+        return None if mask is None else int(mask.sum())

@@ -15,9 +15,20 @@ persistence:
 * hash indexes on equality-queried fields (a genuine index: equality
   queries on an indexed field skip the collection scan).
 
-Documents are deep-copied on the way in and out, so callers can never
-mutate stored state by aliasing — important because the repository layer
-enforces access control on these documents.
+Documents are stored deep-frozen (:mod:`repro.crowd.columnar`) and
+copied on the way in and out, so callers can never mutate stored state
+by aliasing — important because the repository layer enforces access
+control on these documents.  ``find(..., frozen=True)`` hands read-only
+callers the stored immutable views directly (zero copies, mutation
+raises); the default remains a mutable deep copy.
+
+Collections with :meth:`Collection.enable_columnar` additionally keep a
+numpy-backed :class:`~repro.crowd.columnar.ColumnarView`: supported
+filters evaluate as vectorized boolean masks with argsort-based
+sort/limit (perf counter ``store_columnar_queries``), anything else
+falls back to the row scan below (``store_row_fallbacks``) with
+bit-identical results.  The canonical unsorted result order of both
+paths is ascending ``_id``.
 
 Thread-safety: every :class:`Collection` guards its mutation/read
 boundary with an :class:`~threading.RLock` — the asynchronous engine's
@@ -26,52 +37,39 @@ threads while queries run concurrently, and the sharded service
 (:mod:`repro.service`) serves each shard from router worker threads.
 
 Durability hook: a store-level *mutation observer* receives one
-JSON-serializable op dict per mutation (insert / update / delete /
-create_index / drop), in application order.  The service layer's
-write-ahead log (:mod:`repro.service.wal`) attaches here; replay goes
-through :meth:`Collection.restore` / :meth:`DocumentStore.apply_op`.
+JSON-serializable op dict per mutation (insert / insert_many / update /
+delete / create_index / drop), in application order.  The service
+layer's write-ahead log (:mod:`repro.service.wal`) attaches here; replay
+goes through :meth:`Collection.restore` / :meth:`DocumentStore.apply_op`
+(which accepts both the batched ``insert_many`` op and the historical
+one-``insert``-per-document form).
 """
 
 from __future__ import annotations
 
-import copy
 import json
-import re
 import threading
+from contextlib import contextmanager
 from pathlib import Path
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 from typing import Any, Callable
+
+from ..core import perf
+from .columnar import (
+    COMPARATORS as _COMPARATORS,
+    ColumnarView,
+    freeze,
+    get_path as _get_path,
+    hashable_key as _hashable,
+    sort_key as _sort_key,
+    thaw,
+)
 
 __all__ = ["DocumentStore", "Collection", "QuerySyntaxError"]
 
 
 class QuerySyntaxError(ValueError):
     """Raised for malformed filter documents."""
-
-
-_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
-    "$eq": lambda v, arg: v == arg,
-    "$ne": lambda v, arg: v != arg,
-    "$gt": lambda v, arg: v is not None and v > arg,
-    "$gte": lambda v, arg: v is not None and v >= arg,
-    "$lt": lambda v, arg: v is not None and v < arg,
-    "$lte": lambda v, arg: v is not None and v <= arg,
-    "$in": lambda v, arg: v in arg,
-    "$nin": lambda v, arg: v not in arg,
-    "$exists": lambda v, arg: (v is not None) == bool(arg),
-    "$regex": lambda v, arg: isinstance(v, str) and re.search(arg, v) is not None,
-}
-
-
-def _get_path(doc: Mapping[str, Any], path: str) -> Any:
-    """Resolve a dotted path; missing segments yield ``None``."""
-    cur: Any = doc
-    for part in path.split("."):
-        if isinstance(cur, Mapping) and part in cur:
-            cur = cur[part]
-        else:
-            return None
-    return cur
 
 
 def _matches(doc: Mapping[str, Any], flt: Mapping[str, Any]) -> bool:
@@ -147,6 +145,11 @@ class Collection:
         self._lock = threading.RLock()
         #: mutation observer installed by :meth:`DocumentStore.set_observer`
         self._observer: Callable[[dict[str, Any]], None] | None = None
+        #: optional vectorized query plane (see :meth:`enable_columnar`)
+        self._columnar: ColumnarView | None = None
+        #: whether ``self._docs`` iteration order is ascending ``_id``
+        #: (true unless ``restore`` inserted an id out of order)
+        self._id_ordered = True
 
     def __len__(self) -> int:
         with self._lock:
@@ -155,6 +158,37 @@ class Collection:
     def _notify(self, op: dict[str, Any]) -> None:
         if self._observer is not None:
             self._observer(op)
+
+    # -- columnar plane ------------------------------------------------------
+    def enable_columnar(self) -> None:
+        """Attach (idempotently) the vectorized query plane."""
+        with self._lock:
+            if self._columnar is None:
+                self._columnar = ColumnarView(self._docs)
+
+    def set_columnar(self, enabled: bool) -> None:
+        """Enable or drop the columnar plane (benchmarks compare paths)."""
+        with self._lock:
+            if enabled:
+                self.enable_columnar()
+            else:
+                self._columnar = None
+
+    @contextmanager
+    def columnar_snapshot(self) -> Iterator[ColumnarView | None]:
+        """The columnar view, consistent under the collection lock.
+
+        Yields ``None`` when the plane is disabled.  Callers compose
+        extra vectorized predicates (e.g. the repository's per-record
+        visibility mask) with :meth:`ColumnarView.filter_mask` and
+        materialize with :meth:`ColumnarView.select` — all inside the
+        lock, so the snapshot can never be stale or torn.
+        """
+        with self._lock:
+            view = self._columnar
+            if view is not None:
+                view.ensure_clean()
+            yield view
 
     # -- indexing ------------------------------------------------------------
     def create_index(self, field: str) -> None:
@@ -167,7 +201,7 @@ class Collection:
             self._indexes[field] = idx
             self._notify({"op": "create_index", "c": self.name, "field": field})
 
-    def _index_candidates(self, flt: Mapping[str, Any]) -> Iterable[int] | None:
+    def _index_candidates(self, flt: Mapping[str, Any]) -> set[int] | None:
         """Doc ids from the narrowest usable index, or ``None`` for a scan.
 
         Usable conditions are exact-value equalities on an indexed
@@ -188,20 +222,45 @@ class Collection:
     # -- CRUD ------------------------------------------------------------------
     def insert(self, doc: Mapping[str, Any]) -> int:
         """Insert a document; returns its assigned ``_id``."""
-        if not isinstance(doc, Mapping):
-            raise TypeError("documents must be mappings")
-        stored = copy.deepcopy(dict(doc))
+        stored = self._freeze_doc(doc)
         with self._lock:
-            _id = self._next_id
-            self._next_id += 1
-            stored["_id"] = _id
-            self._docs[_id] = stored
-            self._reindex(_id, stored)
-            self._notify({"op": "insert", "c": self.name, "doc": stored})
+            _id = self._store_new(stored)
+            self._notify({"op": "insert", "c": self.name, "doc": self._docs[_id]})
         return _id
 
     def insert_many(self, docs: Iterable[Mapping[str, Any]]) -> list[int]:
-        return [self.insert(d) for d in docs]
+        """Insert a batch under one lock acquisition, journaled as one
+        batched ``insert_many`` op (one WAL line / fsync for the lot)."""
+        frozen = [self._freeze_doc(d) for d in docs]
+        if not frozen:
+            return []
+        with self._lock:
+            ids = [self._store_new(stored) for stored in frozen]
+            self._notify(
+                {
+                    "op": "insert_many",
+                    "c": self.name,
+                    "docs": [self._docs[i] for i in ids],
+                }
+            )
+        return ids
+
+    def _freeze_doc(self, doc: Mapping[str, Any]) -> dict[str, Any]:
+        if not isinstance(doc, Mapping):
+            raise TypeError("documents must be mappings")
+        return {k: freeze(v) for k, v in doc.items()}
+
+    def _store_new(self, stored: dict[str, Any]) -> int:
+        """Assign an id, freeze, index, and column-append (lock held)."""
+        _id = self._next_id
+        self._next_id += 1
+        stored["_id"] = _id
+        frozen = freeze(stored)
+        self._docs[_id] = frozen
+        self._reindex(_id, frozen)
+        if self._columnar is not None:
+            self._columnar.on_insert(_id, frozen)
+        return _id
 
     def restore(self, doc: Mapping[str, Any]) -> int:
         """Re-insert a document preserving its ``_id`` (WAL replay/import).
@@ -210,16 +269,34 @@ class Collection:
         overwrites it with the same content.  The observer is *not*
         notified — replay must never re-journal itself.
         """
-        stored = copy.deepcopy(dict(doc))
+        stored = freeze(self._freeze_doc(doc))
         _id = int(stored["_id"])
         with self._lock:
             old = self._docs.get(_id)
             if old is not None:
                 self._unindex(_id, old)
+            else:
+                last = next(reversed(self._docs)) if self._docs else 0
+                if _id < last:
+                    self._id_ordered = False
             self._docs[_id] = stored
             self._next_id = max(self._next_id, _id + 1)
             self._reindex(_id, stored)
+            if self._columnar is not None:
+                if old is None:
+                    self._columnar.on_insert(_id, stored)
+                else:
+                    self._columnar.mark_dirty()
         return _id
+
+    def _pool(self, flt: Mapping[str, Any]) -> Iterable[dict[str, Any]]:
+        """Candidate documents in canonical (ascending ``_id``) order."""
+        candidates = self._index_candidates(flt)
+        if candidates is not None:
+            return (self._docs[i] for i in sorted(candidates))
+        if self._id_ordered:
+            return self._docs.values()
+        return (self._docs[i] for i in sorted(self._docs))
 
     def find(
         self,
@@ -228,67 +305,101 @@ class Collection:
         sort: str | None = None,
         descending: bool = False,
         limit: int | None = None,
+        frozen: bool = False,
     ) -> list[dict[str, Any]]:
-        """All matching documents (deep copies)."""
+        """All matching documents, ascending ``_id`` unless sorted.
+
+        Default: mutable deep copies.  ``frozen=True``: the stored
+        immutable views, zero copies (counter ``store_zero_copy_reads``)
+        — strictly read-only callers only.
+        """
         flt = flt or {}
         with self._lock:
-            candidates = self._index_candidates(flt)
-            pool = (
-                (self._docs[i] for i in candidates)
-                if candidates is not None
-                else self._docs.values()
-            )
+            view = self._columnar
+            if view is not None:
+                view.ensure_clean()
+                mask = view.filter_mask(flt)
+                if mask is not None:
+                    out = view.select(
+                        mask,
+                        sort=sort,
+                        descending=descending,
+                        limit=limit,
+                        frozen=frozen,
+                    )
+                    if out is not None:
+                        perf.incr("store_columnar_queries")
+                        if frozen:
+                            perf.incr("store_zero_copy_reads")
+                        return out
+                perf.incr("store_row_fallbacks")
+            copy_out = (lambda d: d) if frozen else thaw
             if sort is None and limit is not None:
-                # unsorted + limited: stop matching (and deep-copying)
-                # as soon as the limit is reached
+                # unsorted + limited: stop matching (and copying) as
+                # soon as the limit is reached
                 n = max(limit, 0)
-                out: list[dict[str, Any]] = []
-                for d in pool:
+                out = []
+                for d in self._pool(flt):
                     if len(out) >= n:
                         break
                     if _matches(d, flt):
-                        out.append(copy.deepcopy(d))
+                        out.append(copy_out(d))
+                if frozen:
+                    perf.incr("store_zero_copy_reads")
                 return out
-            out = [copy.deepcopy(d) for d in pool if _matches(d, flt)]
+            out = [copy_out(d) for d in self._pool(flt) if _matches(d, flt)]
+        if frozen:
+            perf.incr("store_zero_copy_reads")
         if sort is not None:
             out.sort(key=lambda d: _sort_key(_get_path(d, sort)), reverse=descending)
         if limit is not None:
             out = out[: max(limit, 0)]
         return out
 
-    def find_one(self, flt: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
-        found = self.find(flt, limit=1)
+    def find_one(
+        self, flt: Mapping[str, Any] | None = None, *, frozen: bool = False
+    ) -> dict[str, Any] | None:
+        found = self.find(flt, limit=1, frozen=frozen)
         return found[0] if found else None
 
     def count(self, flt: Mapping[str, Any] | None = None) -> int:
+        """Matching-document count — same matcher as :meth:`find`, so the
+        columnar fast path accelerates counting for free."""
         flt = flt or {}
         with self._lock:
-            candidates = self._index_candidates(flt)
-            pool = (
-                (self._docs[i] for i in candidates)
-                if candidates is not None
-                else self._docs.values()
-            )
-            return sum(1 for d in pool if _matches(d, flt))
+            view = self._columnar
+            if view is not None:
+                view.ensure_clean()
+                n = view.count(flt)
+                if n is not None:
+                    perf.incr("store_columnar_queries")
+                    return n
+                perf.incr("store_row_fallbacks")
+            return sum(1 for d in self._pool(flt) if _matches(d, flt))
 
     def update(self, flt: Mapping[str, Any], changes: Mapping[str, Any]) -> int:
         """Shallow-merge ``changes`` into matching docs; returns count."""
         n = 0
         with self._lock:
-            for _id, doc in self._docs.items():
+            for _id, doc in list(self._docs.items()):
                 if _matches(doc, flt):
                     self._unindex(_id, doc)
-                    doc.update(copy.deepcopy(dict(changes)))
-                    doc["_id"] = _id  # _id is immutable
-                    self._reindex(_id, doc)
+                    merged = dict(doc)
+                    merged.update({k: freeze(v) for k, v in changes.items()})
+                    merged["_id"] = _id  # _id is immutable
+                    stored = freeze(merged)
+                    self._docs[_id] = stored
+                    self._reindex(_id, stored)
                     n += 1
             if n:
+                if self._columnar is not None:
+                    self._columnar.mark_dirty()
                 self._notify(
                     {
                         "op": "update",
                         "c": self.name,
-                        "flt": copy.deepcopy(dict(flt)),
-                        "changes": copy.deepcopy(dict(changes)),
+                        "flt": thaw(dict(flt)),
+                        "changes": thaw(dict(changes)),
                     }
                 )
         return n
@@ -301,8 +412,10 @@ class Collection:
                 self._unindex(_id, self._docs[_id])
                 del self._docs[_id]
             if doomed:
+                if self._columnar is not None:
+                    self._columnar.mark_dirty()
                 self._notify(
-                    {"op": "delete", "c": self.name, "flt": copy.deepcopy(dict(flt))}
+                    {"op": "delete", "c": self.name, "flt": thaw(dict(flt))}
                 )
         return len(doomed)
 
@@ -327,7 +440,7 @@ class Collection:
             return {
                 "name": self.name,
                 "next_id": self._next_id,
-                "docs": copy.deepcopy(list(self._docs.values())),
+                "docs": [thaw(d) for d in self._docs.values()],
                 "indexes": sorted(self._indexes),
             }
 
@@ -336,7 +449,9 @@ class Collection:
         coll = Collection(blob["name"])
         coll._next_id = int(blob["next_id"])
         for doc in blob["docs"]:
-            coll._docs[int(doc["_id"])] = copy.deepcopy(dict(doc))
+            coll._docs[int(doc["_id"])] = freeze(dict(doc))
+        ids = list(coll._docs)
+        coll._id_ordered = all(a < b for a, b in zip(ids, ids[1:]))
         for field in blob.get("indexes", []):
             coll.create_index(field)
         return coll
@@ -375,7 +490,12 @@ class DocumentStore:
                 coll._observer = fn
 
     def apply_op(self, op: Mapping[str, Any]) -> None:
-        """Re-apply one observed op (WAL replay / journal shipping)."""
+        """Re-apply one observed op (WAL replay / journal shipping).
+
+        Accepts both the historical one-document ``insert`` form and
+        the batched ``insert_many`` form, so journals written by either
+        store version replay on this one.
+        """
         kind = op.get("op")
         if kind == "drop":
             self.drop(op["c"])
@@ -383,6 +503,9 @@ class DocumentStore:
         coll = self.collection(op["c"])
         if kind == "insert":
             coll.restore(op["doc"])
+        elif kind == "insert_many":
+            for doc in op["docs"]:
+                coll.restore(doc)
         elif kind == "update":
             coll.update(op["flt"], op["changes"])
         elif kind == "delete":
@@ -436,22 +559,3 @@ class DocumentStore:
         if blob.get("format") != "gptunecrowd-store-v1":
             raise ValueError(f"{path}: not a GPTuneCrowd store file")
         return DocumentStore.from_jsonable(blob)
-
-
-def _hashable(value: Any) -> Any:
-    if isinstance(value, (dict, list)):
-        return json.dumps(value, sort_keys=True, default=str)
-    return value
-
-
-def _sort_key(value: Any) -> tuple:
-    """Total order across mixed types (None < numbers < strings < other)."""
-    if value is None:
-        return (0, 0)
-    if isinstance(value, bool):
-        return (1, int(value))
-    if isinstance(value, (int, float)):
-        return (1, value)
-    if isinstance(value, str):
-        return (2, value)
-    return (3, str(value))

@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from .columnar import thaw
+
 __all__ = ["PerformanceRecord", "Accessibility", "ACCESS_LEVELS"]
 
 #: recognized accessibility levels
@@ -93,14 +95,16 @@ class PerformanceRecord:
 
     @staticmethod
     def from_doc(doc: Mapping[str, Any]) -> "PerformanceRecord":
+        # thaw: documents may arrive as the store's frozen zero-copy
+        # views — records hand out fully mutable nested blocks
         return PerformanceRecord(
             problem_name=doc["problem_name"],
-            task_parameters=dict(doc.get("task_parameters", {})),
-            tuning_parameters=dict(doc.get("tuning_parameters", {})),
+            task_parameters=thaw(dict(doc.get("task_parameters", {}))),
+            tuning_parameters=thaw(dict(doc.get("tuning_parameters", {}))),
             output=doc.get("output"),
             owner=doc.get("owner", ""),
-            machine_configuration=dict(doc.get("machine_configuration", {})),
-            software_configuration=dict(doc.get("software_configuration", {})),
+            machine_configuration=thaw(dict(doc.get("machine_configuration", {}))),
+            software_configuration=thaw(dict(doc.get("software_configuration", {}))),
             accessibility=Accessibility.from_dict(doc.get("accessibility")),
             timestamp=float(doc.get("timestamp", 0.0)),
             uid=int(doc.get("uid", 0)),

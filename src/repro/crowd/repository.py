@@ -21,15 +21,22 @@ import threading
 from pathlib import Path
 from typing import Any, Mapping
 
+from ..core import perf
+from .columnar import thaw
 from .configmatch import TagMatcher, default_matcher
 from .database import DocumentStore
 from .query import SqlQuery, build_filter
-from .records import PerformanceRecord
+from .records import Accessibility, PerformanceRecord
 from .users import AuthError, User, UserRegistry
 
 __all__ = ["CrowdRepository"]
 
 _RECORDS = "performance_records"
+
+#: sentinel owner that matches no username, so the vectorized
+#: accessibility mask evaluates pure level/group visibility and the
+#: owner==viewer grant is a separate equality mask
+_NOT_OWNER = object()
 
 
 class CrowdRepository:
@@ -50,6 +57,9 @@ class CrowdRepository:
         # router-stamped uids: the service's idempotent-upload dedup and
         # anti-entropy replication both look records up by uid
         coll.create_index("uid")
+        # the hot read path (queries, leaderboards, registry builds)
+        # evaluates filters + visibility as vectorized column masks
+        coll.enable_columnar()
         self._clock = 0.0
         self._clock_lock = threading.Lock()
 
@@ -85,6 +95,13 @@ class CrowdRepository:
         same global time; end users never reach this parameter.
         """
         user = self.users.authenticate(api_key)
+        self._prepare(record, user, timestamp)
+        return self.store[_RECORDS].insert(record.to_doc())
+
+    def _prepare(
+        self, record: PerformanceRecord, user: User, timestamp: float | None
+    ) -> None:
+        """Stamp ownership/time and normalize tags, in place."""
         record.owner = user.username
         if timestamp is not None:
             record.timestamp = float(timestamp)
@@ -102,10 +119,16 @@ class CrowdRepository:
             canonical = self.matcher.match_software(package)
             normalized_sw[canonical if canonical else package] = payload
         record.software_configuration = normalized_sw
-        return self.store[_RECORDS].insert(record.to_doc())
 
     def upload_many(self, records: list[PerformanceRecord], api_key: str) -> list[int]:
-        return [self.upload(r, api_key) for r in records]
+        """Store a batch: one authentication, one lock acquisition, one
+        batched journal op (one WAL line / fsync downstream)."""
+        user = self.users.authenticate(api_key)
+        docs = []
+        for record in records:
+            self._prepare(record, user, None)
+            docs.append(record.to_doc())
+        return self.store[_RECORDS].insert_many(docs)
 
     # -- download ----------------------------------------------------------------
     def _visible(self, doc: Mapping[str, Any], user: User) -> bool:
@@ -113,6 +136,118 @@ class CrowdRepository:
         return record.accessibility.visible_to(
             user.username, record.owner, sorted(user.groups)
         )
+
+    def _doc_visible(
+        self, doc: Mapping[str, Any], username: str, groups: list[str]
+    ) -> bool:
+        """Row-fallback visibility without a full record round-trip."""
+        if doc.get("owner", "") == username:
+            return True
+        return Accessibility.from_dict(doc.get("accessibility")).visible_to(
+            username, _NOT_OWNER, groups
+        )
+
+    def _visibility_mask(self, view, username: str, groups: list[str]):
+        """Vectorized per-record visibility: owner grant OR'd with the
+        per-distinct-accessibility level/group policy.  ``None`` when the
+        view can't build the columns (caller falls back to rows)."""
+        owner = view.path_eq_mask("owner", username)
+        if owner is None:
+            return None
+        policy = view.path_value_mask(
+            "accessibility",
+            lambda v: Accessibility.from_dict(v).visible_to(
+                username, _NOT_OWNER, groups
+            ),
+        )
+        if policy is None:
+            return None
+        return owner | policy
+
+    def query_docs(
+        self,
+        api_key: str,
+        *,
+        problem_name: str | None = None,
+        problem_space: Mapping[str, Any] | None = None,
+        configuration_space: Mapping[str, Any] | None = None,
+        task_parameters: Mapping[str, Any] | None = None,
+        require_success: bool = True,
+        limit: int | None = None,
+        frozen: bool = True,
+    ) -> list[dict[str, Any]]:
+        """The visible raw documents a :meth:`query` would return,
+        timestamp-sorted — the shared zero-copy read core for queries,
+        leaderboard/contributor views and the model registry.
+
+        Default ``frozen=True`` returns the store's immutable views
+        (zero copies — treat them as read-only); ``frozen=False`` thaws
+        each into a plain mutable dict.
+        """
+        user = self.users.authenticate(api_key)
+        flt = build_filter(
+            problem_name,
+            problem_space,
+            configuration_space,
+            task_parameters=task_parameters,
+            require_success=require_success,
+        )
+        return self._visible_docs(
+            flt, user, sort="timestamp", limit=limit, frozen=frozen
+        )
+
+    def _visible_docs(
+        self,
+        flt: Mapping[str, Any],
+        user: User,
+        *,
+        sort: str | None,
+        descending: bool = False,
+        limit: int | None = None,
+        frozen: bool = True,
+    ) -> list[dict[str, Any]]:
+        """Filter + visibility + sort + limit in one pass.
+
+        Columnar fast path: one boolean-mask evaluation (filter AND
+        visibility) and one stable argsort.  Parity with the legacy
+        sort-then-filter row order holds because both sorts are stable:
+        filtering a stably-sorted sequence equals stably sorting the
+        filtered one.
+        """
+        coll = self.store[_RECORDS]
+        groups = sorted(user.groups)
+        with coll.columnar_snapshot() as view:
+            if view is not None:
+                mask = view.filter_mask(flt)
+                if mask is not None:
+                    try:
+                        vis = self._visibility_mask(view, user.username, groups)
+                    except ValueError:
+                        # a stored accessibility block failed validation:
+                        # only the row path knows whether the offending
+                        # record even matches the filter
+                        vis = None
+                    if vis is not None:
+                        out = view.select(
+                            mask & vis,
+                            sort=sort,
+                            descending=descending,
+                            limit=limit,
+                            frozen=frozen,
+                        )
+                        if out is not None:
+                            perf.incr("store_columnar_queries")
+                            if frozen:
+                                perf.incr("store_zero_copy_reads")
+                            return out
+                perf.incr("store_row_fallbacks")
+        docs = coll.find(flt, sort=sort, descending=descending, frozen=True)
+        visible = [
+            d for d in docs if self._doc_visible(d, user.username, groups)
+        ]
+        if limit is not None:
+            visible = visible[: max(limit, 0)]
+        return visible if frozen else [thaw(d) for d in visible]
 
     def query(
         self,
@@ -131,30 +266,30 @@ class CrowdRepository:
         sharded router uses this to serve the query from the single
         shard that owns the ``(problem_name, task)`` key.
         """
-        user = self.users.authenticate(api_key)
-        flt = build_filter(
-            problem_name,
-            problem_space,
-            configuration_space,
+        docs = self.query_docs(
+            api_key,
+            problem_name=problem_name,
+            problem_space=problem_space,
+            configuration_space=configuration_space,
             task_parameters=task_parameters,
             require_success=require_success,
+            limit=limit,
+            frozen=True,
         )
-        docs = self.store[_RECORDS].find(flt, sort="timestamp")
-        visible = [d for d in docs if self._visible(d, user)]
-        if limit is not None:
-            visible = visible[: max(limit, 0)]
-        return [PerformanceRecord.from_doc(d) for d in visible]
+        return [PerformanceRecord.from_doc(d) for d in docs]
 
     def query_sql(self, api_key: str, sql: str) -> list[PerformanceRecord]:
         """SQL-like query front-end (paper Sec. II-B)."""
         user = self.users.authenticate(api_key)
         q = SqlQuery.parse(sql)
-        docs = self.store[_RECORDS].find(
-            q.filter, sort=q.order_by, descending=q.descending
+        visible = self._visible_docs(
+            q.filter,
+            user,
+            sort=q.order_by,
+            descending=q.descending,
+            limit=q.limit,
+            frozen=True,
         )
-        visible = [d for d in docs if self._visible(d, user)]
-        if q.limit is not None:
-            visible = visible[: q.limit]
         return [PerformanceRecord.from_doc(d) for d in visible]
 
     def delete_own(self, api_key: str, problem_name: str) -> int:
@@ -168,12 +303,8 @@ class CrowdRepository:
     def problems(self, api_key: str) -> list[str]:
         """Distinct problem names visible to the user."""
         user = self.users.authenticate(api_key)
-        names = {
-            d["problem_name"]
-            for d in self.store[_RECORDS].find({})
-            if self._visible(d, user)
-        }
-        return sorted(names)
+        docs = self._visible_docs({}, user, sort=None, frozen=True)
+        return sorted({d["problem_name"] for d in docs})
 
     def count(self) -> int:
         return len(self.store[_RECORDS])

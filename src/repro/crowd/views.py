@@ -21,16 +21,20 @@ from html import escape
 from typing import Any
 
 from ..core.problem import task_key
+from .columnar import thaw
 from .records import PerformanceRecord
 from .repository import CrowdRepository
 
 __all__ = [
     "LeaderboardRow",
     "leaderboard",
+    "leaderboard_from_docs",
     "leaderboard_from_records",
     "contributor_stats",
+    "contributor_stats_from_docs",
     "contributor_stats_from_records",
     "machine_breakdown",
+    "machine_breakdown_from_docs",
     "render_text",
     "render_html",
 ]
@@ -49,82 +53,103 @@ class LeaderboardRow:
     contributors: list[str] = field(default_factory=list)
 
 
-def _query_all(repo: CrowdRepository, api_key: str, problem: str):
-    return repo.query(api_key, problem_name=problem, require_success=False)
+def _query_docs(repo: CrowdRepository, api_key: str, problem: str):
+    """All visible raw documents for one problem — the store's frozen
+    zero-copy views, read straight off the columnar plane.  Views
+    aggregate documents directly; no per-row record construction."""
+    return repo.query_docs(
+        api_key, problem_name=problem, require_success=False, frozen=True
+    )
 
 
 def leaderboard(
     repo: CrowdRepository, api_key: str, problem: str
 ) -> list[LeaderboardRow]:
     """Per-task best results, most-sampled tasks first."""
-    return leaderboard_from_records(_query_all(repo, api_key, problem))
+    return leaderboard_from_docs(_query_docs(repo, api_key, problem))
 
 
-def leaderboard_from_records(
-    records: list[PerformanceRecord],
-) -> list[LeaderboardRow]:
-    """The leaderboard computed from an already-queried record list.
+def leaderboard_from_docs(docs: list[Any]) -> list[LeaderboardRow]:
+    """The leaderboard computed from raw (possibly frozen) documents.
 
-    The sharded router uses this directly: it must aggregate over the
-    *deduplicated* cross-shard record set (replicated records appear on
-    several shards, so merging per-shard leaderboards would double
-    count).
+    This is the aggregation core: :func:`leaderboard_from_records` — the
+    sharded router's cross-shard merge, which must aggregate over the
+    *deduplicated* record set because replicated records appear on
+    several shards — lowers records to the same document shape.
     """
-    groups: dict[tuple, list[PerformanceRecord]] = {}
-    for rec in records:
-        groups.setdefault(task_key(rec.task_parameters), []).append(rec)
+    groups: dict[tuple, list[Any]] = {}
+    for d in docs:
+        groups.setdefault(task_key(d.get("task_parameters") or {}), []).append(d)
     rows = []
-    for records in groups.values():
-        ok = [r for r in records if not r.failed]
+    for group in groups.values():
+        ok = [d for d in group if d.get("output") is not None]
         if not ok:
             continue
-        best = min(ok, key=lambda r: r.output)
+        best = min(ok, key=lambda d: d["output"])
         rows.append(
             LeaderboardRow(
-                task_parameters=dict(best.task_parameters),
-                best_output=float(best.output),
-                best_configuration=dict(best.tuning_parameters),
-                best_owner=best.owner,
-                n_samples=len(records),
-                n_failures=sum(1 for r in records if r.failed),
-                contributors=sorted({r.owner for r in records}),
+                task_parameters=thaw(dict(best.get("task_parameters") or {})),
+                best_output=float(best["output"]),
+                best_configuration=thaw(dict(best.get("tuning_parameters") or {})),
+                best_owner=best.get("owner", ""),
+                n_samples=len(group),
+                n_failures=sum(1 for d in group if d.get("output") is None),
+                contributors=sorted({d.get("owner", "") for d in group}),
             )
         )
     rows.sort(key=lambda r: r.n_samples, reverse=True)
     return rows
 
 
+def leaderboard_from_records(
+    records: list[PerformanceRecord],
+) -> list[LeaderboardRow]:
+    """The leaderboard computed from an already-queried record list."""
+    return leaderboard_from_docs([r.to_doc() for r in records])
+
+
 def contributor_stats(
     repo: CrowdRepository, api_key: str, problem: str
 ) -> list[dict[str, Any]]:
     """Upload counts and best results per contributing user."""
-    return contributor_stats_from_records(_query_all(repo, api_key, problem))
+    return contributor_stats_from_docs(_query_docs(repo, api_key, problem))
+
+
+def contributor_stats_from_docs(docs: list[Any]) -> list[dict[str, Any]]:
+    """Contributor stats from raw (possibly frozen) documents."""
+    per_user: dict[str, dict[str, Any]] = {}
+    for d in docs:
+        owner = d.get("owner", "")
+        entry = per_user.setdefault(
+            owner, {"user": owner, "samples": 0, "failures": 0, "best": None}
+        )
+        entry["samples"] += 1
+        output = d.get("output")
+        if output is None:
+            entry["failures"] += 1
+        elif entry["best"] is None or output < entry["best"]:
+            entry["best"] = float(output)
+    return sorted(per_user.values(), key=lambda e: e["samples"], reverse=True)
 
 
 def contributor_stats_from_records(
     records: list[PerformanceRecord],
 ) -> list[dict[str, Any]]:
     """Contributor stats from an already-deduplicated record list."""
-    per_user: dict[str, dict[str, Any]] = {}
-    for rec in records:
-        entry = per_user.setdefault(
-            rec.owner, {"user": rec.owner, "samples": 0, "failures": 0, "best": None}
-        )
-        entry["samples"] += 1
-        if rec.failed:
-            entry["failures"] += 1
-        elif entry["best"] is None or rec.output < entry["best"]:
-            entry["best"] = float(rec.output)
-    return sorted(per_user.values(), key=lambda e: e["samples"], reverse=True)
+    return contributor_stats_from_docs([r.to_doc() for r in records])
 
 
 def machine_breakdown(
     repo: CrowdRepository, api_key: str, problem: str
 ) -> dict[str, int]:
     """Samples per ``machine/partition`` tag."""
+    return machine_breakdown_from_docs(_query_docs(repo, api_key, problem))
+
+
+def machine_breakdown_from_docs(docs: list[Any]) -> dict[str, int]:
     counts: dict[str, int] = {}
-    for rec in _query_all(repo, api_key, problem):
-        mc = rec.machine_configuration
+    for d in docs:
+        mc = d.get("machine_configuration") or {}
         name = mc.get("machine_name", "unknown")
         partition = mc.get("partition", "")
         tag = f"{name}/{partition}" if partition else str(name)

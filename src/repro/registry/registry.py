@@ -121,7 +121,7 @@ class ModelRegistry:
 
     def _init_versions(self) -> None:
         """Rebuild the version counters from the store (WAL recovery)."""
-        for doc in self.repository.store[_RECORDS].find({}):
+        for doc in self.repository.store[_RECORDS].find({}, frozen=True):
             if record_counts(doc):
                 self.versions.bump(
                     doc.get("problem_name", ""),
@@ -235,14 +235,47 @@ class ModelRegistry:
         fit-locally path: problem-space filter, timestamp sort, then task
         grouping by :func:`task_key` — restricted to public records."""
         flt = build_filter(problem_name, problem_space, None, require_success=True)
-        docs = self.repository.store[_RECORDS].find(flt, sort="timestamp")
+        coll = self.repository.store[_RECORDS]
         target = repr(task_key(task_parameters))
+        with coll.columnar_snapshot() as view:
+            if view is not None:
+                docs = self._eligible_columnar(view, flt, target)
+                if docs is not None:
+                    perf.incr("store_columnar_queries")
+                    perf.incr("store_zero_copy_reads")
+                    return docs
+                perf.incr("store_row_fallbacks")
+        docs = coll.find(flt, sort="timestamp", frozen=True)
         return [
             d
             for d in docs
             if record_counts(d)
             and repr(task_key(d.get("task_parameters", {}))) == target
         ]
+
+    def _eligible_columnar(self, view, flt, target):
+        """One fused mask: filter AND :func:`record_counts` AND exact
+        task-key match, then a stable timestamp sort — zero copies."""
+        mask = view.filter_mask(flt)
+        if mask is None:
+            return None
+        try:
+            public = view.path_value_mask(
+                "accessibility",
+                lambda v: (v or {}).get("level", "public") == "public",
+            )
+            task = view.path_value_mask(
+                "task_parameters",
+                lambda v: repr(task_key(v if v is not None else {})) == target,
+            )
+        except (TypeError, AttributeError, ValueError):
+            # a malformed stored block: the row path decides whether the
+            # offending record is even reached
+            return None
+        failed = view.path_eq_mask("output", None)
+        if public is None or task is None or failed is None:
+            return None
+        return view.select(mask & public & ~failed & task, sort="timestamp", frozen=True)
 
     def build(
         self, problem_name: str, task_parameters: Mapping[str, Any]

@@ -274,7 +274,7 @@ def build_service(
     max_uid, max_ts = 0, 0.0
     for shard in shards.values():
         for coll in ("performance_records", REGISTRY_PROBLEMS):
-            for doc in shard.repository.store[coll].find({}):
+            for doc in shard.repository.store[coll].find({}, frozen=True):
                 max_uid = max(max_uid, int(doc.get("uid", 0) or 0))
                 max_ts = max(max_ts, float(doc.get("timestamp", 0.0) or 0.0))
     router = CrowdRouter(transports, options, next_uid=max_uid + 1, write_clock=max_ts)

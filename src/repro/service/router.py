@@ -61,7 +61,6 @@ gauges ``service_cache_size``, ``service_cache_hit_rate`` and
 
 from __future__ import annotations
 
-import json
 import threading
 import time
 from collections import OrderedDict
@@ -71,10 +70,10 @@ from collections.abc import Mapping
 from typing import Any, Callable
 
 from ..core import perf
+from ..crowd.columnar import freeze
 from ..crowd.database import _get_path, _sort_key
 from ..crowd.query import SqlQuery
-from ..crowd.records import PerformanceRecord
-from ..crowd.views import contributor_stats_from_records, leaderboard_from_records
+from ..crowd.views import contributor_stats_from_docs, leaderboard_from_docs
 from ..engine.faults import RetryPolicy
 from ..registry import REGISTRY_PROBLEMS
 from .client import ServiceClient
@@ -175,22 +174,48 @@ class TokenBucket:
         return (1.0 - self._tokens) / self.rate
 
 
+def _cache_key(value: Any) -> Any:
+    """Cheap canonical hashable key of a request document.
+
+    Replaces the old full-JSON serialization per lookup: mappings become
+    key-sorted ``("d", ...)`` tuples, sequences ``("l", ...)`` tuples,
+    and scalars ``(type-name, value)`` pairs — the type name keeps
+    ``1`` / ``1.0`` / ``True`` (JSON-distinct requests) from colliding.
+    """
+    if isinstance(value, Mapping):
+        return ("d",) + tuple(
+            sorted((str(k), _cache_key(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return ("l",) + tuple(_cache_key(v) for v in value)
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return (type(value).__name__, value)
+    return (type(value).__name__, str(value))
+
+
 class _QueryCache:
-    """TTL+LRU response cache with shard-tag invalidation."""
+    """TTL+LRU response cache with shard-tag invalidation.
+
+    Entries are deep-frozen once at :meth:`put` (rebuilt containers, so
+    the entry shares nothing with the producer's response object) and
+    every hit returns the same frozen view — zero per-hit copies, and a
+    caller that tries to mutate a cached response gets ``TypeError``
+    instead of silently poisoning the cache.
+    """
 
     def __init__(self, size: int, ttl_s: float, clock: Callable[[], float]) -> None:
         self.size = int(size)
         self.ttl_s = float(ttl_s)
         self._clock = clock
-        #: key -> (response, expires_at, shard_tags)
-        self._entries: OrderedDict[str, tuple[dict, float, frozenset[str]]] = (
+        #: key -> (frozen response, expires_at, shard_tags)
+        self._entries: OrderedDict[Any, tuple[Mapping, float, frozenset[str]]] = (
             OrderedDict()
         )
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: str) -> dict | None:
+    def get(self, key: Any) -> Mapping | None:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and entry[1] >= self._clock():
@@ -198,7 +223,7 @@ class _QueryCache:
                 self.hits += 1
                 perf.incr("service_cache_hits")
                 self._gauge_rate()
-                return json.loads(json.dumps(entry[0]))  # defensive copy
+                return entry[0]  # frozen: immutable, safe to share
             if entry is not None:
                 del self._entries[key]  # expired
             self.misses += 1
@@ -206,7 +231,7 @@ class _QueryCache:
             self._gauge_rate()
             return None
 
-    def put(self, key: str, response: Mapping[str, Any], tags: frozenset[str]) -> None:
+    def put(self, key: Any, response: Mapping[str, Any], tags: frozenset[str]) -> None:
         if self.size <= 0:
             return
         with self._lock:
@@ -218,7 +243,7 @@ class _QueryCache:
             for k in expired:
                 del self._entries[k]
             self._entries[key] = (
-                json.loads(json.dumps(dict(response))),
+                freeze(dict(response)),
                 now + self.ttl_s,
                 tags,
             )
@@ -408,7 +433,7 @@ class CrowdRouter:
 
         cache_key = None
         if route in _CACHEABLE and self._cache.size > 0:
-            cache_key = json.dumps(dict(request), sort_keys=True, default=str)
+            cache_key = _cache_key(request)
             cached = self._cache.get(cache_key)
             if cached is not None:
                 return cached
@@ -806,28 +831,26 @@ class CrowdRouter:
             )
         return {"ok": True, "problems": sorted(names)}, tags
 
-    def _dedup_problem_records(
+    def _dedup_problem_docs(
         self, request: Mapping[str, Any]
-    ) -> tuple[list[PerformanceRecord] | None, dict[str, Any] | None, frozenset[str]]:
-        """Deduplicated records of one problem (failures included)."""
+    ) -> tuple[list[dict] | None, dict[str, Any] | None, frozenset[str]]:
+        """Deduplicated record documents of one problem (failures
+        included) — aggregated as raw docs, no per-row record round-trip."""
         inner = {
             "route": "query",
             "api_key": request.get("api_key"),
             "problem_name": request.get("problem_name"),
             "require_success": False,
         }
-        docs, error, tags = self._gather_records(inner)
-        if error is not None:
-            return None, error, tags
-        return [PerformanceRecord.from_doc(d) for d in docs], None, tags
+        return self._gather_records(inner)
 
     def _route_leaderboard(
         self, request: Mapping[str, Any]
     ) -> tuple[dict[str, Any], frozenset[str]]:
-        records, error, tags = self._dedup_problem_records(request)
+        docs, error, tags = self._dedup_problem_docs(request)
         if error is not None:
             return error, tags
-        rows = leaderboard_from_records(records)
+        rows = leaderboard_from_docs(docs)
         return (
             {
                 "ok": True,
@@ -849,11 +872,11 @@ class CrowdRouter:
     def _route_contributors(
         self, request: Mapping[str, Any]
     ) -> tuple[dict[str, Any], frozenset[str]]:
-        records, error, tags = self._dedup_problem_records(request)
+        docs, error, tags = self._dedup_problem_docs(request)
         if error is not None:
             return error, tags
         return (
-            {"ok": True, "contributors": contributor_stats_from_records(records)},
+            {"ok": True, "contributors": contributor_stats_from_docs(docs)},
             tags,
         )
 

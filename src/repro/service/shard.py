@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from bisect import bisect_right
 from pathlib import Path
 from typing import Any, Mapping
@@ -184,6 +185,8 @@ class CrowdShard:
         self._wal: _wal.WriteAheadLog | None = None
         self._ops_since_snapshot = 0
         self._snapshot_due = False
+        # per-thread journal batching for internal routes (see handle())
+        self._buffers = threading.local()
 
         if self.data_dir is not None:
             store, last_seq = _wal.load_shard_state(self.data_dir)
@@ -192,7 +195,7 @@ class CrowdShard:
         self.repository = CrowdRepository(store=store, users=users, matcher=matcher)
         # resume the logical clock past every recovered record so new
         # uploads keep strictly increasing timestamps
-        for doc in self.repository.store["performance_records"].find({}):
+        for doc in self.repository.store["performance_records"].find({}, frozen=True):
             self.repository.advance_clock(float(doc.get("timestamp", 0.0)))
         # the registry is built before the WAL observer is installed, so
         # its collection/index setup (like the repository's own) is never
@@ -216,8 +219,17 @@ class CrowdShard:
     # -- durability ---------------------------------------------------------
     def _journal(self, op: dict[str, Any]) -> None:
         assert self._wal is not None
+        buffered = getattr(self._buffers, "ops", None)
+        if buffered is not None:
+            # an internal route is batching on this thread: hold the op,
+            # handle() writes the whole request's ops as one WAL batch
+            buffered.append(op)
+            return
         self._wal.append(op)
-        self._ops_since_snapshot += 1
+        self._count_ops(1)
+
+    def _count_ops(self, n: int) -> None:
+        self._ops_since_snapshot += n
         if self._ops_since_snapshot >= self.snapshot_every:
             # deferred: snapshotting inside the observer runs under the
             # collection lock; handle() runs it after the request instead
@@ -239,6 +251,13 @@ class CrowdShard:
         route = request.get("route") if isinstance(request, Mapping) else None
         with perf.timer(f"shard.{self.name}"):
             if route in _INTERNAL_ROUTES:
+                # internal routes stream many documents per request
+                # (replication, hint replay, rebalance): batch this
+                # thread's journal ops into one WAL write + fsync pass.
+                # Safe because their ops commute — replicate/drop replay
+                # keys by ``_id``/content, never by arrival order against
+                # concurrent public writes.
+                self._buffers.ops = []
                 try:
                     response = getattr(self, f"_route_{route}")(request)
                 except (KeyError, TypeError, ValueError) as exc:
@@ -247,6 +266,13 @@ class CrowdShard:
                         "error": "bad_request",
                         "message": str(exc),
                     }
+                finally:
+                    ops = self._buffers.ops
+                    self._buffers.ops = None
+                    if ops:
+                        assert self._wal is not None
+                        self._wal.append_many(ops)
+                        self._count_ops(len(ops))
             else:
                 response = self.server.handle(request)
         perf.incr(f"shard_requests.{self.name}")
@@ -319,23 +345,42 @@ class CrowdShard:
         coll = self.repository.store[_RECORDS]
         applied = 0
         applied_docs: list[dict[str, Any]] = []
+        # inserts are deferred into one batch (one lock acquisition, one
+        # journaled op), so intra-batch dedup checks the pending docs too
+        pending: list[dict[str, Any]] = []
+        pending_uid: dict[int, int] = {}  # uid -> index into pending
+        pending_content: set[str] = set()  # canonical JSON of uid-0 docs
         for doc in req["records"]:
             doc = {k: v for k, v in dict(doc).items() if k != "_id"}
             uid = int(doc.get("uid", 0) or 0)
+            ts = float(doc.get("timestamp", 0.0) or 0.0)
             if uid:
-                existing = coll.find_one({"uid": uid})
+                held = pending_uid.get(uid)
+                if held is not None:
+                    if float(pending[held].get("timestamp", 0.0) or 0.0) >= ts:
+                        continue  # pending copy is this version or newer
+                    pending[held] = doc  # newest-wins within the batch
+                    self.repository.advance_clock(ts)
+                    applied += 1
+                    applied_docs.append(doc)
+                    continue
+                existing = coll.find_one({"uid": uid}, frozen=True)
                 if existing is not None:
-                    if float(existing.get("timestamp", 0.0) or 0.0) >= float(
-                        doc.get("timestamp", 0.0) or 0.0
-                    ):
+                    if float(existing.get("timestamp", 0.0) or 0.0) >= ts:
                         continue  # already have this version or newer
                     coll.delete({"_id": existing["_id"]})
-            elif coll.find_one(doc) is not None:
-                continue  # unstamped record already present field-for-field
-            coll.insert(doc)
-            self.repository.advance_clock(float(doc.get("timestamp", 0.0) or 0.0))
+                pending_uid[uid] = len(pending)
+            else:
+                blob = json.dumps(doc, sort_keys=True, default=str)
+                if blob in pending_content or coll.find_one(doc) is not None:
+                    continue  # unstamped record already present field-for-field
+                pending_content.add(blob)
+            pending.append(doc)
+            self.repository.advance_clock(ts)
             applied += 1
             applied_docs.append(doc)
+        if pending:
+            coll.insert_many(pending)
         if applied_docs and self.registry is not None:
             # replicated records advance data versions and (policy
             # permitting) trigger a rebuild, same as direct uploads
@@ -352,7 +397,7 @@ class CrowdShard:
         """
         buckets: dict[str, list[tuple[str, Any]]] = {}
         for collection in (_RECORDS, *_HEALED_COLLECTIONS):
-            for doc in self.repository.store[collection].find({}):
+            for doc in self.repository.store[collection].find({}, frozen=True):
                 key = bucket_key(collection, self._doc_ring_key(collection, doc))
                 buckets.setdefault(key, []).append(
                     (record_ident(doc), doc.get("timestamp", 0.0))
@@ -373,11 +418,10 @@ class CrowdShard:
         for collection in (_RECORDS, *_HEALED_COLLECTIONS):
             if collection not in wanted:
                 continue
-            for doc in self.repository.store[collection].find({}):
+            for doc in self.repository.store[collection].find({}, frozen=True):
                 key = bucket_key(collection, self._doc_ring_key(collection, doc))
                 if key in keys:
-                    doc.pop("_id", None)
-                    out[key].append(doc)
+                    out[key].append({k: v for k, v in doc.items() if k != "_id"})
         return {"ok": True, "buckets": out}
 
     def _route_drop_bucket(self, req: Mapping[str, Any]) -> dict[str, Any]:
@@ -389,7 +433,7 @@ class CrowdShard:
         coll = self.repository.store[collection]
         doomed = sorted(
             doc["_id"]
-            for doc in coll.find({})
+            for doc in coll.find({}, frozen=True)
             if bucket_key(collection, self._doc_ring_key(collection, doc)) == key
         )
         dropped = coll.delete({"_id": {"$in": doomed}}) if doomed else 0

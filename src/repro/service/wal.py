@@ -122,6 +122,28 @@ class WriteAheadLog:
             perf.incr("wal_appends")
             return self._seq
 
+    def append_many(self, ops: list[Mapping[str, Any]]) -> int:
+        """Journal a batch of ops under one lock acquisition, one buffer
+        write and one fsync accounting pass; returns the last sequence
+        number (or the current one for an empty batch)."""
+        with self._lock:
+            if not ops:
+                return self._seq
+            lines = []
+            for op in ops:
+                self._seq += 1
+                lines.append(json.dumps({"seq": self._seq, **op}, sort_keys=True))
+            self._fh.write("\n".join(lines) + "\n")
+            self._fh.flush()
+            self._since_sync += len(ops)
+            if self._since_sync >= self.fsync_every:
+                os.fsync(self._fh.fileno())
+                self._since_sync = 0
+                perf.incr("wal_fsyncs")
+            perf.incr("wal_appends", len(ops))
+            perf.incr("wal_batch_appends")
+            return self._seq
+
     def sync(self) -> None:
         """Force any batched appends to stable storage."""
         with self._lock:

@@ -230,6 +230,37 @@ class TestCache:
         second = svc.client.handle(request)
         assert second["records"][0]["output"] == 0.0
 
+    def test_cache_hits_are_frozen_views(self, svc, key):
+        import pytest
+
+        _upload(svc.client, key, 0)
+        request = {"route": "query", "api_key": key, "problem_name": "demo"}
+        svc.client.handle(request)  # miss: populate
+        hit = svc.client.handle(request)  # hit: pinned frozen view
+        with pytest.raises(TypeError):
+            hit["records"][0]["output"] = -1.0
+        with pytest.raises(TypeError):
+            hit["records"].append({})
+        # the pinned response stays intact for later hits
+        again = svc.client.handle(request)
+        assert again["records"][0]["output"] == 0.0
+
+    def test_cache_key_canonicalization(self):
+        from repro.service.router import _cache_key
+
+        # key-order insensitive, value-identical requests share a key
+        assert _cache_key({"a": 1, "b": [2, {"c": 3}]}) == _cache_key(
+            {"b": [2, {"c": 3}], "a": 1}
+        )
+        # 1, 1.0 and True compare equal; the canonical key must not
+        keys = {_cache_key({"t": v}) for v in (1, 1.0, True)}
+        assert len(keys) == 3
+        # containers of different kinds never collide
+        assert _cache_key([1, 2]) != _cache_key({"0": 1, "1": 2})
+        assert _cache_key({"t": [1]}) != _cache_key({"t": {"0": 1}})
+        # keys are hashable (usable as OrderedDict keys)
+        hash(_cache_key({"a": {"b": [1, (2, 3)]}}))
+
     def test_write_invalidates_cache_of_owning_shards(self, svc, key):
         _upload(svc.client, key, 0, task={"t": 0})
         request = {"route": "query", "api_key": key, "problem_name": "demo"}

@@ -81,6 +81,55 @@ class TestWriteAheadLog:
         with pytest.raises(ValueError):
             WriteAheadLog(tmp_path / "w", fsync_every=0)
 
+    def test_append_many_numbers_like_individual_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append({"op": "drop", "c": "a"})
+        last = wal.append_many(
+            [
+                {"op": "insert", "c": "x", "doc": {"_id": 1}},
+                {"op": "insert", "c": "x", "doc": {"_id": 2}},
+                {"op": "delete", "c": "x", "flt": {}},
+            ]
+        )
+        assert last == 4
+        wal.append({"op": "drop", "c": "b"})
+        wal.close()
+        ops = read_wal(tmp_path / "wal.jsonl")
+        assert [o["seq"] for o in ops] == [1, 2, 3, 4, 5]
+        assert [o["op"] for o in ops] == ["drop", "insert", "insert", "delete", "drop"]
+
+    def test_append_many_empty_batch_is_a_noop(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        wal.append({"op": "drop", "c": "a"})
+        assert wal.append_many([]) == 1
+        wal.close()
+        assert len(read_wal(tmp_path / "wal.jsonl")) == 1
+
+    def test_append_many_respects_fsync_batching(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.jsonl", fsync_every=100)
+        wal.append_many([{"op": "drop", "c": f"c{i}"} for i in range(10)])
+        wal.sync()
+        wal.close()
+        assert len(read_wal(tmp_path / "wal.jsonl")) == 10
+
+    def test_mixed_op_form_journal_recovers(self, tmp_path):
+        """A journal holding both historical per-insert ops and the
+        batched ``insert_many`` form replays to the same store."""
+        from repro.crowd.database import DocumentStore
+
+        src = DocumentStore()
+        wal = WriteAheadLog(tmp_path / "wal.jsonl")
+        src.set_observer(lambda op: wal.append(json.loads(json.dumps(op))))
+        src["c"].insert({"a": 1})  # historical one-doc op
+        src["c"].insert_many([{"a": 2}, {"a": 3}])  # batched op
+        src["c"].update({"a": 2}, {"a": 20})
+        wal.close()
+        ops = read_wal(tmp_path / "wal.jsonl")
+        assert [o["op"] for o in ops] == ["insert", "insert_many", "update"]
+        store, last_seq = load_shard_state(tmp_path)
+        assert last_seq == 3
+        assert store["c"].find({}) == src["c"].find({})
+
 
 class TestCrashRecovery:
     def test_shard_killed_mid_stream_recovers_bit_identical(self, tmp_path):
